@@ -1,0 +1,65 @@
+//! Ablation bench (DESIGN.md): exact Pauli back-propagation vs stim-style
+//! frame sampling for the noisy loss `LN` — the design choice that makes
+//! this reproduction's default loss deterministic.
+
+use clapton_circuits::HardwareEfficientAnsatz;
+use clapton_models::{ising, xxz};
+use clapton_noise::{ExactEvaluator, FrameSampler, NoiseModel, NoisyCircuit};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn noisy_zero_circuit(n: usize) -> NoisyCircuit {
+    let ansatz = HardwareEfficientAnsatz::new(n);
+    let model = NoiseModel::uniform(n, 3e-4, 8e-3, 2e-2);
+    NoisyCircuit::from_circuit(&ansatz.circuit_at_zero(), &model).expect("Clifford at zero")
+}
+
+fn bench_exact_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ln_exact");
+    for n in [10usize, 20, 40] {
+        let h = ising(n, 0.25);
+        let nc = noisy_zero_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let eval = ExactEvaluator::new(&nc);
+            b.iter(|| eval.energy(black_box(&h)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ln_sampled_256shots");
+    group.sample_size(10);
+    for n in [10usize, 20] {
+        let h = ising(n, 0.25);
+        let nc = noisy_zero_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let sampler = FrameSampler::new(&nc);
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| sampler.energy(black_box(&h), 256, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_hamiltonian(c: &mut Criterion) {
+    // Chemistry-scale term counts: the ten-qubit XXZ (27 terms) vs a
+    // hundreds-of-terms surrogate workload via repeated evaluation.
+    let mut group = c.benchmark_group("ln_exact_xxz10");
+    let h = xxz(10, 1.0);
+    let nc = noisy_zero_circuit(10);
+    group.bench_function("xxz10", |b| {
+        let eval = ExactEvaluator::new(&nc);
+        b.iter(|| eval.energy(black_box(&h)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_exact_energy, bench_sampled_energy, bench_dense_hamiltonian
+}
+criterion_main!(benches);

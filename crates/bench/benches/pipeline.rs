@@ -1,0 +1,60 @@
+//! End-to-end pipeline benchmarks: one Clapton loss evaluation (transform +
+//! `LN` + `L0`) and one full quick optimization — the per-candidate and
+//! per-run costs behind Figure 9.
+
+use clapton_circuits::TransformationAnsatz;
+use clapton_core::{
+    run_clapton, transform_hamiltonian, ClaptonConfig, EvaluatorKind, ExecutableAnsatz,
+    LossFunction,
+};
+use clapton_models::{ising, molecular, Molecule};
+use clapton_noise::NoiseModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_loss_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clapton_loss_eval");
+    let cases = [
+        ("ising10", ising(10, 0.25)),
+        ("xxz10", clapton_models::xxz(10, 1.0)),
+        ("H2O", molecular(Molecule::H2O, 1.0)),
+        ("H6", molecular(Molecule::H6, 1.0)),
+    ];
+    for (name, h) in &cases {
+        let n = h.num_qubits();
+        let model = NoiseModel::uniform(n, 3e-4, 8e-3, 2e-2);
+        let exec = ExecutableAnsatz::untranspiled(n, &model);
+        let loss = LossFunction::new(&exec, EvaluatorKind::Exact);
+        let t_ansatz = TransformationAnsatz::new(n);
+        let gamma: Vec<u8> = (0..t_ansatz.num_genes()).map(|i| (i % 4) as u8).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let transformed =
+                    transform_hamiltonian(black_box(h), &t_ansatz.gates(&gamma));
+                loss.total(&transformed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_quick_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clapton_quick_run");
+    group.sample_size(10);
+    for n in [6usize, 10] {
+        let h = ising(n, 0.25);
+        let model = NoiseModel::uniform(n, 3e-4, 8e-3, 2e-2);
+        let exec = ExecutableAnsatz::untranspiled(n, &model);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| run_clapton(black_box(&h), &exec, &ClaptonConfig::quick(1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_loss_evaluation, bench_full_quick_run
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the dense simulation substrate (the device-evaluation
+//! cost that dominates VQE runs in Figures 5 and 6).
+
+use clapton_circuits::HardwareEfficientAnsatz;
+use clapton_models::ising;
+use clapton_noise::NoiseModel;
+use clapton_sim::{ground_energy, DeviceEvaluator, StateVector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_ansatz");
+    for n in [6usize, 8, 10] {
+        let ansatz = HardwareEfficientAnsatz::new(n);
+        let theta: Vec<f64> = (0..ansatz.num_parameters()).map(|i| 0.1 * i as f64).collect();
+        let circuit = ansatz.circuit(&theta);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| StateVector::from_circuit(black_box(&circuit)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_device_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_evaluation");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let ansatz = HardwareEfficientAnsatz::new(n);
+        let theta: Vec<f64> = (0..ansatz.num_parameters()).map(|i| 0.2 * i as f64).collect();
+        let circuit = ansatz.circuit(&theta);
+        let mut model = NoiseModel::uniform(n, 3e-4, 8e-3, 2e-2);
+        model.set_t1_uniform(100e-6);
+        let h = ising(n, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| DeviceEvaluator::run(black_box(&circuit), &model).energy(&h));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ground_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanczos_ground_energy");
+    group.sample_size(10);
+    for n in [8usize, 10, 12] {
+        let h = ising(n, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ground_energy(black_box(&h)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_statevector, bench_device_evaluation, bench_ground_energy
+}
+criterion_main!(benches);

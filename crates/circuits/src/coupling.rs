@@ -1,0 +1,258 @@
+//! Device coupling maps (qubit connectivity graphs).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An undirected qubit connectivity graph.
+///
+/// # Example
+///
+/// ```
+/// use clapton_circuits::CouplingMap;
+///
+/// let line = CouplingMap::line(4);
+/// assert!(line.are_adjacent(1, 2));
+/// assert!(!line.are_adjacent(0, 3));
+/// assert_eq!(line.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl CouplingMap {
+    /// Creates a coupling map from an edge list. Edges are stored normalized
+    /// (`a < b`) and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge touches a qubit `>= num_qubits` or is a self-loop.
+    pub fn new(num_qubits: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> CouplingMap {
+        let mut normalized: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| {
+                assert!(a != b, "self-loop on qubit {a}");
+                assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        normalized.sort_unstable();
+        normalized.dedup();
+        CouplingMap {
+            num_qubits,
+            edges: normalized,
+        }
+    }
+
+    /// A 1D chain `0-1-…-(n-1)`.
+    pub fn line(n: usize) -> CouplingMap {
+        CouplingMap::new(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    /// A ring `0-1-…-(n-1)-0`.
+    pub fn ring(n: usize) -> CouplingMap {
+        assert!(n >= 3, "ring needs at least 3 qubits");
+        CouplingMap::new(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    /// All-to-all connectivity.
+    pub fn full(n: usize) -> CouplingMap {
+        CouplingMap::new(
+            n,
+            (0..n).flat_map(move |a| (a + 1..n).map(move |b| (a, b))),
+        )
+    }
+
+    /// The number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The normalized edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Whether two qubits share an edge.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        let key = (a.min(b), a.max(b));
+        self.edges.binary_search(&key).is_ok()
+    }
+
+    /// The neighbors of a qubit.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == q {
+                    Some(b)
+                } else if b == q {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// BFS shortest path between two qubits (inclusive of endpoints), or
+    /// `None` if disconnected.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev = vec![usize::MAX; self.num_qubits];
+        let mut queue = VecDeque::from([from]);
+        prev[from] = from;
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if prev[v] == usize::MAX {
+                    prev[v] = u;
+                    if v == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Searches for a simple path of `len` qubits (a line embedding) via
+    /// depth-first search with a low-degree-first heuristic. Returns the
+    /// physical qubits in path order, or `None` if the search fails.
+    ///
+    /// Heavy-hex devices admit long simple paths, so this is how logical
+    /// chains are laid out before routing (§5.2.2).
+    pub fn find_line(&self, len: usize) -> Option<Vec<usize>> {
+        if len == 0 {
+            return Some(vec![]);
+        }
+        if len > self.num_qubits {
+            return None;
+        }
+        // Try starts in increasing-degree order: path endpoints are cheapest
+        // at low-degree corners of the graph.
+        let mut starts: Vec<usize> = (0..self.num_qubits).collect();
+        starts.sort_by_key(|&q| self.neighbors(q).len());
+        for start in starts {
+            let mut visited = vec![false; self.num_qubits];
+            let mut path = vec![start];
+            visited[start] = true;
+            if self.dfs_line(len, &mut path, &mut visited) {
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    fn dfs_line(&self, len: usize, path: &mut Vec<usize>, visited: &mut Vec<bool>) -> bool {
+        if path.len() == len {
+            return true;
+        }
+        let last = *path.last().expect("path non-empty");
+        let mut next: Vec<usize> = self
+            .neighbors(last)
+            .into_iter()
+            .filter(|&v| !visited[v])
+            .collect();
+        // Prefer low-degree continuations to avoid stranding corners.
+        next.sort_by_key(|&v| self.neighbors(v).iter().filter(|&&w| !visited[w]).count());
+        for v in next {
+            visited[v] = true;
+            path.push(v);
+            if self.dfs_line(len, path, visited) {
+                return true;
+            }
+            path.pop();
+            visited[v] = false;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_adjacency() {
+        let m = CouplingMap::line(5);
+        assert!(m.are_adjacent(0, 1));
+        assert!(m.are_adjacent(4, 3));
+        assert!(!m.are_adjacent(0, 2));
+        assert_eq!(m.neighbors(2), vec![1, 3]);
+        assert_eq!(m.neighbors(0), vec![1]);
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let m = CouplingMap::ring(5);
+        assert!(m.are_adjacent(4, 0));
+        assert_eq!(m.edges().len(), 5);
+    }
+
+    #[test]
+    fn full_graph() {
+        let m = CouplingMap::full(4);
+        assert_eq!(m.edges().len(), 6);
+        assert!(m.are_adjacent(0, 3));
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let m = CouplingMap::line(6);
+        assert_eq!(m.shortest_path(1, 4), Some(vec![1, 2, 3, 4]));
+        assert_eq!(m.shortest_path(3, 3), Some(vec![3]));
+    }
+
+    #[test]
+    fn shortest_path_disconnected() {
+        let m = CouplingMap::new(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(m.shortest_path(0, 3), None);
+    }
+
+    #[test]
+    fn find_line_on_grid() {
+        // 2x3 grid: 0-1-2 / 3-4-5 with verticals.
+        let m = CouplingMap::new(
+            6,
+            vec![(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)],
+        );
+        let line = m.find_line(6).expect("grid has a Hamiltonian path");
+        assert_eq!(line.len(), 6);
+        for w in line.windows(2) {
+            assert!(m.are_adjacent(w[0], w[1]), "{w:?} not adjacent");
+        }
+        // All distinct.
+        let mut sorted = line.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn find_line_too_long_fails() {
+        assert_eq!(CouplingMap::line(3).find_line(4), None);
+    }
+
+    #[test]
+    fn normalization_dedups_edges() {
+        let m = CouplingMap::new(3, vec![(1, 0), (0, 1), (2, 1)]);
+        assert_eq!(m.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        CouplingMap::new(3, vec![(1, 1)]);
+    }
+}

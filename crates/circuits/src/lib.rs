@@ -1,0 +1,25 @@
+//! Circuit infrastructure for the Clapton reproduction: the Qiskit substitute.
+//!
+//! Provides
+//!
+//! * [`Gate`] / [`Circuit`] — a small parametric circuit IR whose gates lower
+//!   to [`clapton_stabilizer::CliffordGate`]s whenever every rotation angle is
+//!   a multiple of `π/2`,
+//! * [`HardwareEfficientAnsatz`] — the paper's circular hardware-efficient
+//!   VQE ansatz `A(θ)` with `d = 4N` parameters (§4),
+//! * [`TransformationAnsatz`] — Clapton's Clifford transformation ansatz
+//!   `C(γ)` with the four-valued two-qubit slots of Eq. 8,
+//! * [`CouplingMap`] / [`transpile`] — device topologies and a greedy
+//!   SWAP-insertion router (the transpilation step of §5.2.2),
+//! * [`Circuit::moments`] — ASAP scheduling used by the density-matrix
+//!   simulator to model thermal relaxation on idle qubits.
+
+mod ansatz;
+mod circuit;
+mod coupling;
+mod transpile;
+
+pub use ansatz::{HardwareEfficientAnsatz, TransformationAnsatz, CLIFFORD_ANGLES};
+pub use circuit::{Circuit, Gate};
+pub use coupling::CouplingMap;
+pub use transpile::{chain_layout, route_with_layout, transpile, TranspiledCircuit};

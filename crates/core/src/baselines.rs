@@ -1,0 +1,173 @@
+//! The baselines: CAFQA [38] and the paper's noise-aware CAFQA (§5.2).
+
+use crate::{EvaluatorKind, ExecutableAnsatz, LossFunction};
+use clapton_ga::{MultiGa, MultiGaConfig};
+use clapton_pauli::PauliSum;
+
+/// Result of a CAFQA or nCAFQA initialization search.
+#[derive(Debug, Clone)]
+pub struct CafqaResult {
+    /// The winning quarter-turn indices (one per ansatz parameter, `4N`).
+    pub theta_indices: Vec<u8>,
+    /// The corresponding rotation angles.
+    pub theta: Vec<f64>,
+    /// The search loss (noiseless energy for CAFQA; `LN + L0`-style for
+    /// nCAFQA).
+    pub loss: f64,
+    /// The noiseless energy of the found initialization.
+    pub energy_noiseless: f64,
+    /// Best loss per engine round.
+    pub round_bests: Vec<f64>,
+    /// Engine rounds until convergence.
+    pub rounds: usize,
+}
+
+/// Runs CAFQA: searches Clifford-compatible angles `θ` of the VQE ansatz
+/// minimizing the **noiseless** energy `⟨0|A†(θ) H A(θ)|0⟩` (§2.5).
+///
+/// The original CAFQA used Bayesian optimization; like the paper's own
+/// re-implementation (§5.2) we reuse the Figure-4 genetic engine so that
+/// baseline and Clapton differ only in search space and cost function.
+///
+/// # Example
+///
+/// ```
+/// use clapton_core::{run_cafqa, ExecutableAnsatz};
+/// use clapton_ga::MultiGaConfig;
+/// use clapton_noise::NoiseModel;
+/// use clapton_pauli::PauliSum;
+///
+/// let h = PauliSum::from_terms(2, vec![(1.0, "ZI".parse().unwrap())]);
+/// let exec = ExecutableAnsatz::untranspiled(2, &NoiseModel::noiseless(2));
+/// let result = run_cafqa(&h, &exec, &MultiGaConfig::quick(), 7);
+/// // The ground state |1⟩⊗|ψ⟩ is Clifford-reachable: energy -1.
+/// assert!((result.energy_noiseless + 1.0).abs() < 1e-12);
+/// ```
+pub fn run_cafqa(
+    h: &PauliSum,
+    exec: &ExecutableAnsatz,
+    engine_config: &MultiGaConfig,
+    seed: u64,
+) -> CafqaResult {
+    run_cafqa_impl(h, exec, engine_config, seed, None)
+}
+
+/// Runs noise-aware CAFQA (nCAFQA): the same `θ` search but with the
+/// noise-equipped ansatz `Ã(θ)`, minimizing `LN(θ) + L0(θ)` where `L0` is
+/// the noiseless energy of the same circuit (§5.2).
+///
+/// nCAFQA is *not prior art*: it already benefits from the paper's
+/// classically efficient noise modeling; comparing Clapton against it
+/// isolates the value of the Hamiltonian transformation itself.
+pub fn run_ncafqa(
+    h: &PauliSum,
+    exec: &ExecutableAnsatz,
+    engine_config: &MultiGaConfig,
+    evaluator: EvaluatorKind,
+    seed: u64,
+) -> CafqaResult {
+    run_cafqa_impl(h, exec, engine_config, seed, Some(evaluator))
+}
+
+fn run_cafqa_impl(
+    h: &PauliSum,
+    exec: &ExecutableAnsatz,
+    engine_config: &MultiGaConfig,
+    seed: u64,
+    noise_aware: Option<EvaluatorKind>,
+) -> CafqaResult {
+    let ansatz = exec.ansatz();
+    assert_eq!(h.num_qubits(), exec.num_logical(), "register mismatch");
+    let loss = LossFunction::new(exec, noise_aware.unwrap_or(EvaluatorKind::Exact));
+    let fitness = |indices: &[u8]| {
+        let theta = ansatz.angles_from_indices(indices);
+        let circuit = exec.circuit(&theta);
+        let noiseless = loss.noiseless_for_circuit(&circuit, h);
+        match noise_aware {
+            None => noiseless,
+            Some(_) => loss.loss_n_for_circuit(&circuit, h) + noiseless,
+        }
+    };
+    let engine = MultiGa::new(ansatz.num_parameters(), 4, *engine_config);
+    let result = engine.run(seed, &fitness);
+    let theta_indices = result.best.genes.clone();
+    let theta = ansatz.angles_from_indices(&theta_indices);
+    let circuit = exec.circuit(&theta);
+    let energy_noiseless = loss.noiseless_for_circuit(&circuit, h);
+    CafqaResult {
+        theta_indices,
+        theta,
+        loss: result.best.loss,
+        energy_noiseless,
+        round_bests: result.round_bests,
+        rounds: result.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapton_models::{ising, xxz};
+    use clapton_noise::NoiseModel;
+    use clapton_sim::ground_energy;
+
+    #[test]
+    fn cafqa_finds_good_stabilizer_approximation_for_small_j() {
+        // At J = 0.25 the Ising ground state is near the |1…1⟩ product
+        // state (E ≈ -N): CAFQA must reach at least 90% of the gap (§2.5
+        // reports 90-99% accuracy).
+        let n = 4;
+        let h = ising(n, 0.25);
+        let exec = ExecutableAnsatz::untranspiled(n, &NoiseModel::noiseless(n));
+        let result = run_cafqa(&h, &exec, &MultiGaConfig::quick(), 2);
+        let e0 = ground_energy(&h);
+        let mixed = h.identity_coefficient();
+        let accuracy = (mixed - result.energy_noiseless) / (mixed - e0);
+        assert!(
+            accuracy > 0.9,
+            "CAFQA accuracy {accuracy} (E = {}, E0 = {e0})",
+            result.energy_noiseless
+        );
+        assert!(result.energy_noiseless >= e0 - 1e-9, "variational bound");
+    }
+
+    #[test]
+    fn cafqa_loss_equals_noiseless_energy() {
+        let h = xxz(3, 0.5);
+        let exec = ExecutableAnsatz::untranspiled(3, &NoiseModel::noiseless(3));
+        let result = run_cafqa(&h, &exec, &MultiGaConfig::quick(), 4);
+        assert!((result.loss - result.energy_noiseless).abs() < 1e-12);
+        assert_eq!(result.theta.len(), 12);
+        assert_eq!(result.theta_indices.len(), 12);
+    }
+
+    #[test]
+    fn ncafqa_prefers_noise_resilient_solutions() {
+        // Under heavy noise, nCAFQA's loss (LN + L0) differs from CAFQA's
+        // purely noiseless loss and cannot be larger than 2× noiseless of
+        // its own solution... sanity: both find valid Clifford points and
+        // nCAFQA's noisy component is finite and below zero for a solvable
+        // model.
+        let n = 3;
+        let h = ising(n, 0.5);
+        let model = NoiseModel::uniform(n, 5e-3, 3e-2, 4e-2);
+        let exec = ExecutableAnsatz::untranspiled(n, &model);
+        let cafqa = run_cafqa(&h, &exec, &MultiGaConfig::quick(), 5);
+        let ncafqa = run_ncafqa(&h, &exec, &MultiGaConfig::quick(), EvaluatorKind::Exact, 5);
+        // Both reach negative noiseless energies.
+        assert!(cafqa.energy_noiseless < 0.0);
+        assert!(ncafqa.energy_noiseless < 0.0);
+        // nCAFQA's combined loss includes the damped noisy term, so it is
+        // strictly greater than 2× the ground energy.
+        assert!(ncafqa.loss > 2.0 * ground_energy(&h) - 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h = ising(3, 1.0);
+        let exec = ExecutableAnsatz::untranspiled(3, &NoiseModel::noiseless(3));
+        let a = run_cafqa(&h, &exec, &MultiGaConfig::quick(), 9);
+        let b = run_cafqa(&h, &exec, &MultiGaConfig::quick(), 9);
+        assert_eq!(a.theta_indices, b.theta_indices);
+    }
+}

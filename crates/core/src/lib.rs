@@ -1,0 +1,33 @@
+//! The Clapton engine — the paper's primary contribution.
+//!
+//! Pipeline (§3–§4):
+//!
+//! 1. [`ExecutableAnsatz`] transpiles the circular VQE ansatz `A(θ)` onto a
+//!    device (layout + SWAP routing, §5.2.2) and restricts the device noise
+//!    model to the qubits actually used, so the loss consumes the *physical*
+//!    circuit `A'`.
+//! 2. [`transform_hamiltonian`] applies `Ĥ = C†(γ) H C(γ)` by anticonjugating
+//!    every Pauli term through the transformation ansatz (Eq. 6).
+//! 3. [`LossFunction`] evaluates `L(γ) = LN(γ) + L0(γ)` (Eq. 9–10) with the
+//!    exact Clifford-noise evaluator or the stim-style sampler.
+//! 4. [`run_clapton`] searches γ with the multi-GA engine of Figure 4 and
+//!    returns the transformation [`Transformation`] plus diagnostics.
+//!
+//! Baselines: [`run_cafqa`] (noiseless Clifford search over `θ`, prior art
+//! [38]) and [`run_ncafqa`] (the paper's noise-aware CAFQA, §5.2).
+//! Metrics: [`relative_improvement`] (η, Eq. 14), [`geometric_mean`],
+//! [`normalized_energy`].
+
+mod baselines;
+mod clapton;
+mod exec;
+mod loss;
+mod metrics;
+mod transform;
+
+pub use baselines::{run_cafqa, run_ncafqa, CafqaResult};
+pub use clapton::{run_clapton, ClaptonConfig, ClaptonResult};
+pub use exec::ExecutableAnsatz;
+pub use loss::{EvaluatorKind, LossFunction};
+pub use metrics::{geometric_mean, normalized_energy, relative_improvement};
+pub use transform::{transform_hamiltonian, Transformation};

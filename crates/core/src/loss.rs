@@ -1,0 +1,218 @@
+//! The Clapton loss `L(γ) = LN(γ) + L0(γ)` (§4.1).
+
+use crate::ExecutableAnsatz;
+use clapton_circuits::Circuit;
+use clapton_noise::{ExactEvaluator, FrameSampler, NoisyCircuit};
+use clapton_pauli::PauliSum;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the noisy loss term `LN` is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvaluatorKind {
+    /// Closed-form Clifford-noise expectation (deterministic, zero sampling
+    /// error; our improvement over the paper's stim sampling — DESIGN.md
+    /// substitution 4).
+    Exact,
+    /// stim-style Pauli-frame Monte Carlo with a fixed shot budget — the
+    /// paper's original estimator. The RNG is re-seeded per evaluation from
+    /// `seed` and the candidate's content hash, so the loss stays
+    /// deterministic (and thread-safe) inside the GA.
+    Sampled {
+        /// Shots per Pauli term.
+        shots: usize,
+        /// Base RNG seed.
+        seed: u64,
+    },
+}
+
+/// Evaluates Clapton/nCAFQA losses against an executable ansatz.
+///
+/// `LN` runs the noisy circuit built from a given `A'(θ)` (Eq. 9); `L0` is
+/// the noiseless energy of the all-zeros state (Eq. 10).
+///
+/// # Example
+///
+/// ```
+/// use clapton_core::{EvaluatorKind, ExecutableAnsatz, LossFunction};
+/// use clapton_noise::NoiseModel;
+/// use clapton_pauli::PauliSum;
+///
+/// let model = NoiseModel::uniform(2, 1e-3, 1e-2, 2e-2);
+/// let exec = ExecutableAnsatz::untranspiled(2, &model);
+/// let loss = LossFunction::new(&exec, EvaluatorKind::Exact);
+/// let h = PauliSum::from_terms(2, vec![(1.0, "ZZ".parse().unwrap())]);
+/// let total = loss.total(&h);
+/// // L0 = 1 exactly, LN slightly damped by gate and readout noise.
+/// assert!(total < 2.0 && total > 1.8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossFunction<'a> {
+    exec: &'a ExecutableAnsatz,
+    zero_circuit: Circuit,
+    kind: EvaluatorKind,
+}
+
+impl<'a> LossFunction<'a> {
+    /// Creates the loss for the ansatz's `θ = 0` circuit.
+    pub fn new(exec: &'a ExecutableAnsatz, kind: EvaluatorKind) -> LossFunction<'a> {
+        LossFunction {
+            exec,
+            zero_circuit: exec.circuit_at_zero(),
+            kind,
+        }
+    }
+
+    /// The executable ansatz this loss evaluates against.
+    pub fn exec(&self) -> &ExecutableAnsatz {
+        self.exec
+    }
+
+    /// `LN(γ)`: noisy energy of a (transformed) logical Hamiltonian at the
+    /// initial point `θ = 0` on the transpiled circuit (Eq. 9).
+    pub fn loss_n(&self, h_logical: &PauliSum) -> f64 {
+        self.loss_n_for_circuit(&self.zero_circuit, h_logical)
+    }
+
+    /// `LN` for an arbitrary executable circuit `A'(θ)` (used by nCAFQA,
+    /// which searches over θ rather than transforming H).
+    pub fn loss_n_for_circuit(&self, circuit: &Circuit, h_logical: &PauliSum) -> f64 {
+        let mapped = self.exec.map_hamiltonian(h_logical);
+        let noisy = NoisyCircuit::from_circuit(circuit, self.exec.noise_model())
+            .expect("executable ansatz at Clifford angles must be Clifford");
+        match self.kind {
+            EvaluatorKind::Exact => ExactEvaluator::new(&noisy).energy(&mapped),
+            EvaluatorKind::Sampled { shots, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ content_hash(circuit, &mapped));
+                FrameSampler::new(&noisy).energy(&mapped, shots, &mut rng)
+            }
+        }
+    }
+
+    /// `L0(γ) = ⟨0|H(γ)|0⟩` (Eq. 10): the noiseless anchor that prevents
+    /// deceptively error-resilient but bad solutions.
+    pub fn loss_0(&self, h_logical: &PauliSum) -> f64 {
+        h_logical.expectation_all_zeros()
+    }
+
+    /// Noiseless energy of an arbitrary Clifford circuit `A'(θ)` w.r.t. the
+    /// (mapped) Hamiltonian — CAFQA's objective and nCAFQA's `L0` analogue.
+    pub fn noiseless_for_circuit(&self, circuit: &Circuit, h_logical: &PauliSum) -> f64 {
+        let mapped = self.exec.map_hamiltonian(h_logical);
+        let noisy = NoisyCircuit::from_circuit(circuit, self.exec.noise_model())
+            .expect("circuit must be Clifford");
+        ExactEvaluator::new(&noisy).noiseless_energy(&mapped)
+    }
+
+    /// The full Clapton loss `L = LN + L0` (§4.1).
+    pub fn total(&self, h_logical: &PauliSum) -> f64 {
+        self.loss_n(h_logical) + self.loss_0(h_logical)
+    }
+}
+
+/// A cheap deterministic content hash of circuit + Hamiltonian coefficients
+/// for per-candidate sampler seeding.
+fn content_hash(circuit: &Circuit, h: &PauliSum) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        acc ^= v;
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(circuit.len() as u64);
+    for g in circuit.gates() {
+        for q in g.qubits() {
+            mix(q as u64 + 1);
+        }
+    }
+    for (c, p) in h.iter() {
+        mix(c.to_bits());
+        mix(p.x_words().first().copied().unwrap_or(0));
+        mix(p.z_words().first().copied().unwrap_or(0));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapton_noise::NoiseModel;
+    use clapton_pauli::PauliString;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn l0_is_all_zeros_energy() {
+        let model = NoiseModel::noiseless(3);
+        let exec = ExecutableAnsatz::untranspiled(3, &model);
+        let loss = LossFunction::new(&exec, EvaluatorKind::Exact);
+        let h = PauliSum::from_terms(3, vec![(2.0, ps("ZZI")), (5.0, ps("XII"))]);
+        assert_eq!(loss.loss_0(&h), 2.0);
+    }
+
+    #[test]
+    fn noiseless_model_makes_ln_equal_l0() {
+        // With no noise, LN at θ=0 equals ⟨0|H|0⟩ because A(0)|0⟩ = |0⟩.
+        let model = NoiseModel::noiseless(4);
+        let exec = ExecutableAnsatz::untranspiled(4, &model);
+        let loss = LossFunction::new(&exec, EvaluatorKind::Exact);
+        let h = PauliSum::from_terms(4, vec![(1.5, ps("ZIIZ")), (0.7, ps("XXII"))]);
+        assert!((loss.loss_n(&h) - loss.loss_0(&h)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_damps_ln_towards_zero() {
+        let model = NoiseModel::uniform(3, 5e-3, 3e-2, 3e-2);
+        let exec = ExecutableAnsatz::untranspiled(3, &model);
+        let loss = LossFunction::new(&exec, EvaluatorKind::Exact);
+        let h = PauliSum::from_terms(3, vec![(1.0, ps("ZZZ"))]);
+        let ln = loss.loss_n(&h);
+        assert!(ln < 1.0 && ln > 0.5, "LN = {ln}");
+        assert_eq!(loss.loss_0(&h), 1.0);
+        assert!((loss.total(&h) - (ln + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_loss_is_deterministic_and_near_exact() {
+        let model = NoiseModel::uniform(3, 5e-3, 2e-2, 2e-2);
+        let exec = ExecutableAnsatz::untranspiled(3, &model);
+        let exact = LossFunction::new(&exec, EvaluatorKind::Exact);
+        let sampled = LossFunction::new(
+            &exec,
+            EvaluatorKind::Sampled {
+                shots: 20_000,
+                seed: 5,
+            },
+        );
+        let h = PauliSum::from_terms(3, vec![(1.0, ps("ZZI")), (-0.5, ps("IZZ"))]);
+        let a = sampled.loss_n(&h);
+        let b = sampled.loss_n(&h);
+        assert_eq!(a, b, "sampled loss must be deterministic");
+        assert!((a - exact.loss_n(&h)).abs() < 0.03);
+    }
+
+    #[test]
+    fn ln_accounts_for_routing_noise() {
+        use clapton_circuits::CouplingMap;
+        // The same 5-qubit problem on a line (needs routing SWAPs for the
+        // ring closure) must show a strictly noisier LN than on a ring
+        // (SWAP-free), for identical per-gate error rates.
+        let h = PauliSum::from_terms(
+            5,
+            vec![(1.0, ps("ZZZZZ"))],
+        );
+        let line_model = NoiseModel::uniform(5, 1e-3, 1e-2, 0.0);
+        let exec_line =
+            ExecutableAnsatz::on_device(5, &CouplingMap::line(5), &line_model).unwrap();
+        let exec_ring =
+            ExecutableAnsatz::on_device(5, &CouplingMap::ring(5), &line_model).unwrap();
+        let loss_line = LossFunction::new(&exec_line, EvaluatorKind::Exact);
+        let loss_ring = LossFunction::new(&exec_ring, EvaluatorKind::Exact);
+        let (ln_line, ln_ring) = (loss_line.loss_n(&h), loss_ring.loss_n(&h));
+        assert!(
+            ln_line < ln_ring,
+            "routing SWAPs must cost fidelity: line {ln_line} vs ring {ln_ring}"
+        );
+    }
+}

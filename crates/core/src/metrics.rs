@@ -1,0 +1,93 @@
+//! Evaluation metrics of the paper (§5.2.1).
+
+/// The relative improvement `η` of Clapton over a baseline (Eq. 14):
+///
+/// `η = (E0 - E_noisy(baseline)) / (E0 - E_noisy(clapton))`.
+///
+/// `η = 2` means Clapton halved the gap to the true ground energy; values
+/// below 1 mean the baseline was better.
+///
+/// # Panics
+///
+/// Panics if Clapton's gap is zero (degenerate division).
+///
+/// # Example
+///
+/// ```
+/// use clapton_core::relative_improvement;
+///
+/// // Ground energy -10; baseline reached -6, Clapton reached -8.
+/// let eta = relative_improvement(-10.0, -6.0, -8.0);
+/// assert!((eta - 2.0).abs() < 1e-12);
+/// ```
+pub fn relative_improvement(e0: f64, e_baseline: f64, e_clapton: f64) -> f64 {
+    let gap_clapton = e0 - e_clapton;
+    assert!(
+        gap_clapton.abs() > f64::EPSILON,
+        "Clapton gap is zero; η undefined"
+    );
+    (e0 - e_baseline) / gap_clapton
+}
+
+/// The geometric mean of a set of positive ratios (the `η̄` insets of
+/// Figure 5). Non-positive entries are clamped to a small floor so a single
+/// pathological benchmark cannot poison the mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-6).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Normalizes an energy onto the paper's Figure-5 scale: `0` at the ground
+/// state energy `E0` and `1` at the fully mixed state energy
+/// `E_ρ = tr(H)/2^N`.
+///
+/// # Panics
+///
+/// Panics if `e0 == e_mixed`.
+pub fn normalized_energy(e: f64, e0: f64, e_mixed: f64) -> f64 {
+    assert!(
+        (e_mixed - e0).abs() > f64::EPSILON,
+        "degenerate normalization span"
+    );
+    (e - e0) / (e_mixed - e0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_interprets_gap_reduction() {
+        assert!((relative_improvement(-10.0, -5.0, -7.5) - 2.0).abs() < 1e-12);
+        // Baseline better than Clapton → η < 1.
+        assert!(relative_improvement(-10.0, -9.0, -8.0) < 1.0);
+        // Equal → 1.
+        assert!((relative_improvement(-10.0, -7.0, -7.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        // Floors non-positive values instead of producing NaN.
+        assert!(geometric_mean(&[1.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn normalized_energy_anchors() {
+        assert_eq!(normalized_energy(-10.0, -10.0, 0.0), 0.0);
+        assert_eq!(normalized_energy(0.0, -10.0, 0.0), 1.0);
+        assert_eq!(normalized_energy(-5.0, -10.0, 0.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric mean of nothing")]
+    fn empty_mean_panics() {
+        geometric_mean(&[]);
+    }
+}

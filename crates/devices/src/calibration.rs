@@ -1,0 +1,115 @@
+//! Calibration snapshots: the per-qubit data Clapton extracts from devices.
+
+use clapton_noise::NoiseModel;
+use serde::{Deserialize, Serialize};
+
+/// A device calibration snapshot (what `backend.properties()` exposes on the
+/// IBM stack): per-qubit T1 and readout error, per-qubit single-qubit gate
+/// error and per-edge two-qubit gate error.
+///
+/// Serializable so snapshots can be persisted and replayed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// T1 relaxation times in seconds, one per qubit.
+    pub t1: Vec<f64>,
+    /// Single-qubit depolarizing error rates, one per qubit.
+    pub p1: Vec<f64>,
+    /// Two-qubit depolarizing error rates per coupling-map edge.
+    pub p2: Vec<((usize, usize), f64)>,
+    /// Readout misassignment probabilities, one per qubit.
+    pub readout: Vec<f64>,
+}
+
+impl Calibration {
+    /// The number of qubits covered.
+    pub fn num_qubits(&self) -> usize {
+        self.t1.len()
+    }
+
+    /// Converts the snapshot into a [`NoiseModel`] (the representation the
+    /// Clifford and density-matrix evaluators consume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-qubit vectors disagree in length.
+    pub fn to_noise_model(&self) -> NoiseModel {
+        let n = self.num_qubits();
+        assert_eq!(self.p1.len(), n, "p1 length");
+        assert_eq!(self.readout.len(), n, "readout length");
+        let mut model = NoiseModel::noiseless(n);
+        let mean_p2 = if self.p2.is_empty() {
+            0.0
+        } else {
+            self.p2.iter().map(|(_, p)| p).sum::<f64>() / self.p2.len() as f64
+        };
+        model.set_p2_default(mean_p2);
+        for q in 0..n {
+            model.set_p1(q, self.p1[q]);
+            model.set_readout(q, self.readout[q]);
+            model.set_t1(q, self.t1[q]);
+        }
+        for &((a, b), p) in &self.p2 {
+            model.set_p2(a, b, p);
+        }
+        model
+    }
+
+    /// Mean two-qubit error across calibrated edges.
+    pub fn mean_p2(&self) -> f64 {
+        if self.p2.is_empty() {
+            return 0.0;
+        }
+        self.p2.iter().map(|(_, p)| p).sum::<f64>() / self.p2.len() as f64
+    }
+
+    /// Mean readout error across qubits.
+    pub fn mean_readout(&self) -> f64 {
+        self.readout.iter().sum::<f64>() / self.readout.len() as f64
+    }
+
+    /// Mean T1 across qubits (seconds).
+    pub fn mean_t1(&self) -> f64 {
+        self.t1.iter().sum::<f64>() / self.t1.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Calibration {
+        Calibration {
+            t1: vec![80e-6, 120e-6],
+            p1: vec![3e-4, 5e-4],
+            p2: vec![((0, 1), 1.2e-2)],
+            readout: vec![2e-2, 4e-2],
+        }
+    }
+
+    #[test]
+    fn converts_to_noise_model() {
+        let model = sample().to_noise_model();
+        assert_eq!(model.num_qubits(), 2);
+        assert_eq!(model.p1(1), 5e-4);
+        assert_eq!(model.p2(0, 1), 1.2e-2);
+        assert_eq!(model.readout(0), 2e-2);
+        assert_eq!(model.t1(1), 120e-6);
+        assert!(model.has_relaxation());
+    }
+
+    #[test]
+    fn means() {
+        let c = sample();
+        assert!((c.mean_p2() - 1.2e-2).abs() < 1e-15);
+        assert!((c.mean_readout() - 3e-2).abs() < 1e-15);
+        assert!((c.mean_t1() - 100e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = sample();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Calibration = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

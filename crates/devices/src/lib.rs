@@ -1,0 +1,19 @@
+//! Fake quantum backends — the IBM-device substitute of the Clapton stack.
+//!
+//! The paper evaluates on noise-model snapshots of IBM machines (`nairobi`,
+//! `toronto`, `mumbai`) and on the cloud device `hanoi` (§5.2.2). Here each
+//! backend is a real heavy-hex coupling topology plus a **seeded synthetic
+//! calibration snapshot** drawn from distributions representative of
+//! published IBM Falcon data (2q error ≈ 1e-2, readout ≈ 1–5e-2,
+//! T1 ≈ 60–180 µs) — see DESIGN.md, substitution 2.
+//!
+//! Real-hardware runs are modeled by [`FakeBackend::hardware_variant`]: the
+//! same device with every rate perturbed by a seeded lognormal factor,
+//! reproducing the calibration/device discrepancy the paper observes on
+//! `hanoi` (§6.1.1), per substitution 3.
+
+mod backend;
+mod calibration;
+
+pub use backend::FakeBackend;
+pub use calibration::Calibration;

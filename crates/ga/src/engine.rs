@@ -1,0 +1,273 @@
+//! The multi-instance mix-and-restart engine of Figure 4.
+
+use crate::{GaConfig, GaInstance, Individual};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of the full Clapton optimization engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiGaConfig {
+    /// Number of parallel GA instances (`s`).
+    pub instances: usize,
+    /// Top solutions taken from each instance when mixing (`k`).
+    pub top_k: usize,
+    /// Rounds without improvement tolerated before terminating
+    /// ("two retry rounds", §4.1).
+    pub max_retry_rounds: usize,
+    /// Hard cap on rounds (safety bound; the paper loops to convergence).
+    pub max_rounds: usize,
+    /// Fraction of each new population drawn from the mixed pool (the rest
+    /// are fresh random guesses).
+    pub pool_fraction: f64,
+    /// Run instances on parallel threads.
+    pub parallel: bool,
+    /// Per-instance GA settings.
+    pub ga: GaConfig,
+}
+
+impl MultiGaConfig {
+    /// The paper's hyper-parameters: `s = 10`, `m = 100`, `k = 20`,
+    /// `|S| = 100` (§4.1).
+    pub fn paper() -> MultiGaConfig {
+        MultiGaConfig {
+            instances: 10,
+            top_k: 20,
+            max_retry_rounds: 2,
+            max_rounds: 64,
+            pool_fraction: 0.5,
+            parallel: true,
+            ga: GaConfig::default(),
+        }
+    }
+
+    /// A reduced setting for tests and quick experiments.
+    pub fn quick() -> MultiGaConfig {
+        MultiGaConfig {
+            instances: 3,
+            top_k: 6,
+            max_retry_rounds: 1,
+            max_rounds: 8,
+            pool_fraction: 0.5,
+            parallel: false,
+            ga: GaConfig {
+                population_size: 30,
+                generations: 20,
+                ..GaConfig::default()
+            },
+        }
+    }
+}
+
+impl Default for MultiGaConfig {
+    fn default() -> MultiGaConfig {
+        MultiGaConfig::paper()
+    }
+}
+
+/// The outcome of a multi-GA optimization.
+#[derive(Debug, Clone)]
+pub struct MultiGaResult {
+    /// The best individual found.
+    pub best: Individual,
+    /// Global best loss after each round (non-increasing).
+    pub round_bests: Vec<f64>,
+    /// Total number of rounds executed.
+    pub rounds: usize,
+}
+
+/// The multi-instance engine (Figure 4): spawn, evolve, mix, repeat until the
+/// global loss stops decreasing.
+///
+/// # Example
+///
+/// ```
+/// use clapton_ga::{MultiGa, MultiGaConfig};
+///
+/// let fitness = |g: &[u8]| g.iter().map(|&x| x as f64).sum::<f64>();
+/// let result = MultiGa::new(10, 4, MultiGaConfig::quick()).run(42, &fitness);
+/// assert_eq!(result.best.loss, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiGa {
+    num_genes: usize,
+    cardinality: u8,
+    config: MultiGaConfig,
+}
+
+impl MultiGa {
+    /// Creates an engine for genomes of `num_genes` genes in
+    /// `0..cardinality`.
+    pub fn new(num_genes: usize, cardinality: u8, config: MultiGaConfig) -> MultiGa {
+        MultiGa {
+            num_genes,
+            cardinality,
+            config,
+        }
+    }
+
+    /// Runs the engine to convergence. `fitness` is minimized; it must be
+    /// `Sync` because instances may run on parallel threads.
+    pub fn run<F>(&self, seed: u64, fitness: &F) -> MultiGaResult
+    where
+        F: Fn(&[u8]) -> f64 + Sync + ?Sized,
+    {
+        let cfg = &self.config;
+        let mut mix_rng = StdRng::seed_from_u64(seed ^ 0x5EED_A11C);
+        let mut seeds_per_instance: Vec<Option<Vec<Vec<u8>>>> = vec![None; cfg.instances];
+        let mut global_best: Option<Individual> = None;
+        let mut round_bests = Vec::new();
+        let mut retries = 0;
+        let mut rounds = 0;
+        for round in 0..cfg.max_rounds {
+            rounds += 1;
+            let finals = self.run_round(seed, round, &mut seeds_per_instance, fitness);
+            // Pool the top-k of every instance.
+            let mut pool: Vec<Individual> = Vec::new();
+            for pop in &finals {
+                pool.extend(pop.top(cfg.top_k).iter().cloned());
+            }
+            pool.sort_by(|a, b| a.loss.total_cmp(&b.loss));
+            let round_best = pool.first().expect("pool non-empty").clone();
+            let improved = match &global_best {
+                Some(b) => round_best.loss < b.loss - 1e-12,
+                None => true,
+            };
+            if improved {
+                global_best = Some(round_best.clone());
+                retries = 0;
+            } else {
+                retries += 1;
+            }
+            round_bests.push(global_best.as_ref().expect("set above").loss);
+            if retries > cfg.max_retry_rounds {
+                break;
+            }
+            // Mix: every instance restarts from a random sample of the pool
+            // plus fresh random guesses (Figure 4's shuffle step).
+            let pool_share =
+                ((cfg.ga.population_size as f64) * cfg.pool_fraction).round() as usize;
+            for inst_seeds in seeds_per_instance.iter_mut() {
+                let mut picks: Vec<Vec<u8>> = (0..pool_share.min(pool.len()))
+                    .map(|_| pool[mix_rng.gen_range(0..pool.len())].genes.clone())
+                    .collect();
+                // Always propagate the global best so rounds never regress.
+                if let Some(b) = &global_best {
+                    picks.push(b.genes.clone());
+                }
+                *inst_seeds = Some(picks);
+            }
+        }
+        MultiGaResult {
+            best: global_best.expect("at least one round ran"),
+            round_bests,
+            rounds,
+        }
+    }
+
+    /// Runs all instances of one round (in parallel when configured).
+    fn run_round<F>(
+        &self,
+        seed: u64,
+        round: usize,
+        seeds_per_instance: &mut [Option<Vec<Vec<u8>>>],
+        fitness: &F,
+    ) -> Vec<crate::Population>
+    where
+        F: Fn(&[u8]) -> f64 + Sync + ?Sized,
+    {
+        let cfg = &self.config;
+        let run_one = |i: usize, seeds: Option<Vec<Vec<u8>>>| {
+            let inst_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((round as u64) << 32)
+                .wrapping_add(i as u64);
+            let mut ga = GaInstance::new(self.num_genes, self.cardinality, cfg.ga, inst_seed);
+            ga.run(fitness, seeds)
+        };
+        if cfg.parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = seeds_per_instance
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let seeds = s.take();
+                        scope.spawn(move || run_one(i, seeds))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("GA thread")).collect()
+            })
+        } else {
+            seeds_per_instance
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| run_one(i, s.take()))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_fitness(g: &[u8]) -> f64 {
+        g.iter().map(|&x| x as f64).sum()
+    }
+
+    #[test]
+    fn converges_on_simple_problem() {
+        let result = MultiGa::new(15, 4, MultiGaConfig::quick()).run(7, &sum_fitness);
+        assert_eq!(result.best.loss, 0.0);
+        assert!(result.rounds >= 2, "needs at least the retry rounds");
+    }
+
+    #[test]
+    fn round_bests_are_monotone() {
+        let result = MultiGa::new(30, 4, MultiGaConfig::quick()).run(11, &sum_fitness);
+        for w in result.round_bests.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let engine = MultiGa::new(12, 4, MultiGaConfig::quick());
+        let a = engine.run(99, &sum_fitness);
+        let b = engine.run(99, &sum_fitness);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.round_bests, b.round_bests);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut cfg = MultiGaConfig::quick();
+        let serial = MultiGa::new(12, 4, cfg).run(5, &sum_fitness);
+        cfg.parallel = true;
+        let parallel = MultiGa::new(12, 4, cfg).run(5, &sum_fitness);
+        assert_eq!(serial.best, parallel.best);
+    }
+
+    #[test]
+    fn respects_max_rounds() {
+        let mut cfg = MultiGaConfig::quick();
+        cfg.max_rounds = 1;
+        let result = MultiGa::new(10, 4, cfg).run(3, &sum_fitness);
+        assert_eq!(result.rounds, 1);
+    }
+
+    #[test]
+    fn harder_multimodal_problem() {
+        // Deceptive fitness: genome must spell an alternating pattern.
+        let fitness = |g: &[u8]| {
+            g.iter()
+                .enumerate()
+                .map(|(i, &x)| if x == ((i % 2) as u8 + 1) { 0.0 } else { 1.0 })
+                .sum::<f64>()
+        };
+        let mut cfg = MultiGaConfig::quick();
+        cfg.ga.generations = 40;
+        cfg.max_rounds = 12;
+        let result = MultiGa::new(20, 4, cfg).run(13, &fitness);
+        assert_eq!(result.best.loss, 0.0, "engine should solve 20-gene pattern");
+    }
+}

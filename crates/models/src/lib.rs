@@ -1,0 +1,19 @@
+//! Benchmark Hamiltonians of the Clapton evaluation (§5.1).
+//!
+//! * [`ising`] — the 1D transverse-field Ising chain
+//!   `H = J Σ X_i X_{i+1} + Σ Z_i` (Eq. 12),
+//! * [`xxz`] — the field-free XXZ Heisenberg chain
+//!   `H = Σ (J X_i X_{i+1} + J Y_i Y_{i+1} + Z_i Z_{i+1})` (Eq. 13),
+//! * [`molecular`] — seeded synthetic surrogates for the paper's PySCF
+//!   Hamiltonians (H2O, H6, LiH at two bond lengths each) with the exact
+//!   term counts of §5.1.2; see DESIGN.md for the substitution rationale,
+//! * [`benchmark_suite`] / [`Benchmark`] — the full 12-instance suite of
+//!   Figure 5.
+
+mod molecular;
+mod spin;
+mod suite;
+
+pub use molecular::{molecular, Molecule};
+pub use spin::{ising, xxz};
+pub use suite::{benchmark_suite, chemistry_suite, physics_suite, Benchmark};

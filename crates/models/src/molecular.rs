@@ -1,0 +1,248 @@
+//! Synthetic molecular Hamiltonian surrogates.
+//!
+//! The paper builds H2O/H6/LiH Hamiltonians with Qiskit Nature + PySCF
+//! (STO-3G, parity mapping, two-qubit reduction, 10 qubits, §5.1.2). Without
+//! an electronic-structure stack we generate seeded surrogates that preserve
+//! the properties Clapton interacts with (see DESIGN.md):
+//!
+//! * exact term counts (H2O: 367, H6: 919, LiH: 631) on 10 qubits,
+//! * a large identity offset (core + nuclear-repulsion energy),
+//! * dominant low-weight `Z`/`ZZ` terms (diagonal Coulomb/exchange part),
+//! * exponentially decaying coefficients with Pauli weight,
+//! * a bond-length knob: stretched geometries move weight into off-diagonal
+//!   (`X`/`Y`) excitation terms — exactly the regime where stabilizer states
+//!   approximate the true ground state less well (§5.1.2 cites [38] for the
+//!   accuracy drop at long bonds).
+
+use clapton_pauli::{Pauli, PauliString, PauliSum};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// The molecules of the paper's chemistry benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Molecule {
+    /// Water, 367 Hamiltonian terms.
+    H2O,
+    /// A hydrogen chain H6, 919 terms.
+    H6,
+    /// Lithium hydride, 631 terms.
+    LiH,
+}
+
+impl Molecule {
+    /// The paper's term count for this molecule (§5.1.2).
+    pub fn term_count(self) -> usize {
+        match self {
+            Molecule::H2O => 367,
+            Molecule::H6 => 919,
+            Molecule::LiH => 631,
+        }
+    }
+
+    /// The two bond lengths (Å) evaluated in the paper.
+    pub fn bond_lengths(self) -> [f64; 2] {
+        match self {
+            Molecule::H2O => [1.0, 3.0],
+            Molecule::H6 => [1.0, 3.0],
+            Molecule::LiH => [1.5, 4.5],
+        }
+    }
+
+    /// A representative identity offset (core energy scale, hartree-like).
+    fn identity_offset(self) -> f64 {
+        match self {
+            Molecule::H2O => -72.0,
+            Molecule::H6 => -2.4,
+            Molecule::LiH => -6.8,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Molecule::H2O => "H2O",
+            Molecule::H6 => "H6",
+            Molecule::LiH => "LiH",
+        }
+    }
+
+    fn seed(self, bond_length: f64) -> u64 {
+        let id = match self {
+            Molecule::H2O => 1u64,
+            Molecule::H6 => 2,
+            Molecule::LiH => 3,
+        };
+        id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ bond_length.to_bits()
+    }
+}
+
+/// Number of qubits of every chemistry benchmark (§5.1.2 restricts the
+/// active space so all molecules map to ten qubits).
+pub const MOLECULAR_QUBITS: usize = 10;
+
+/// Builds the synthetic molecular surrogate Hamiltonian for a molecule at a
+/// bond length. Deterministic in `(molecule, bond_length)`.
+///
+/// # Panics
+///
+/// Panics if `bond_length` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use clapton_models::{molecular, Molecule};
+///
+/// let h = molecular(Molecule::H2O, 1.0);
+/// assert_eq!(h.num_qubits(), 10);
+/// assert_eq!(h.num_terms(), 367);
+/// ```
+pub fn molecular(molecule: Molecule, bond_length: f64) -> PauliSum {
+    assert!(bond_length > 0.0, "bond length must be positive");
+    let n = MOLECULAR_QUBITS;
+    let target = molecule.term_count();
+    let mut rng = StdRng::seed_from_u64(molecule.seed(bond_length));
+    // Stretch parameter in [0, 1]: how far into the correlated regime.
+    let stretch = ((bond_length - 0.8) / 3.5).clamp(0.05, 0.95);
+    let diag_scale = 1.0 - 0.45 * stretch;
+    let offdiag_scale = 0.15 + 0.85 * stretch;
+
+    let mut h = PauliSum::new(n);
+    let mut used: BTreeSet<PauliString> = BTreeSet::new();
+    // 1. Identity offset.
+    let id = PauliString::identity(n);
+    h.push(molecule.identity_offset(), id.clone());
+    used.insert(id);
+    // 2. Single-Z terms (orbital energies).
+    for q in 0..n {
+        let p = PauliString::single(n, q, Pauli::Z);
+        let c = diag_scale * rng.gen_range(0.2..1.2) * if rng.gen_bool(0.7) { 1.0 } else { -1.0 };
+        h.push(c, p.clone());
+        used.insert(p);
+    }
+    // 3. ZZ terms on all pairs (Coulomb/exchange).
+    for a in 0..n {
+        for b in a + 1..n {
+            let p = PauliString::from_sparse(n, [(a, Pauli::Z), (b, Pauli::Z)]);
+            let c = diag_scale * rng.gen_range(0.02..0.35);
+            h.push(c, p.clone());
+            used.insert(p);
+        }
+    }
+    // 4. Off-diagonal excitation terms with weight-decaying coefficients.
+    while used.len() < target {
+        let weight = [2usize, 2, 3, 4, 4, 5, 6][rng.gen_range(0..7)];
+        let mut qubits: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates to pick `weight` distinct qubits.
+        for i in 0..weight {
+            let j = rng.gen_range(i..n);
+            qubits.swap(i, j);
+        }
+        let mut p = PauliString::identity(n);
+        let mut has_offdiag = false;
+        for &q in &qubits[..weight] {
+            let pauli = match rng.gen_range(0..3) {
+                0 => Pauli::X,
+                1 => Pauli::Y,
+                _ => Pauli::Z,
+            };
+            if pauli != Pauli::Z {
+                has_offdiag = true;
+            }
+            p.set(q, pauli);
+        }
+        if !has_offdiag || used.contains(&p) {
+            continue;
+        }
+        let magnitude = offdiag_scale * 0.6 * (-0.55 * weight as f64).exp();
+        let c = magnitude * rng.gen_range(0.2..1.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        h.push(c, p.clone());
+        used.insert(p);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_counts_match_paper() {
+        for (mol, count) in [
+            (Molecule::H2O, 367),
+            (Molecule::H6, 919),
+            (Molecule::LiH, 631),
+        ] {
+            for l in mol.bond_lengths() {
+                let h = molecular(mol, l);
+                assert_eq!(h.num_terms(), count, "{} at {l}", mol.name());
+                assert_eq!(h.num_qubits(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = molecular(Molecule::LiH, 1.5);
+        let b = molecular(Molecule::LiH, 1.5);
+        assert_eq!(a, b);
+        let c = molecular(Molecule::LiH, 4.5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn has_identity_offset_and_no_duplicates() {
+        let h = molecular(Molecule::H2O, 1.0);
+        assert!(h.identity_coefficient() < -10.0);
+        let mut simplified = h.clone();
+        simplified.simplify();
+        assert_eq!(simplified.num_terms(), h.num_terms(), "terms are distinct");
+    }
+
+    #[test]
+    fn stretching_increases_offdiagonal_weight() {
+        // The fraction of 1-norm carried by non-Z-type terms must grow with
+        // bond length — the structural driver of CAFQA's accuracy drop.
+        for mol in [Molecule::H2O, Molecule::H6, Molecule::LiH] {
+            let [short, long] = mol.bond_lengths();
+            let frac = |h: &PauliSum| {
+                let off: f64 = h
+                    .iter()
+                    .filter(|(_, p)| !p.is_z_type())
+                    .map(|(c, _)| c.abs())
+                    .sum();
+                let total: f64 = h
+                    .iter()
+                    .filter(|(_, p)| !p.is_identity())
+                    .map(|(c, _)| c.abs())
+                    .sum();
+                off / total
+            };
+            let f_short = frac(&molecular(mol, short));
+            let f_long = frac(&molecular(mol, long));
+            assert!(
+                f_long > f_short,
+                "{}: off-diag fraction {f_short} -> {f_long}",
+                mol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_offdiagonal_term_is_mixed() {
+        let h = molecular(Molecule::H6, 3.0);
+        // Weight > 2 terms beyond the structured ZZ block all contain X/Y.
+        let mixed = h
+            .iter()
+            .filter(|(_, p)| !p.is_z_type())
+            .count();
+        // 919 total = 1 identity + 10 Z + 45 ZZ + 863 mixed.
+        assert_eq!(mixed, 919 - 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "bond length must be positive")]
+    fn rejects_nonpositive_bond() {
+        molecular(Molecule::H2O, 0.0);
+    }
+}

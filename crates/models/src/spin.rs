@@ -1,0 +1,108 @@
+//! 1D spin-chain Hamiltonians (§5.1.1).
+
+use clapton_pauli::{Pauli, PauliString, PauliSum};
+
+/// The 1D transverse-field Ising model with open boundary (Eq. 12):
+/// `H = J Σ_{i=1}^{N-1} X_i X_{i+1} + Σ_{i=1}^{N} Z_i`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use clapton_models::ising;
+///
+/// let h = ising(4, 0.5);
+/// assert_eq!(h.num_terms(), 3 + 4); // couplings + fields
+/// // |0…0⟩ has energy N (all fields aligned).
+/// assert_eq!(h.expectation_all_zeros(), 4.0);
+/// ```
+pub fn ising(n: usize, j: f64) -> PauliSum {
+    assert!(n > 0, "need at least one qubit");
+    let mut h = PauliSum::new(n);
+    for i in 0..n.saturating_sub(1) {
+        h.push(
+            j,
+            PauliString::from_sparse(n, [(i, Pauli::X), (i + 1, Pauli::X)]),
+        );
+    }
+    for i in 0..n {
+        h.push(1.0, PauliString::single(n, i, Pauli::Z));
+    }
+    h
+}
+
+/// The 1D field-free XXZ Heisenberg model with open boundary (Eq. 13):
+/// `H = Σ_{i=1}^{N-1} (J X_i X_{i+1} + J Y_i Y_{i+1} + Z_i Z_{i+1})`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use clapton_models::xxz;
+///
+/// let h = xxz(4, 1.0);
+/// assert_eq!(h.num_terms(), 3 * 3);
+/// ```
+pub fn xxz(n: usize, j: f64) -> PauliSum {
+    assert!(n >= 2, "XXZ chain needs at least two qubits");
+    let mut h = PauliSum::new(n);
+    for i in 0..n - 1 {
+        for (coeff, p) in [(j, Pauli::X), (j, Pauli::Y), (1.0, Pauli::Z)] {
+            h.push(coeff, PauliString::from_sparse(n, [(i, p), (i + 1, p)]));
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ising_structure() {
+        let h = ising(5, 0.25);
+        assert_eq!(h.num_terms(), 4 + 5);
+        assert_eq!(h.max_weight(), 2);
+        // Couplings carry J, fields carry 1.
+        let xx: PauliString = "XXIII".parse().unwrap();
+        assert_eq!(h.coefficient_of(&xx), Some(0.25));
+        let z: PauliString = "IIZII".parse().unwrap();
+        assert_eq!(h.coefficient_of(&z), Some(1.0));
+    }
+
+    #[test]
+    fn ising_single_qubit_degenerates_to_field() {
+        let h = ising(1, 1.0);
+        assert_eq!(h.num_terms(), 1);
+        assert_eq!(h.expectation_all_zeros(), 1.0);
+    }
+
+    #[test]
+    fn xxz_structure() {
+        let h = xxz(4, 0.5);
+        assert_eq!(h.num_terms(), 9);
+        let yy: PauliString = "IYYI".parse().unwrap();
+        assert_eq!(h.coefficient_of(&yy), Some(0.5));
+        let zz: PauliString = "IIZZ".parse().unwrap();
+        assert_eq!(h.coefficient_of(&zz), Some(1.0));
+    }
+
+    #[test]
+    fn xxz_all_zeros_energy_is_coupling_count() {
+        // On |0…0⟩ only ZZ terms survive: energy = N-1.
+        let h = xxz(6, 0.77);
+        assert_eq!(h.expectation_all_zeros(), 5.0);
+    }
+
+    #[test]
+    fn identity_free() {
+        assert_eq!(ising(4, 1.0).identity_coefficient(), 0.0);
+        assert_eq!(xxz(4, 1.0).identity_coefficient(), 0.0);
+    }
+}

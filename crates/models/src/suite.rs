@@ -1,0 +1,99 @@
+//! The benchmark suite of the paper's evaluation (Figure 5).
+
+use crate::{ising, molecular, xxz, Molecule};
+use clapton_pauli::PauliSum;
+
+/// One named VQE benchmark problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// Display name, e.g. `"ising(J=0.25)"` or `"H2O(l=1.0)"`.
+    pub name: String,
+    /// The problem Hamiltonian.
+    pub hamiltonian: PauliSum,
+}
+
+impl Benchmark {
+    fn new(name: impl Into<String>, hamiltonian: PauliSum) -> Benchmark {
+        Benchmark {
+            name: name.into(),
+            hamiltonian,
+        }
+    }
+}
+
+/// The physics benchmarks on `n` qubits: Ising and XXZ chains for
+/// `J ∈ {0.25, 0.50, 1.00}` (§5.1.1). The paper uses `N = 7` on `nairobi`
+/// and `N = 10` elsewhere.
+pub fn physics_suite(n: usize) -> Vec<Benchmark> {
+    let mut out = Vec::with_capacity(6);
+    for j in [0.25, 0.5, 1.0] {
+        out.push(Benchmark::new(format!("ising(J={j:.2})"), ising(n, j)));
+    }
+    for j in [0.25, 0.5, 1.0] {
+        out.push(Benchmark::new(format!("xxz(J={j:.2})"), xxz(n, j)));
+    }
+    out
+}
+
+/// The chemistry benchmarks (always 10 qubits): H2O, H6, LiH at the paper's
+/// two bond lengths each (§5.1.2).
+pub fn chemistry_suite() -> Vec<Benchmark> {
+    let mut out = Vec::with_capacity(6);
+    for mol in [Molecule::H2O, Molecule::H6, Molecule::LiH] {
+        for l in mol.bond_lengths() {
+            out.push(Benchmark::new(
+                format!("{}(l={l:.1})", mol.name()),
+                molecular(mol, l),
+            ));
+        }
+    }
+    out
+}
+
+/// The full 12-benchmark suite on `n` physics qubits; chemistry benchmarks
+/// are included only when `n == 10` (they are fixed at ten qubits).
+pub fn benchmark_suite(n: usize) -> Vec<Benchmark> {
+    let mut out = physics_suite(n);
+    if n == 10 {
+        out.extend(chemistry_suite());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physics_suite_has_six_instances() {
+        let suite = physics_suite(7);
+        assert_eq!(suite.len(), 6);
+        assert!(suite.iter().all(|b| b.hamiltonian.num_qubits() == 7));
+        let names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"ising(J=0.25)"));
+        assert!(names.contains(&"xxz(J=1.00)"));
+    }
+
+    #[test]
+    fn chemistry_suite_is_ten_qubits() {
+        let suite = chemistry_suite();
+        assert_eq!(suite.len(), 6);
+        assert!(suite.iter().all(|b| b.hamiltonian.num_qubits() == 10));
+        assert!(suite.iter().any(|b| b.name == "LiH(l=4.5)"));
+    }
+
+    #[test]
+    fn full_suite_composition() {
+        assert_eq!(benchmark_suite(10).len(), 12);
+        assert_eq!(benchmark_suite(7).len(), 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = benchmark_suite(10);
+        let mut names: Vec<&String> = suite.iter().map(|b| &b.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+}

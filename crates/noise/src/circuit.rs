@@ -1,0 +1,246 @@
+//! Noisy Clifford circuits: gates interleaved with stochastic Pauli channels.
+
+use crate::NoiseModel;
+use clapton_circuits::{Circuit, Gate};
+use clapton_pauli::{Pauli, PauliString};
+use clapton_stabilizer::CliffordGate;
+use std::fmt;
+
+/// Error returned when a circuit contains non-Clifford rotations and can
+/// therefore not be turned into a [`NoisyCircuit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotCliffordError {
+    gate: Gate,
+}
+
+impl fmt::Display for NotCliffordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gate {} is not on the Clifford grid", self.gate)
+    }
+}
+
+impl std::error::Error for NotCliffordError {}
+
+/// One instruction of a noisy Clifford circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoisyOp {
+    /// A noiseless Clifford gate.
+    Clifford(CliffordGate),
+    /// Single-qubit depolarizing channel of strength `p` on a qubit
+    /// (`X`, `Y` or `Z` each with probability `p/3`).
+    Depol1(usize, f64),
+    /// Two-qubit depolarizing channel of strength `p` on a pair (each of the
+    /// 15 non-identity two-qubit Paulis with probability `p/15`).
+    Depol2(usize, usize, f64),
+}
+
+/// A Clifford circuit with stochastic Pauli noise attached after every gate
+/// slot, plus per-qubit readout flip probabilities — the `Ã(0)` (or `Ã(θ)`)
+/// of Eq. 9.
+///
+/// Identity rotation slots (e.g. `Ry(0)` in `A(0)`) contribute **no unitary**
+/// but still carry their depolarizing channel: the paper's noisy ansatz keeps
+/// all physical gate slots.
+///
+/// # Example
+///
+/// ```
+/// use clapton_circuits::{Circuit, Gate};
+/// use clapton_noise::{NoiseModel, NoisyCircuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::Ry(0, 0.0)); // identity slot, still noisy
+/// c.push(Gate::Cx(0, 1));
+/// let model = NoiseModel::uniform(2, 1e-3, 1e-2, 2e-2);
+/// let noisy = NoisyCircuit::from_circuit(&c, &model)?;
+/// assert_eq!(noisy.ops().len(), 3); // Depol1 + CX + Depol2
+/// assert_eq!(noisy.readout(1), 2e-2);
+/// # Ok::<(), clapton_noise::NotCliffordError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyCircuit {
+    num_qubits: usize,
+    ops: Vec<NoisyOp>,
+    readout: Vec<f64>,
+    p1: Vec<f64>,
+}
+
+impl NoisyCircuit {
+    /// Attaches the noise model to a Clifford circuit.
+    ///
+    /// Every gate lowers to its Clifford form followed by the matching
+    /// depolarizing channel (SWAPs use the model's 3×CX-equivalent error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotCliffordError`] if any rotation is off the Clifford grid.
+    pub fn from_circuit(circuit: &Circuit, model: &NoiseModel) -> Result<NoisyCircuit, NotCliffordError> {
+        assert_eq!(
+            circuit.num_qubits(),
+            model.num_qubits(),
+            "model/circuit size mismatch"
+        );
+        let mut ops = Vec::with_capacity(circuit.len() * 2);
+        for gate in circuit.gates() {
+            let cliffords = gate
+                .to_clifford()
+                .ok_or(NotCliffordError { gate: *gate })?;
+            ops.extend(cliffords.into_iter().map(NoisyOp::Clifford));
+            match *gate {
+                Gate::Cx(a, b) => {
+                    let p = model.p2(a, b);
+                    if p > 0.0 {
+                        ops.push(NoisyOp::Depol2(a, b, p));
+                    }
+                }
+                Gate::Swap(a, b) => {
+                    let p = model.swap_error(a, b);
+                    if p > 0.0 {
+                        ops.push(NoisyOp::Depol2(a, b, p));
+                    }
+                }
+                g => {
+                    let q = g.qubits()[0];
+                    let p = model.p1(q);
+                    if p > 0.0 {
+                        ops.push(NoisyOp::Depol1(q, p));
+                    }
+                }
+            }
+        }
+        Ok(NoisyCircuit {
+            num_qubits: circuit.num_qubits(),
+            ops,
+            readout: (0..circuit.num_qubits()).map(|q| model.readout(q)).collect(),
+            p1: (0..circuit.num_qubits()).map(|q| model.p1(q)).collect(),
+        })
+    }
+
+    /// The register size.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The instruction stream.
+    pub fn ops(&self) -> &[NoisyOp] {
+        &self.ops
+    }
+
+    /// The readout flip probability of `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn readout(&self, q: usize) -> f64 {
+        self.readout[q]
+    }
+
+    /// Single-qubit gate error on `q` (used for measurement-basis-prep gate
+    /// noise).
+    pub fn gate_p1(&self, q: usize) -> f64 {
+        self.p1[q]
+    }
+
+    /// The measurement-basis preparation ops for a Pauli term: for every
+    /// support qubit, the gates rotating its basis to `Z` (`H` for `X`;
+    /// `S†, H` for `Y`), each followed by its depolarizing slot (§4.2.3).
+    pub fn basis_prep_ops(&self, term: &PauliString) -> Vec<NoisyOp> {
+        let mut ops = Vec::new();
+        for q in term.support() {
+            let gates: &[CliffordGate] = match term.get(q) {
+                Pauli::X => &[CliffordGate::H(q)],
+                Pauli::Y => &[CliffordGate::Sdg(q), CliffordGate::H(q)],
+                _ => &[],
+            };
+            for &g in gates {
+                ops.push(NoisyOp::Clifford(g));
+                if self.p1[q] > 0.0 {
+                    ops.push(NoisyOp::Depol1(q, self.p1[q]));
+                }
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_attaches_after_each_gate() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        let model = NoiseModel::uniform(2, 1e-3, 1e-2, 0.0);
+        let nc = NoisyCircuit::from_circuit(&c, &model).unwrap();
+        assert_eq!(
+            nc.ops(),
+            &[
+                NoisyOp::Clifford(CliffordGate::H(0)),
+                NoisyOp::Depol1(0, 1e-3),
+                NoisyOp::Clifford(CliffordGate::Cx(0, 1)),
+                NoisyOp::Depol2(0, 1, 1e-2),
+            ]
+        );
+    }
+
+    #[test]
+    fn identity_slots_keep_noise() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Ry(0, 0.0));
+        let model = NoiseModel::uniform(1, 1e-3, 0.0, 0.0);
+        let nc = NoisyCircuit::from_circuit(&c, &model).unwrap();
+        assert_eq!(nc.ops(), &[NoisyOp::Depol1(0, 1e-3)]);
+    }
+
+    #[test]
+    fn noiseless_model_attaches_nothing() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        let nc = NoisyCircuit::from_circuit(&c, &NoiseModel::noiseless(2)).unwrap();
+        assert_eq!(nc.ops().len(), 2);
+    }
+
+    #[test]
+    fn swap_uses_triple_error() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Swap(0, 1));
+        let model = NoiseModel::uniform(2, 0.0, 0.01, 0.0);
+        let nc = NoisyCircuit::from_circuit(&c, &model).unwrap();
+        match nc.ops()[1] {
+            NoisyOp::Depol2(0, 1, p) => assert!((p - 0.03).abs() < 1e-15),
+            ref other => panic!("expected Depol2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_clifford_is_rejected() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Ry(0, 0.3));
+        let err = NoisyCircuit::from_circuit(&c, &NoiseModel::noiseless(1)).unwrap_err();
+        assert!(err.to_string().contains("not on the Clifford grid"));
+    }
+
+    #[test]
+    fn basis_prep_for_xyz() {
+        let c = Circuit::new(3);
+        let model = NoiseModel::uniform(3, 1e-3, 0.0, 0.0);
+        let nc = NoisyCircuit::from_circuit(&c, &model).unwrap();
+        let term: PauliString = "XYZ".parse().unwrap();
+        let prep = nc.basis_prep_ops(&term);
+        // X on q0: H + noise; Y on q1: Sdg + noise, H + noise; Z on q2: none.
+        assert_eq!(
+            prep,
+            vec![
+                NoisyOp::Clifford(CliffordGate::H(0)),
+                NoisyOp::Depol1(0, 1e-3),
+                NoisyOp::Clifford(CliffordGate::Sdg(1)),
+                NoisyOp::Depol1(1, 1e-3),
+                NoisyOp::Clifford(CliffordGate::H(1)),
+                NoisyOp::Depol1(1, 1e-3),
+            ]
+        );
+    }
+}

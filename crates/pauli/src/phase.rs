@@ -1,0 +1,153 @@
+//! The phase group `{1, i, -1, -i}` arising from Pauli products.
+
+use std::fmt;
+use std::ops::{Mul, MulAssign};
+
+/// A power of the imaginary unit, `i^k` for `k ∈ {0, 1, 2, 3}`.
+///
+/// Products of Hermitian Pauli strings are Pauli strings up to one of these
+/// four phases; Clifford conjugation of a Hermitian Pauli only ever produces
+/// the real phases `±1` (see [`Phase::is_real`] / [`Phase::as_sign`]).
+///
+/// # Example
+///
+/// ```
+/// use clapton_pauli::Phase;
+///
+/// assert_eq!(Phase::I * Phase::I, Phase::MINUS_ONE);
+/// assert_eq!(Phase::MINUS_I.conj(), Phase::I);
+/// assert_eq!(Phase::MINUS_ONE.as_sign(), Some(-1.0));
+/// assert_eq!(Phase::I.as_sign(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Phase(u8);
+
+impl Phase {
+    /// The identity phase `+1`.
+    pub const ONE: Phase = Phase(0);
+    /// The imaginary unit `i`.
+    pub const I: Phase = Phase(1);
+    /// The phase `-1`.
+    pub const MINUS_ONE: Phase = Phase(2);
+    /// The phase `-i`.
+    pub const MINUS_I: Phase = Phase(3);
+
+    /// Creates `i^k` (the exponent is reduced modulo 4).
+    #[inline]
+    pub fn from_exponent(k: u8) -> Phase {
+        Phase(k & 3)
+    }
+
+    /// The exponent `k` of `i^k`, in `0..4`.
+    #[inline]
+    pub fn exponent(self) -> u8 {
+        self.0
+    }
+
+    /// Complex conjugate (`i ↔ -i`).
+    #[inline]
+    #[must_use]
+    pub fn conj(self) -> Phase {
+        Phase(self.0.wrapping_neg() & 3)
+    }
+
+    /// Multiplicative inverse (same as [`Phase::conj`] for unit phases).
+    #[inline]
+    #[must_use]
+    pub fn inverse(self) -> Phase {
+        self.conj()
+    }
+
+    /// Whether the phase is real (`+1` or `-1`).
+    #[inline]
+    pub fn is_real(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `Some(±1.0)` for real phases, `None` for `±i`.
+    #[inline]
+    pub fn as_sign(self) -> Option<f64> {
+        match self.0 {
+            0 => Some(1.0),
+            2 => Some(-1.0),
+            _ => None,
+        }
+    }
+
+    /// The real/imaginary components `(re, im)` of the phase as floats.
+    #[inline]
+    pub fn as_complex(self) -> (f64, f64) {
+        match self.0 {
+            0 => (1.0, 0.0),
+            1 => (0.0, 1.0),
+            2 => (-1.0, 0.0),
+            _ => (0.0, -1.0),
+        }
+    }
+}
+
+impl Mul for Phase {
+    type Output = Phase;
+    #[inline]
+    fn mul(self, rhs: Phase) -> Phase {
+        Phase((self.0 + rhs.0) & 3)
+    }
+}
+
+impl MulAssign for Phase {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Phase) {
+        *self = *self * rhs;
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self.0 {
+            0 => "+1",
+            1 => "+i",
+            2 => "-1",
+            _ => "-i",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_table() {
+        let all = [Phase::ONE, Phase::I, Phase::MINUS_ONE, Phase::MINUS_I];
+        for &a in &all {
+            assert_eq!(a * a.inverse(), Phase::ONE);
+            for &b in &all {
+                assert_eq!((a * b).exponent(), (a.exponent() + b.exponent()) % 4);
+            }
+        }
+    }
+
+    #[test]
+    fn conjugation() {
+        assert_eq!(Phase::ONE.conj(), Phase::ONE);
+        assert_eq!(Phase::I.conj(), Phase::MINUS_I);
+        assert_eq!(Phase::MINUS_ONE.conj(), Phase::MINUS_ONE);
+        assert_eq!(Phase::MINUS_I.conj(), Phase::I);
+    }
+
+    #[test]
+    fn signs_and_reality() {
+        assert!(Phase::ONE.is_real());
+        assert!(!Phase::I.is_real());
+        assert_eq!(Phase::ONE.as_sign(), Some(1.0));
+        assert_eq!(Phase::MINUS_I.as_sign(), None);
+        assert_eq!(Phase::I.as_complex(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Phase::ONE.to_string(), "+1");
+        assert_eq!(Phase::MINUS_I.to_string(), "-i");
+    }
+}

@@ -1,0 +1,186 @@
+//! Single-qubit Pauli operators.
+
+use crate::Phase;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// The `(x, z)` bit encoding matches the symplectic convention used by
+/// [`PauliString`](crate::PauliString): `I=(0,0)`, `X=(1,0)`, `Y=(1,1)`,
+/// `Z=(0,1)`.
+///
+/// # Example
+///
+/// ```
+/// use clapton_pauli::{Pauli, Phase};
+///
+/// let (phase, p) = Pauli::X.mul(Pauli::Y);
+/// assert_eq!((phase, p), (Phase::I, Pauli::Z)); // XY = iZ
+/// assert!(!Pauli::X.commutes_with(Pauli::Z));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Pauli {
+    /// The identity operator.
+    #[default]
+    I,
+    /// The bit-flip operator.
+    X,
+    /// The combined bit-and-phase-flip operator (`Y = iXZ`).
+    Y,
+    /// The phase-flip operator.
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Builds a Pauli from its symplectic `(x, z)` bits.
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// The symplectic `(x, z)` bits of this Pauli.
+    #[inline]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Whether this is the identity.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+
+    /// Multiplies two single-qubit Paulis: `self · rhs = phase · result`.
+    ///
+    /// The phase is exact, e.g. `X·Y = iZ` and `Y·X = -iZ`.
+    #[inline]
+    pub fn mul(self, rhs: Pauli) -> (Phase, Pauli) {
+        use Pauli::*;
+        match (self, rhs) {
+            (I, p) | (p, I) => (Phase::ONE, p),
+            (a, b) if a == b => (Phase::ONE, I),
+            (X, Y) => (Phase::I, Z),
+            (Y, X) => (Phase::MINUS_I, Z),
+            (Y, Z) => (Phase::I, X),
+            (Z, Y) => (Phase::MINUS_I, X),
+            (Z, X) => (Phase::I, Y),
+            (X, Z) => (Phase::MINUS_I, Y),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Whether two single-qubit Paulis commute.
+    #[inline]
+    pub fn commutes_with(self, rhs: Pauli) -> bool {
+        self.is_identity() || rhs.is_identity() || self == rhs
+    }
+
+    /// The character representation (`'I'`, `'X'`, `'Y'`, `'Z'`).
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+
+    /// Parses a Pauli from a character (case-insensitive).
+    #[inline]
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' | '_' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_table_is_su2_algebra() {
+        use Pauli::*;
+        // XY = iZ, YZ = iX, ZX = iY and the reversed products pick up -i.
+        assert_eq!(X.mul(Y), (Phase::I, Z));
+        assert_eq!(Y.mul(Z), (Phase::I, X));
+        assert_eq!(Z.mul(X), (Phase::I, Y));
+        assert_eq!(Y.mul(X), (Phase::MINUS_I, Z));
+        assert_eq!(Z.mul(Y), (Phase::MINUS_I, X));
+        assert_eq!(X.mul(Z), (Phase::MINUS_I, Y));
+        for p in Pauli::ALL {
+            assert_eq!(p.mul(p), (Phase::ONE, I));
+            assert_eq!(I.mul(p), (Phase::ONE, p));
+            assert_eq!(p.mul(I), (Phase::ONE, p));
+        }
+    }
+
+    #[test]
+    fn multiplication_is_associative() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                for c in Pauli::ALL {
+                    let (p1, ab) = a.mul(b);
+                    let (p2, ab_c) = ab.mul(c);
+                    let left = (p1 * p2, ab_c);
+                    let (q1, bc) = b.mul(c);
+                    let (q2, a_bc) = a.mul(bc);
+                    let right = (q1 * q2, a_bc);
+                    assert_eq!(left, right, "({a}{b}){c} != {a}({b}{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_matches_products() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (pab, _) = a.mul(b);
+                let (pba, _) = b.mul(a);
+                assert_eq!(a.commutes_with(b), pab == pba);
+            }
+        }
+    }
+
+    #[test]
+    fn xz_round_trip() {
+        for p in Pauli::ALL {
+            let (x, z) = p.xz();
+            assert_eq!(Pauli::from_xz(x, z), p);
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()), Some(p));
+        }
+        assert_eq!(Pauli::from_char('q'), None);
+        assert_eq!(Pauli::from_char('_'), Some(Pauli::I));
+    }
+}

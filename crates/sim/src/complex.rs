@@ -1,0 +1,193 @@
+//! Minimal complex arithmetic (kept local to avoid external numerics
+//! dependencies — see DESIGN.md).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// # Example
+///
+/// ```
+/// use clapton_sim::Complex64;
+///
+/// let z = Complex64::new(1.0, 2.0) * Complex64::I;
+/// assert_eq!(z, Complex64::new(-2.0, 1.0));
+/// assert_eq!(z.conj().im, -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + i·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Complex64 {
+        Complex64 { re, im }
+    }
+
+    /// A purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Complex64 {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    #[must_use]
+    pub fn conj(self) -> Complex64 {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    #[must_use]
+    pub fn scale(self, s: f64) -> Complex64 {
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Complex64 {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Complex64 {
+        Complex64::real(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+        assert_eq!(a.scale(2.0), Complex64::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!((z - Complex64::I).abs() < 1e-15);
+    }
+}

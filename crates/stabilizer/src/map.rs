@@ -1,0 +1,421 @@
+//! Clifford tableaus: precomputed conjugation maps for whole circuits.
+
+use crate::CliffordGate;
+use clapton_pauli::{Pauli, PauliString, Phase};
+
+/// One tableau row: a signed Hermitian Pauli string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    negative: bool,
+    pauli: PauliString,
+}
+
+/// The conjugation action of a Clifford circuit `C`, stored as the images of
+/// all generators: `C X_j C†` and `C Z_j C†`.
+///
+/// Building the map costs `O(N·L)` for a circuit of `L` gates; conjugating an
+/// arbitrary Pauli string afterwards costs `O(w·N/64)` for a string of weight
+/// `w`, independent of circuit depth. This is how Clapton transforms the
+/// `M`-term Hamiltonian for every candidate `γ` (Eq. 6) without re-walking the
+/// circuit per term.
+///
+/// # Example
+///
+/// ```
+/// use clapton_pauli::PauliString;
+/// use clapton_stabilizer::{CliffordGate, CliffordMap};
+///
+/// // C = CX(0→1) · H(0) prepares a Bell pair from |00⟩; it maps Z0 → X0X1.
+/// let map = CliffordMap::conjugation(2, &[CliffordGate::H(0), CliffordGate::Cx(0, 1)]);
+/// let (sign, image) = map.conjugate(&"ZI".parse().unwrap());
+/// assert_eq!(sign, 1.0);
+/// assert_eq!(image, "XX".parse().unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliffordMap {
+    n: usize,
+    /// Images of `X_j` under conjugation.
+    x_rows: Vec<Row>,
+    /// Images of `Z_j` under conjugation.
+    z_rows: Vec<Row>,
+}
+
+impl CliffordMap {
+    /// The identity map on `n` qubits.
+    pub fn identity(n: usize) -> CliffordMap {
+        CliffordMap {
+            n,
+            x_rows: (0..n)
+                .map(|q| Row {
+                    negative: false,
+                    pauli: PauliString::single(n, q, Pauli::X),
+                })
+                .collect(),
+            z_rows: (0..n)
+                .map(|q| Row {
+                    negative: false,
+                    pauli: PauliString::single(n, q, Pauli::Z),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the map `P → C P C†` for the circuit `C = g_L ⋯ g_1`
+    /// (gates applied in iteration order).
+    pub fn conjugation(n: usize, gates: &[CliffordGate]) -> CliffordMap {
+        let mut map = CliffordMap::identity(n);
+        for g in gates {
+            map.append(*g);
+        }
+        map
+    }
+
+    /// Builds the *anticonjugation* map `P → C† P C` for the same circuit.
+    ///
+    /// This is the direction of the Clapton Hamiltonian transformation
+    /// (§3.2): `Ĥ = Ĉ† H Ĉ`.
+    pub fn anticonjugation(n: usize, gates: &[CliffordGate]) -> CliffordMap {
+        let mut map = CliffordMap::identity(n);
+        for g in gates.iter().rev() {
+            map.append(g.inverse());
+        }
+        map
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Extends the map by one more gate applied *after* the current circuit:
+    /// the map becomes `P → g (C P C†) g†`.
+    pub fn append(&mut self, gate: CliffordGate) {
+        for row in self.x_rows.iter_mut().chain(self.z_rows.iter_mut()) {
+            if gate.conjugate(&mut row.pauli) {
+                row.negative = !row.negative;
+            }
+        }
+    }
+
+    /// Applies the map to a Hermitian Pauli string: returns `(sign, image)`
+    /// with `sign ∈ {+1, -1}` such that `map(P) = sign · image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` acts on a different number of qubits.
+    pub fn conjugate(&self, p: &PauliString) -> (f64, PauliString) {
+        assert_eq!(p.num_qubits(), self.n, "qubit count mismatch");
+        // Decompose P = i^{Σ x_j z_j} · Π_j X_j^{x_j} · Π_j Z_j^{z_j} and map
+        // each generator to its image row; phases accumulate exactly.
+        let mut phase = Phase::ONE;
+        let mut y_count: u8 = 0;
+        let mut out = PauliString::identity(self.n);
+        for q in p.support() {
+            let (x, z) = p.get(q).xz();
+            if x && z {
+                y_count = (y_count + 1) & 3;
+            }
+            if x {
+                let row = &self.x_rows[q];
+                phase = phase * out.mul_assign_right(&row.pauli);
+                if row.negative {
+                    phase *= Phase::MINUS_ONE;
+                }
+            }
+        }
+        for q in p.support() {
+            let (_, z) = p.get(q).xz();
+            if z {
+                let row = &self.z_rows[q];
+                phase = phase * out.mul_assign_right(&row.pauli);
+                if row.negative {
+                    phase *= Phase::MINUS_ONE;
+                }
+            }
+        }
+        let total = phase * Phase::from_exponent(y_count);
+        // The image of a Hermitian Pauli under Clifford conjugation is a
+        // signed Hermitian Pauli; the Y factors of the image contribute the
+        // compensating i's inside `mul_assign_right`, so `total` is real.
+        let sign = total
+            .as_sign()
+            .expect("Clifford image of Hermitian Pauli must be Hermitian");
+        (sign, out)
+    }
+
+    /// Composes two maps: `(self ∘ other)(P) = self(other(P))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps act on different numbers of qubits.
+    #[must_use]
+    pub fn compose(&self, other: &CliffordMap) -> CliffordMap {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        let map_row = |row: &Row| {
+            let (sign, pauli) = self.conjugate(&row.pauli);
+            Row {
+                negative: row.negative ^ (sign < 0.0),
+                pauli,
+            }
+        };
+        CliffordMap {
+            n: self.n,
+            x_rows: other.x_rows.iter().map(map_row).collect(),
+            z_rows: other.z_rows.iter().map(map_row).collect(),
+        }
+    }
+
+    /// The inverse map.
+    ///
+    /// Uses the symplectic structure: the inverse tableau's rows are found by
+    /// expressing each `X_j`/`Z_j` in terms of the images. Cost `O(N³/64)`.
+    #[must_use]
+    pub fn inverse(&self) -> CliffordMap {
+        // For Clifford maps the inverse row for generator G is the unique
+        // signed Pauli Q with map(Q) = G. Solve by Gaussian elimination over
+        // GF(2) on the symplectic representation.
+        //
+        // Build the 2N×2N binary matrix A whose columns are the (x|z) vectors
+        // of the images of the 2N generators, then solve A·v = e_k for each
+        // target generator; v selects which generators multiply to Q.
+        let n = self.n;
+        let rows: Vec<&Row> = self.x_rows.iter().chain(self.z_rows.iter()).collect();
+        let dim = 2 * n;
+        // mat[r] = bit-row r of A (over columns), stored as Vec<u64> words.
+        let words = dim.div_ceil(64);
+        let mut mat = vec![vec![0u64; words]; dim];
+        for (col, row) in rows.iter().enumerate() {
+            for q in 0..n {
+                let (x, z) = row.pauli.get(q).xz();
+                if x {
+                    mat[q][col / 64] |= 1 << (col % 64);
+                }
+                if z {
+                    mat[n + q][col / 64] |= 1 << (col % 64);
+                }
+            }
+        }
+        // Augment with identity to compute A^{-1}.
+        let mut aug = vec![vec![0u64; words]; dim];
+        for (r, row) in aug.iter_mut().enumerate() {
+            row[r / 64] |= 1 << (r % 64);
+        }
+        // Gauss-Jordan over GF(2).
+        let mut pivot_row = 0;
+        for col in 0..dim {
+            let mut sel = None;
+            for r in pivot_row..dim {
+                if (mat[r][col / 64] >> (col % 64)) & 1 == 1 {
+                    sel = Some(r);
+                    break;
+                }
+            }
+            let sel = sel.expect("Clifford tableau must be invertible");
+            mat.swap(pivot_row, sel);
+            aug.swap(pivot_row, sel);
+            for r in 0..dim {
+                if r != pivot_row && (mat[r][col / 64] >> (col % 64)) & 1 == 1 {
+                    for w in 0..words {
+                        let (m, a) = (mat[pivot_row][w], aug[pivot_row][w]);
+                        mat[r][w] ^= m;
+                        aug[r][w] ^= a;
+                    }
+                }
+            }
+            pivot_row += 1;
+        }
+        // Solving A·v = e_k gives v = A^{-1}·e_k, i.e. column k of A^{-1}:
+        // v_j = aug[j] bit k. Generators j with v_j = 1 multiply to the
+        // inverse image of generator k.
+        let build_row = |k: usize| -> Row {
+            let mut q = PauliString::identity(n);
+            let mut phase = Phase::ONE;
+            for (col, _row) in rows.iter().enumerate() {
+                if (aug[col][k / 64] >> (k % 64)) & 1 == 1 {
+                    let gen = if col < n {
+                        PauliString::single(n, col, Pauli::X)
+                    } else {
+                        PauliString::single(n, col - n, Pauli::Z)
+                    };
+                    phase = phase * q.mul_assign_right(&gen);
+                }
+            }
+            // Fix the sign so that map(Q) = +G exactly.
+            let (sign, image) = self.conjugate(&q);
+            debug_assert!(image.weight() == 1, "inverse row must map to a generator");
+            let _ = phase; // phases of commuting products handled via sign fix
+            Row {
+                negative: sign < 0.0,
+                pauli: q,
+            }
+        };
+        CliffordMap {
+            n,
+            x_rows: (0..n).map(build_row).collect(),
+            z_rows: (n..2 * n).map(build_row).collect(),
+        }
+    }
+
+    /// Checks the symplectic validity of the map: images must satisfy the
+    /// canonical commutation relations of the generators they replace.
+    pub fn is_valid(&self) -> bool {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let xx = self.x_rows[i].pauli.commutes_with(&self.x_rows[j].pauli);
+                let zz = self.z_rows[i].pauli.commutes_with(&self.z_rows[j].pauli);
+                let xz = self.x_rows[i].pauli.commutes_with(&self.z_rows[j].pauli);
+                if !xx || !zz || xz != (i != j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{anticonjugate_through, conjugate_through};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    fn random_circuit(n: usize, len: usize, rng: &mut StdRng) -> Vec<CliffordGate> {
+        (0..len)
+            .map(|_| {
+                let q = rng.gen_range(0..n);
+                let mut r = rng.gen_range(0..n);
+                while r == q {
+                    r = rng.gen_range(0..n);
+                }
+                match rng.gen_range(0..8) {
+                    0 => CliffordGate::H(q),
+                    1 => CliffordGate::S(q),
+                    2 => CliffordGate::Sdg(q),
+                    3 => CliffordGate::SqrtX(q),
+                    4 => CliffordGate::SqrtY(q),
+                    5 => CliffordGate::Cx(q, r),
+                    6 => CliffordGate::Cz(q, r),
+                    _ => CliffordGate::Swap(q, r),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_map_is_identity() {
+        let map = CliffordMap::identity(4);
+        for s in ["XIZY", "IIII", "ZZZZ"] {
+            let (sign, image) = map.conjugate(&ps(s));
+            assert_eq!(sign, 1.0);
+            assert_eq!(image, ps(s));
+        }
+        assert!(map.is_valid());
+    }
+
+    #[test]
+    fn bell_preparation_maps_generators() {
+        let gates = [CliffordGate::H(0), CliffordGate::Cx(0, 1)];
+        let map = CliffordMap::conjugation(2, &gates);
+        assert_eq!(map.conjugate(&ps("ZI")), (1.0, ps("XX")));
+        assert_eq!(map.conjugate(&ps("IZ")), (1.0, ps("ZZ")));
+        assert_eq!(map.conjugate(&ps("XI")), (1.0, ps("ZI")));
+        assert!(map.is_valid());
+    }
+
+    #[test]
+    fn map_matches_streamed_conjugation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..7);
+            let gates = random_circuit(n, 25, &mut rng);
+            let map = CliffordMap::conjugation(n, &gates);
+            assert!(map.is_valid());
+            for _ in 0..10 {
+                let p = PauliString::random(n, &mut rng);
+                let mut streamed = p.clone();
+                let sign = conjugate_through(&gates, &mut streamed);
+                assert_eq!(map.conjugate(&p), (sign, streamed));
+            }
+        }
+    }
+
+    #[test]
+    fn anticonjugation_inverts_conjugation() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..7);
+            let gates = random_circuit(n, 20, &mut rng);
+            for _ in 0..5 {
+                let p = PauliString::random(n, &mut rng);
+                let mut q = p.clone();
+                let s1 = conjugate_through(&gates, &mut q);
+                let s2 = anticonjugate_through(&gates, &mut q);
+                assert_eq!(s1 * s2, 1.0);
+                assert_eq!(q, p);
+            }
+        }
+    }
+
+    #[test]
+    fn anticonjugation_map_matches_streamed() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let n = 5;
+        let gates = random_circuit(n, 30, &mut rng);
+        let map = CliffordMap::anticonjugation(n, &gates);
+        for _ in 0..20 {
+            let p = PauliString::random(n, &mut rng);
+            let mut streamed = p.clone();
+            let sign = anticonjugate_through(&gates, &mut streamed);
+            assert_eq!(map.conjugate(&p), (sign, streamed));
+        }
+    }
+
+    #[test]
+    fn compose_matches_concatenation() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 4;
+        let g1 = random_circuit(n, 15, &mut rng);
+        let g2 = random_circuit(n, 15, &mut rng);
+        let m1 = CliffordMap::conjugation(n, &g1);
+        let m2 = CliffordMap::conjugation(n, &g2);
+        let composed = m2.compose(&m1);
+        let concat: Vec<CliffordGate> = g1.iter().chain(g2.iter()).copied().collect();
+        let direct = CliffordMap::conjugation(n, &concat);
+        for _ in 0..20 {
+            let p = PauliString::random(n, &mut rng);
+            assert_eq!(composed.conjugate(&p), direct.conjugate(&p));
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let mut rng = StdRng::seed_from_u64(53);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..6);
+            let gates = random_circuit(n, 20, &mut rng);
+            let map = CliffordMap::conjugation(n, &gates);
+            let inv = map.inverse();
+            assert!(inv.is_valid());
+            for _ in 0..10 {
+                let p = PauliString::random(n, &mut rng);
+                let (s1, q) = map.conjugate(&p);
+                let (s2, back) = inv.conjugate(&q);
+                assert_eq!(back, p);
+                assert_eq!(s1 * s2, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn conjugation_preserves_weight_one_y() {
+        // S X S† = Y exactly (phase-correct Y handling in the composer).
+        let map = CliffordMap::conjugation(1, &[CliffordGate::S(0)]);
+        assert_eq!(map.conjugate(&ps("X")), (1.0, ps("Y")));
+        assert_eq!(map.conjugate(&ps("Y")), (-1.0, ps("X")));
+    }
+}

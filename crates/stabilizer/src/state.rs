@@ -1,0 +1,377 @@
+//! Aaronson–Gottesman stabilizer state simulation.
+
+use crate::CliffordGate;
+use clapton_pauli::{Pauli, PauliString, Phase};
+use rand::Rng;
+
+/// A stabilizer state tracked by the Aaronson–Gottesman tableau
+/// (destabilizers + stabilizers, each a signed Pauli string).
+///
+/// Supports the full Clifford gate set of [`CliffordGate`], single-qubit
+/// `Z`-basis measurement with correct deterministic/random branches, and
+/// exact Pauli-string expectation values (`-1`, `0` or `+1` — the quantity
+/// CAFQA evaluates for every Hamiltonian term, §2.5).
+///
+/// # Example
+///
+/// ```
+/// use clapton_stabilizer::{CliffordGate, StabilizerState};
+///
+/// let mut st = StabilizerState::new(2);
+/// st.apply(CliffordGate::H(0));
+/// st.apply(CliffordGate::Cx(0, 1));
+/// // Bell state: ⟨XX⟩ = ⟨ZZ⟩ = +1, ⟨YY⟩ = -1, ⟨ZI⟩ = 0.
+/// assert_eq!(st.expectation(&"XX".parse().unwrap()), 1.0);
+/// assert_eq!(st.expectation(&"YY".parse().unwrap()), -1.0);
+/// assert_eq!(st.expectation(&"ZI".parse().unwrap()), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StabilizerState {
+    n: usize,
+    /// Rows 0..n are destabilizers, rows n..2n are stabilizers.
+    rows: Vec<PauliString>,
+    signs: Vec<bool>,
+}
+
+impl StabilizerState {
+    /// Creates the all-zeros state `|0…0⟩` on `n` qubits
+    /// (stabilized by `Z_1, …, Z_N`).
+    pub fn new(n: usize) -> StabilizerState {
+        let mut rows = Vec::with_capacity(2 * n);
+        for q in 0..n {
+            rows.push(PauliString::single(n, q, Pauli::X));
+        }
+        for q in 0..n {
+            rows.push(PauliString::single(n, q, Pauli::Z));
+        }
+        StabilizerState {
+            n,
+            rows,
+            signs: vec![false; 2 * n],
+        }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Applies one Clifford gate.
+    pub fn apply(&mut self, gate: CliffordGate) {
+        for (row, sign) in self.rows.iter_mut().zip(self.signs.iter_mut()) {
+            if gate.conjugate(row) {
+                *sign = !*sign;
+            }
+        }
+    }
+
+    /// Applies a sequence of Clifford gates in order.
+    pub fn apply_all<'a, I: IntoIterator<Item = &'a CliffordGate>>(&mut self, gates: I) {
+        for g in gates {
+            self.apply(*g);
+        }
+    }
+
+    /// Applies a Pauli string as a unitary (e.g. a sampled Pauli error).
+    ///
+    /// Only the stabilizer/destabilizer signs can change.
+    pub fn apply_pauli(&mut self, p: &PauliString) {
+        for (row, sign) in self.rows.iter_mut().zip(self.signs.iter_mut()) {
+            if !row.commutes_with(p) {
+                *sign = !*sign;
+            }
+        }
+    }
+
+    /// The exact expectation value of a Hermitian Pauli string: `+1`, `-1`
+    /// (string is ± a stabilizer-group element) or `0` (it anticommutes with
+    /// some stabilizer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` acts on a different number of qubits.
+    pub fn expectation(&self, p: &PauliString) -> f64 {
+        assert_eq!(p.num_qubits(), self.n, "qubit count mismatch");
+        if p.is_identity() {
+            return 1.0;
+        }
+        // If P anticommutes with any stabilizer, ⟨P⟩ = 0.
+        for i in self.n..2 * self.n {
+            if !self.rows[i].commutes_with(p) {
+                return 0.0;
+            }
+        }
+        // Otherwise P = ± Π_{i∈S} s_i where i ∈ S iff P anticommutes with
+        // destabilizer d_i. Accumulate the product with exact phases.
+        let mut acc = PauliString::identity(self.n);
+        let mut phase = Phase::ONE;
+        for i in 0..self.n {
+            if !self.rows[i].commutes_with(p) {
+                phase = phase * acc.mul_assign_right(&self.rows[self.n + i]);
+                if self.signs[self.n + i] {
+                    phase *= Phase::MINUS_ONE;
+                }
+            }
+        }
+        debug_assert_eq!(&acc, p, "stabilizer decomposition must reproduce P");
+        phase
+            .as_sign()
+            .expect("stabilizer-group element has real sign")
+    }
+
+    /// Measures qubit `q` in the `Z` basis. Returns the classical outcome
+    /// (`false` = 0, `true` = 1). Random outcomes consume entropy from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= num_qubits()`.
+    pub fn measure_z<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        assert!(q < self.n, "qubit {q} out of range");
+        // Find a stabilizer anticommuting with Z_q (i.e. with an X component
+        // on q).
+        let anticommuting = (self.n..2 * self.n).find(|&i| {
+            let (x, _) = self.rows[i].get(q).xz();
+            x
+        });
+        match anticommuting {
+            Some(p) => {
+                // Random outcome.
+                let outcome: bool = rng.gen();
+                let row_p = self.rows[p].clone();
+                let sign_p = self.signs[p];
+                for i in 0..2 * self.n {
+                    if i != p {
+                        let (x, _) = self.rows[i].get(q).xz();
+                        if x {
+                            self.rowsum_with(i, &row_p, sign_p);
+                        }
+                    }
+                }
+                // Destabilizer p-n becomes the old stabilizer; stabilizer p
+                // becomes ±Z_q.
+                self.rows[p - self.n] = row_p;
+                self.signs[p - self.n] = sign_p;
+                self.rows[p] = PauliString::single(self.n, q, Pauli::Z);
+                self.signs[p] = outcome;
+                outcome
+            }
+            None => {
+                // Deterministic outcome: Z_q ∈ ±stabilizer group.
+                self.expectation(&PauliString::single(self.n, q, Pauli::Z)) < 0.0
+            }
+        }
+    }
+
+    /// Measures all qubits in order, returning the outcome bits
+    /// (index = qubit).
+    pub fn measure_all<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<bool> {
+        (0..self.n).map(|q| self.measure_z(q, rng)).collect()
+    }
+
+    /// `rows[i] ← rows[i] · other` with exact sign tracking (the
+    /// Aaronson–Gottesman "rowsum").
+    ///
+    /// Stabilizer rows (`i >= n`) always combine with commuting partners, so
+    /// their phases stay real. A destabilizer can anticommute with the pivot
+    /// stabilizer, producing an imaginary phase — destabilizer signs never
+    /// influence outcomes or expectations, so the sign is dropped there.
+    fn rowsum_with(&mut self, i: usize, other: &PauliString, other_sign: bool) {
+        let mut ph = self.rows[i].mul_assign_right(other);
+        if other_sign {
+            ph *= Phase::MINUS_ONE;
+        }
+        if self.signs[i] {
+            ph *= Phase::MINUS_ONE;
+        }
+        self.signs[i] = match ph.as_sign() {
+            Some(s) => s < 0.0,
+            None if i < self.n => false,
+            None => unreachable!("stabilizer rowsum on anticommuting rows"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fresh_state_is_all_zeros() {
+        let st = StabilizerState::new(3);
+        assert_eq!(st.expectation(&ps("ZII")), 1.0);
+        assert_eq!(st.expectation(&ps("IZI")), 1.0);
+        assert_eq!(st.expectation(&ps("ZZZ")), 1.0);
+        assert_eq!(st.expectation(&ps("XII")), 0.0);
+        assert_eq!(st.expectation(&ps("YII")), 0.0);
+        assert_eq!(st.expectation(&ps("III")), 1.0);
+    }
+
+    #[test]
+    fn x_gate_flips_z_expectation() {
+        let mut st = StabilizerState::new(2);
+        st.apply(CliffordGate::X(0));
+        assert_eq!(st.expectation(&ps("ZI")), -1.0);
+        assert_eq!(st.expectation(&ps("IZ")), 1.0);
+        assert_eq!(st.expectation(&ps("ZZ")), -1.0);
+    }
+
+    #[test]
+    fn hadamard_gives_plus_state() {
+        let mut st = StabilizerState::new(1);
+        st.apply(CliffordGate::H(0));
+        assert_eq!(st.expectation(&ps("X")), 1.0);
+        assert_eq!(st.expectation(&ps("Z")), 0.0);
+        assert_eq!(st.expectation(&ps("Y")), 0.0);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut st = StabilizerState::new(2);
+        st.apply_all(&[CliffordGate::H(0), CliffordGate::Cx(0, 1)]);
+        assert_eq!(st.expectation(&ps("XX")), 1.0);
+        assert_eq!(st.expectation(&ps("ZZ")), 1.0);
+        assert_eq!(st.expectation(&ps("YY")), -1.0);
+        assert_eq!(st.expectation(&ps("XY")), 0.0);
+        assert_eq!(st.expectation(&ps("ZI")), 0.0);
+    }
+
+    #[test]
+    fn ghz_state_parity() {
+        let mut st = StabilizerState::new(3);
+        st.apply_all(&[
+            CliffordGate::H(0),
+            CliffordGate::Cx(0, 1),
+            CliffordGate::Cx(1, 2),
+        ]);
+        assert_eq!(st.expectation(&ps("XXX")), 1.0);
+        assert_eq!(st.expectation(&ps("ZZI")), 1.0);
+        assert_eq!(st.expectation(&ps("IZZ")), 1.0);
+        assert_eq!(st.expectation(&ps("ZII")), 0.0);
+        // Y Y X = -(XXX)(ZZI)... check a signed member: Y⊗Y⊗X = (iXZ)(iXZ)X
+        // = -XXX·ZZI → expectation -1.
+        assert_eq!(st.expectation(&ps("YYX")), -1.0);
+    }
+
+    #[test]
+    fn pauli_error_flips_signs() {
+        let mut st = StabilizerState::new(2);
+        st.apply_all(&[CliffordGate::H(0), CliffordGate::Cx(0, 1)]);
+        st.apply_pauli(&ps("XI")); // X error on qubit 0 of a Bell pair
+        assert_eq!(st.expectation(&ps("XX")), 1.0); // commutes
+        assert_eq!(st.expectation(&ps("ZZ")), -1.0); // anticommutes
+    }
+
+    #[test]
+    fn deterministic_measurement() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut st = StabilizerState::new(2);
+        st.apply(CliffordGate::X(1));
+        assert!(!st.measure_z(0, &mut rng));
+        assert!(st.measure_z(1, &mut rng));
+    }
+
+    #[test]
+    fn random_measurement_collapses() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ones = 0;
+        for _ in 0..200 {
+            let mut st = StabilizerState::new(1);
+            st.apply(CliffordGate::H(0));
+            let m1 = st.measure_z(0, &mut rng);
+            // Repeated measurement must agree (state collapsed).
+            let m2 = st.measure_z(0, &mut rng);
+            assert_eq!(m1, m2);
+            ones += m1 as usize;
+        }
+        // Unbiased coin: expect roughly half ones.
+        assert!((50..150).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn bell_measurements_are_correlated() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let mut st = StabilizerState::new(2);
+            st.apply_all(&[CliffordGate::H(0), CliffordGate::Cx(0, 1)]);
+            let m = st.measure_all(&mut rng);
+            assert_eq!(m[0], m[1], "Bell pair outcomes must correlate");
+        }
+    }
+
+    #[test]
+    fn expectation_after_measurement_is_definite() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut st = StabilizerState::new(1);
+        st.apply(CliffordGate::H(0));
+        let m = st.measure_z(0, &mut rng);
+        let expect = if m { -1.0 } else { 1.0 };
+        assert_eq!(st.expectation(&ps("Z")), expect);
+        assert_eq!(st.expectation(&ps("X")), 0.0);
+    }
+
+    #[test]
+    fn ghz_measurement_statistics() {
+        // GHZ measurements are perfectly correlated and unbiased.
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut all_ones = 0usize;
+        let shots = 400;
+        for _ in 0..shots {
+            let mut st = StabilizerState::new(3);
+            st.apply_all(&[
+                CliffordGate::H(0),
+                CliffordGate::Cx(0, 1),
+                CliffordGate::Cx(1, 2),
+            ]);
+            let m = st.measure_all(&mut rng);
+            assert!(m.iter().all(|&b| b == m[0]), "GHZ outcomes correlate");
+            all_ones += m[0] as usize;
+        }
+        assert!((120..280).contains(&all_ones), "all_ones = {all_ones}");
+    }
+
+    #[test]
+    fn measurement_updates_remaining_correlations() {
+        // Measuring one Bell qubit collapses the partner deterministically.
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..50 {
+            let mut st = StabilizerState::new(2);
+            st.apply_all(&[CliffordGate::H(0), CliffordGate::Cx(0, 1)]);
+            let first = st.measure_z(0, &mut rng);
+            let expect = if first { -1.0 } else { 1.0 };
+            assert_eq!(
+                st.expectation(&PauliString::single(2, 1, Pauli::Z)),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn expectation_is_invariant_under_measuring_commuting_observables() {
+        // Measuring Z0 leaves ⟨Z1⟩ of a product state untouched.
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut st = StabilizerState::new(2);
+        st.apply(CliffordGate::X(1));
+        let before = st.expectation(&ps("IZ"));
+        let _ = st.measure_z(0, &mut rng);
+        assert_eq!(st.expectation(&ps("IZ")), before);
+    }
+
+    #[test]
+    fn clifford_angles_match_expectations() {
+        // √Y |0⟩ = |+⟩ up to phase: Ry(π/2) rotates Z to X.
+        let mut st = StabilizerState::new(1);
+        st.apply(CliffordGate::SqrtY(0));
+        assert_eq!(st.expectation(&ps("X")), 1.0);
+        // √X |0⟩: Z → -Y eigenstate.
+        let mut st = StabilizerState::new(1);
+        st.apply(CliffordGate::SqrtX(0));
+        assert_eq!(st.expectation(&ps("Y")), -1.0);
+        assert_eq!(st.expectation(&ps("Z")), 0.0);
+    }
+}

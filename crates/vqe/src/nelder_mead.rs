@@ -1,0 +1,182 @@
+//! Nelder–Mead simplex minimization (the gradient-free alternative of §2.3).
+
+/// Nelder–Mead hyper-parameters (standard reflection/expansion/contraction/
+/// shrink coefficients).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum objective evaluations.
+    pub max_evaluations: usize,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+    /// Convergence tolerance on the simplex loss spread.
+    pub tolerance: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> NelderMeadConfig {
+        NelderMeadConfig {
+            max_evaluations: 2000,
+            initial_step: 0.5,
+            tolerance: 1e-8,
+        }
+    }
+}
+
+/// The Nelder–Mead optimizer.
+///
+/// # Example
+///
+/// ```
+/// use clapton_vqe::{NelderMead, NelderMeadConfig};
+///
+/// let f = |x: &[f64]| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2);
+/// let (best, loss) = NelderMead::new(NelderMeadConfig::default())
+///     .minimize(&f, vec![0.0, 0.0]);
+/// assert!(loss < 1e-6);
+/// assert!((best[0] - 2.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    config: NelderMeadConfig,
+}
+
+impl NelderMead {
+    /// Creates an optimizer.
+    pub fn new(config: NelderMeadConfig) -> NelderMead {
+        NelderMead { config }
+    }
+
+    /// Minimizes `f` from `x0`, returning `(best_point, best_loss)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize<F>(&self, f: &F, x0: Vec<f64>) -> (Vec<f64>, f64)
+    where
+        F: Fn(&[f64]) -> f64 + ?Sized,
+    {
+        assert!(!x0.is_empty(), "need at least one parameter");
+        let d = x0.len();
+        let cfg = &self.config;
+        let mut evals = 0usize;
+        let eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f(x)
+        };
+        // Initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<(f64, Vec<f64>)> = Vec::with_capacity(d + 1);
+        simplex.push((eval(&x0, &mut evals), x0.clone()));
+        for i in 0..d {
+            let mut x = x0.clone();
+            x[i] += cfg.initial_step;
+            simplex.push((eval(&x, &mut evals), x));
+        }
+        let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+        while evals < cfg.max_evaluations {
+            simplex.sort_by(|a, b| a.0.total_cmp(&b.0));
+            if simplex[d].0 - simplex[0].0 < cfg.tolerance {
+                break;
+            }
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; d];
+            for (_, x) in &simplex[..d] {
+                for i in 0..d {
+                    centroid[i] += x[i] / d as f64;
+                }
+            }
+            let worst = simplex[d].clone();
+            let reflect: Vec<f64> = (0..d)
+                .map(|i| centroid[i] + alpha * (centroid[i] - worst.1[i]))
+                .collect();
+            let f_reflect = eval(&reflect, &mut evals);
+            if f_reflect < simplex[0].0 {
+                // Try expansion.
+                let expand: Vec<f64> = (0..d)
+                    .map(|i| centroid[i] + gamma * (reflect[i] - centroid[i]))
+                    .collect();
+                let f_expand = eval(&expand, &mut evals);
+                simplex[d] = if f_expand < f_reflect {
+                    (f_expand, expand)
+                } else {
+                    (f_reflect, reflect)
+                };
+            } else if f_reflect < simplex[d - 1].0 {
+                simplex[d] = (f_reflect, reflect);
+            } else {
+                // Contraction.
+                let contract: Vec<f64> = (0..d)
+                    .map(|i| centroid[i] + rho * (worst.1[i] - centroid[i]))
+                    .collect();
+                let f_contract = eval(&contract, &mut evals);
+                if f_contract < worst.0 {
+                    simplex[d] = (f_contract, contract);
+                } else {
+                    // Shrink toward the best.
+                    let best = simplex[0].1.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        for i in 0..d {
+                            entry.1[i] = best[i] + sigma * (entry.1[i] - best[i]);
+                        }
+                        entry.0 = eval(&entry.1.clone(), &mut evals);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (loss, x) = simplex.into_iter().next().expect("non-empty simplex");
+        (x, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let (best, loss) = NelderMead::new(NelderMeadConfig::default()).minimize(&f, vec![3.0, -2.0]);
+        assert!(loss < 1e-6);
+        assert!(best.iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn minimizes_banana_valley() {
+        // A mild Rosenbrock: curved valley, classic NM stress test.
+        let f = |x: &[f64]| {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a).powi(2) + 10.0 * (b - a * a).powi(2)
+        };
+        let cfg = NelderMeadConfig {
+            max_evaluations: 5000,
+            ..NelderMeadConfig::default()
+        };
+        let (best, loss) = NelderMead::new(cfg).minimize(&f, vec![-1.0, 1.0]);
+        assert!(loss < 1e-4, "loss {loss} at {best:?}");
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let count = std::cell::Cell::new(0usize);
+        let f = |x: &[f64]| {
+            count.set(count.get() + 1);
+            x[0] * x[0]
+        };
+        let cfg = NelderMeadConfig {
+            max_evaluations: 100,
+            tolerance: 0.0,
+            ..NelderMeadConfig::default()
+        };
+        let _ = NelderMead::new(cfg).minimize(&f, vec![5.0]);
+        // Budget may overshoot by at most one simplex operation (≤ d+2).
+        assert!(count.get() <= 103, "used {}", count.get());
+    }
+
+    #[test]
+    fn one_dimensional_cosine() {
+        let f = |x: &[f64]| x[0].cos();
+        let (best, loss) = NelderMead::new(NelderMeadConfig::default()).minimize(&f, vec![1.0]);
+        assert!(loss < -0.999);
+        assert!((best[0] - std::f64::consts::PI).abs() < 1e-2);
+    }
+}

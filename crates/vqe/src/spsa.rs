@@ -1,0 +1,187 @@
+//! Simultaneous Perturbation Stochastic Approximation (Spall [45]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SPSA hyper-parameters with the standard Spall gain schedules
+/// `a_k = a / (k + 1 + A)^α`, `c_k = c / (k + 1)^γ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpsaConfig {
+    /// Numerator of the step-size schedule.
+    pub a: f64,
+    /// Numerator of the perturbation schedule.
+    pub c: f64,
+    /// Step-size decay exponent (Spall recommends 0.602).
+    pub alpha: f64,
+    /// Perturbation decay exponent (Spall recommends 0.101).
+    pub gamma: f64,
+    /// Stability constant `A` (typically ~10% of the iteration budget).
+    pub stability: f64,
+    /// Number of iterations (2 objective evaluations each).
+    pub iterations: usize,
+    /// RNG seed for the perturbation directions.
+    pub seed: u64,
+}
+
+impl SpsaConfig {
+    /// A reasonable default for VQE energy landscapes over angles.
+    pub fn for_iterations(iterations: usize) -> SpsaConfig {
+        SpsaConfig {
+            a: 0.25,
+            c: 0.15,
+            alpha: 0.602,
+            gamma: 0.101,
+            stability: 0.1 * iterations as f64,
+            iterations,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of an SPSA minimization.
+#[derive(Debug, Clone)]
+pub struct SpsaResult {
+    /// The final iterate.
+    pub theta: Vec<f64>,
+    /// The best iterate seen (by recorded estimate).
+    pub best_theta: Vec<f64>,
+    /// Loss estimate `(f₊ + f₋)/2` per iteration.
+    pub history: Vec<f64>,
+    /// Total objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// The SPSA optimizer.
+///
+/// # Example
+///
+/// ```
+/// use clapton_vqe::{Spsa, SpsaConfig};
+///
+/// // Minimize a quadratic bowl.
+/// let f = |x: &[f64]| x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum::<f64>();
+/// let config = SpsaConfig { seed: 3, ..SpsaConfig::for_iterations(400) };
+/// let result = Spsa::new(config).minimize(&f, vec![3.0, -2.0]);
+/// assert!(f(&result.best_theta) < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spsa {
+    config: SpsaConfig,
+}
+
+impl Spsa {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: SpsaConfig) -> Spsa {
+        Spsa { config }
+    }
+
+    /// Minimizes `f` starting from `theta0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta0` is empty.
+    pub fn minimize<F>(&self, f: &F, theta0: Vec<f64>) -> SpsaResult
+    where
+        F: Fn(&[f64]) -> f64 + ?Sized,
+    {
+        assert!(!theta0.is_empty(), "need at least one parameter");
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let d = theta0.len();
+        let mut theta = theta0;
+        let mut history = Vec::with_capacity(cfg.iterations);
+        let mut best_theta = theta.clone();
+        let mut best_estimate = f64::INFINITY;
+        let mut evaluations = 0;
+        let mut plus = vec![0.0; d];
+        let mut minus = vec![0.0; d];
+        for k in 0..cfg.iterations {
+            let ak = cfg.a / (k as f64 + 1.0 + cfg.stability).powf(cfg.alpha);
+            let ck = cfg.c / (k as f64 + 1.0).powf(cfg.gamma);
+            // Rademacher perturbation.
+            let delta: Vec<f64> = (0..d)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            for i in 0..d {
+                plus[i] = theta[i] + ck * delta[i];
+                minus[i] = theta[i] - ck * delta[i];
+            }
+            let f_plus = f(&plus);
+            let f_minus = f(&minus);
+            evaluations += 2;
+            let estimate = 0.5 * (f_plus + f_minus);
+            history.push(estimate);
+            if estimate < best_estimate {
+                best_estimate = estimate;
+                best_theta.clone_from(&theta);
+            }
+            let g_scale = (f_plus - f_minus) / (2.0 * ck);
+            for i in 0..d {
+                theta[i] -= ak * g_scale * delta[i];
+            }
+        }
+        SpsaResult {
+            theta,
+            best_theta,
+            history,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        let config = SpsaConfig {
+            seed: 1,
+            ..SpsaConfig::for_iterations(500)
+        };
+        let result = Spsa::new(config).minimize(&bowl, vec![2.0, -3.0, 1.0]);
+        assert!(bowl(&result.best_theta) < 0.05, "{:?}", result.best_theta);
+        assert_eq!(result.evaluations, 1000);
+        assert_eq!(result.history.len(), 500);
+    }
+
+    #[test]
+    fn minimizes_trig_landscape() {
+        // A 1D VQE-like objective: f(θ) = cos θ has minimum -1 at π.
+        let f = |x: &[f64]| x[0].cos();
+        let config = SpsaConfig {
+            seed: 2,
+            ..SpsaConfig::for_iterations(400)
+        };
+        let result = Spsa::new(config).minimize(&f, vec![0.5]);
+        assert!(f(&result.best_theta) < -0.98, "{:?}", result.best_theta);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = SpsaConfig {
+            seed: 7,
+            ..SpsaConfig::for_iterations(50)
+        };
+        let a = Spsa::new(config).minimize(&bowl, vec![1.0, 1.0]);
+        let b = Spsa::new(config).minimize(&bowl, vec![1.0, 1.0]);
+        assert_eq!(a.theta, b.theta);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn history_trends_downward() {
+        let config = SpsaConfig {
+            seed: 5,
+            ..SpsaConfig::for_iterations(300)
+        };
+        let result = Spsa::new(config).minimize(&bowl, vec![4.0, 4.0]);
+        let early: f64 = result.history[..50].iter().sum::<f64>() / 50.0;
+        let late: f64 = result.history[250..].iter().sum::<f64>() / 50.0;
+        assert!(late < early * 0.2, "early {early} late {late}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate for the Clapton reproduction (ASPLOS 2024,
+//! arXiv:2406.15721): Clifford-assisted problem transformation for error
+//! mitigation in variational quantum algorithms.
+//!
+//! The individual subsystems live in their own crates and are re-exported
+//! here: [`pauli`], [`stabilizer`], [`circuits`], [`noise`], [`sim`],
+//! [`ga`], [`models`], [`devices`], [`core`], [`vqe`]. The [`pipeline`]
+//! module adds a one-call end-to-end builder.
+//!
+//! # Example
+//!
+//! ```
+//! use clapton::models::ising;
+//! use clapton::pipeline::Pipeline;
+//!
+//! let report = Pipeline::new(ising(4, 0.5))
+//!     .with_uniform_noise(1e-3, 1e-2, 2e-2)
+//!     .quick(42)
+//!     .run();
+//! // Clapton's transformed problem keeps the spectrum of the original...
+//! let e0_hat = clapton::sim::ground_energy(&report.clapton.transformation.transformed);
+//! assert!((e0_hat - report.e0).abs() < 1e-7);
+//! // ...and starts the VQE at a device energy no worse than CAFQA's.
+//! assert!(report.clapton_initial_energy <= report.cafqa_initial_energy + 1e-9);
+//! ```
+
+pub mod pipeline;
+
+pub use clapton_circuits as circuits;
+pub use clapton_core as core;
+pub use clapton_devices as devices;
+pub use clapton_ga as ga;
+pub use clapton_models as models;
+pub use clapton_noise as noise;
+pub use clapton_pauli as pauli;
+pub use clapton_sim as sim;
+pub use clapton_stabilizer as stabilizer;
+pub use clapton_vqe as vqe;

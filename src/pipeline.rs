@@ -1,0 +1,174 @@
+//! The end-to-end application-to-device pipeline — the "framework" face of
+//! the reproduction (§1: "Clapton is built as an end-to-end
+//! application-to-device framework").
+//!
+//! [`Pipeline`] wires the full flow behind one builder: Hamiltonian →
+//! transpilation onto a backend → Clapton transformation search → (optional)
+//! VQE → device-model evaluation and metrics.
+
+use clapton_core::{
+    relative_improvement, run_cafqa, run_clapton, CafqaResult, ClaptonConfig, ClaptonResult,
+    ExecutableAnsatz,
+};
+use clapton_devices::FakeBackend;
+use clapton_ga::MultiGaConfig;
+use clapton_noise::NoiseModel;
+use clapton_pauli::PauliSum;
+use clapton_sim::{ground_energy, DeviceEvaluator};
+use clapton_vqe::{run_vqe, VqeConfig, VqeTrace};
+
+/// Builder for an end-to-end Clapton run.
+///
+/// # Example
+///
+/// ```
+/// use clapton::pipeline::Pipeline;
+/// use clapton::models::ising;
+///
+/// let report = Pipeline::new(ising(4, 0.5))
+///     .with_uniform_noise(1e-3, 1e-2, 2e-2)
+///     .quick(7)
+///     .run();
+/// // Clapton's initial point is at least as good as CAFQA's on this model.
+/// assert!(report.clapton_initial_energy <= report.cafqa_initial_energy + 1e-9);
+/// assert!(report.eta_initial >= 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    hamiltonian: PauliSum,
+    backend: Option<FakeBackend>,
+    model: Option<NoiseModel>,
+    clapton: ClaptonConfig,
+    engine: MultiGaConfig,
+    vqe_iterations: Option<usize>,
+}
+
+/// Everything an end-to-end run produces.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Exact ground energy `E0` of the problem.
+    pub e0: f64,
+    /// CAFQA baseline search result.
+    pub cafqa: CafqaResult,
+    /// Clapton search result (transformation included).
+    pub clapton: ClaptonResult,
+    /// Device-model energy of the CAFQA initial point.
+    pub cafqa_initial_energy: f64,
+    /// Device-model energy of the Clapton initial point (θ = 0 on `Ĥ`).
+    pub clapton_initial_energy: f64,
+    /// η of Clapton over CAFQA at the initial point (Eq. 14).
+    pub eta_initial: f64,
+    /// VQE trace from the Clapton start (when VQE was requested).
+    pub clapton_vqe: Option<VqeTrace>,
+    /// VQE trace from the CAFQA start (when VQE was requested).
+    pub cafqa_vqe: Option<VqeTrace>,
+}
+
+impl Pipeline {
+    /// Starts a pipeline for a problem Hamiltonian.
+    pub fn new(hamiltonian: PauliSum) -> Pipeline {
+        Pipeline {
+            hamiltonian,
+            backend: None,
+            model: None,
+            clapton: ClaptonConfig::paper(),
+            engine: MultiGaConfig::paper(),
+            vqe_iterations: None,
+        }
+    }
+
+    /// Targets a fake backend (topology + calibration snapshot).
+    #[must_use]
+    pub fn on_backend(mut self, backend: FakeBackend) -> Pipeline {
+        self.backend = Some(backend);
+        self.model = None;
+        self
+    }
+
+    /// Targets a plain uniform noise model without transpilation.
+    #[must_use]
+    pub fn with_uniform_noise(mut self, p1: f64, p2: f64, readout: f64) -> Pipeline {
+        self.model = Some(NoiseModel::uniform(
+            self.hamiltonian.num_qubits(),
+            p1,
+            p2,
+            readout,
+        ));
+        self.backend = None;
+        self
+    }
+
+    /// Uses reduced search settings seeded by `seed` (for tests/demos).
+    #[must_use]
+    pub fn quick(mut self, seed: u64) -> Pipeline {
+        self.clapton = ClaptonConfig::quick(seed);
+        self.engine = MultiGaConfig::quick();
+        self
+    }
+
+    /// Enables a follow-up VQE of `iterations` SPSA steps from both starts.
+    #[must_use]
+    pub fn with_vqe(mut self, iterations: usize) -> Pipeline {
+        self.vqe_iterations = Some(iterations);
+        self
+    }
+
+    /// Executes the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem does not fit the chosen backend, or if neither
+    /// a backend nor a noise model was configured and the register exceeds
+    /// the dense-simulation limit.
+    pub fn run(self) -> Report {
+        let n = self.hamiltonian.num_qubits();
+        let exec = match (&self.backend, &self.model) {
+            (Some(backend), _) => ExecutableAnsatz::on_device(
+                n,
+                backend.coupling_map(),
+                &backend.noise_model(),
+            )
+            .expect("backend hosts the problem"),
+            (None, Some(model)) => ExecutableAnsatz::untranspiled(n, model),
+            (None, None) => ExecutableAnsatz::untranspiled(n, &NoiseModel::noiseless(n)),
+        };
+        let e0 = ground_energy(&self.hamiltonian);
+        let cafqa = run_cafqa(&self.hamiltonian, &exec, &self.engine, self.clapton.seed);
+        let clapton = run_clapton(&self.hamiltonian, &exec, &self.clapton);
+        let device_energy = |h: &PauliSum, theta: &[f64]| {
+            DeviceEvaluator::run(&exec.circuit(theta), exec.noise_model())
+                .energy(&exec.map_hamiltonian(h))
+        };
+        let zeros = vec![0.0; exec.ansatz().num_parameters()];
+        let cafqa_initial_energy = device_energy(&self.hamiltonian, &cafqa.theta);
+        let clapton_initial_energy =
+            device_energy(&clapton.transformation.transformed, &zeros);
+        let eta_initial =
+            relative_improvement(e0, cafqa_initial_energy, clapton_initial_energy);
+        let (clapton_vqe, cafqa_vqe) = match self.vqe_iterations {
+            Some(iters) => {
+                let config = VqeConfig::new(iters);
+                (
+                    Some(run_vqe(
+                        &clapton.transformation.transformed,
+                        &exec,
+                        &zeros,
+                        &config,
+                    )),
+                    Some(run_vqe(&self.hamiltonian, &exec, &cafqa.theta, &config)),
+                )
+            }
+            None => (None, None),
+        };
+        Report {
+            e0,
+            cafqa,
+            clapton,
+            cafqa_initial_energy,
+            clapton_initial_energy,
+            eta_initial,
+            clapton_vqe,
+            cafqa_vqe,
+        }
+    }
+}

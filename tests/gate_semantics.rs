@@ -1,0 +1,274 @@
+//! Ground-truth validation of the Clifford conjugation rules against dense
+//! complex matrices: for every gate `g` and every one-/two-qubit Pauli `P`,
+//! the rule `g P g† = s·P'` produced by `CliffordGate::conjugate` must match
+//! literal matrix arithmetic. This pins down the sign conventions the whole
+//! stack (transformation, evaluators, stabilizer states) relies on.
+
+use clapton::pauli::{Pauli, PauliString};
+use clapton::sim::Complex64;
+use clapton::stabilizer::CliffordGate;
+
+type Mat = Vec<Vec<Complex64>>;
+
+fn zeros(n: usize) -> Mat {
+    vec![vec![Complex64::ZERO; n]; n]
+}
+
+fn matmul(a: &Mat, b: &Mat) -> Mat {
+    let n = a.len();
+    let mut out = zeros(n);
+    for (i, row) in out.iter_mut().enumerate() {
+        for (k, &aik) in a[i].iter().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+fn dagger(a: &Mat) -> Mat {
+    let n = a.len();
+    let mut out = zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            out[i][j] = a[j][i].conj();
+        }
+    }
+    out
+}
+
+fn kron(a: &Mat, b: &Mat) -> Mat {
+    let (na, nb) = (a.len(), b.len());
+    let mut out = zeros(na * nb);
+    for i in 0..na {
+        for j in 0..na {
+            for k in 0..nb {
+                for l in 0..nb {
+                    out[i * nb + k][j * nb + l] = a[i][j] * b[k][l];
+                }
+            }
+        }
+    }
+    out
+}
+
+fn approx_eq(a: &Mat, b: &Mat) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| (*x - *y).abs() < 1e-12))
+}
+
+fn scale(a: &Mat, s: f64) -> Mat {
+    a.iter()
+        .map(|r| r.iter().map(|x| x.scale(s)).collect())
+        .collect()
+}
+
+fn c(re: f64, im: f64) -> Complex64 {
+    Complex64::new(re, im)
+}
+
+fn pauli_matrix(p: Pauli) -> Mat {
+    match p {
+        Pauli::I => vec![vec![c(1.0, 0.0), c(0.0, 0.0)], vec![c(0.0, 0.0), c(1.0, 0.0)]],
+        Pauli::X => vec![vec![c(0.0, 0.0), c(1.0, 0.0)], vec![c(1.0, 0.0), c(0.0, 0.0)]],
+        Pauli::Y => vec![vec![c(0.0, 0.0), c(0.0, -1.0)], vec![c(0.0, 1.0), c(0.0, 0.0)]],
+        Pauli::Z => vec![vec![c(1.0, 0.0), c(0.0, 0.0)], vec![c(0.0, 0.0), c(-1.0, 0.0)]],
+    }
+}
+
+/// Dense matrix of a Pauli string on `n` qubits. Qubit 0 is the FIRST kron
+/// factor; the basis-index convention of the dense simulators puts qubit 0
+/// in the least-significant bit, so factor order is reversed here.
+fn string_matrix(p: &PauliString) -> Mat {
+    let n = p.num_qubits();
+    let mut m = pauli_matrix(p.get(n - 1));
+    for q in (0..n - 1).rev() {
+        m = kron(&m, &pauli_matrix(p.get(q)));
+    }
+    m
+}
+
+/// Dense matrix of a single-qubit gate matrix placed on qubit `q` of `n`.
+fn embed_1q(u: &Mat, q: usize, n: usize) -> Mat {
+    let id = pauli_matrix(Pauli::I);
+    let mut m = if q == n - 1 { u.clone() } else { id.clone() };
+    for k in (0..n - 1).rev() {
+        let factor = if k == q { u } else { &id };
+        m = kron(&m, factor);
+    }
+    m
+}
+
+fn gate_matrix(g: CliffordGate, n: usize) -> Mat {
+    use CliffordGate::*;
+    let s2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mat_1q: Option<(usize, Mat)> = match g {
+        H(q) => Some((q, vec![vec![c(s2, 0.0), c(s2, 0.0)], vec![c(s2, 0.0), c(-s2, 0.0)]])),
+        S(q) => Some((q, vec![vec![c(1.0, 0.0), c(0.0, 0.0)], vec![c(0.0, 0.0), c(0.0, 1.0)]])),
+        Sdg(q) => Some((q, vec![vec![c(1.0, 0.0), c(0.0, 0.0)], vec![c(0.0, 0.0), c(0.0, -1.0)]])),
+        X(q) => Some((q, pauli_matrix(Pauli::X))),
+        Y(q) => Some((q, pauli_matrix(Pauli::Y))),
+        Z(q) => Some((q, pauli_matrix(Pauli::Z))),
+        SqrtX(q) => Some((
+            q,
+            // Rx(π/2) = exp(-iπX/4) = (I - iX)/√2.
+            vec![
+                vec![c(s2, 0.0), c(0.0, -s2)],
+                vec![c(0.0, -s2), c(s2, 0.0)],
+            ],
+        )),
+        SqrtXdg(q) => Some((
+            q,
+            vec![vec![c(s2, 0.0), c(0.0, s2)], vec![c(0.0, s2), c(s2, 0.0)]],
+        )),
+        SqrtY(q) => Some((
+            q,
+            // Ry(π/2) = (I - iY)/√2 = [[s2, -s2], [s2, s2]].
+            vec![vec![c(s2, 0.0), c(-s2, 0.0)], vec![c(s2, 0.0), c(s2, 0.0)]],
+        )),
+        SqrtYdg(q) => Some((
+            q,
+            vec![vec![c(s2, 0.0), c(s2, 0.0)], vec![c(-s2, 0.0), c(s2, 0.0)]],
+        )),
+        _ => None,
+    };
+    if let Some((q, u)) = mat_1q {
+        return embed_1q(&u, q, n);
+    }
+    // Two-qubit gates on n = 2, built index-wise with qubit 0 = LSB.
+    let dim = 1 << n;
+    let mut m = zeros(dim);
+    match g {
+        CliffordGate::Cx(ctrl, tgt) => {
+            for i in 0..dim {
+                let j = if i >> ctrl & 1 == 1 { i ^ (1 << tgt) } else { i };
+                m[j][i] = Complex64::ONE;
+            }
+        }
+        CliffordGate::Cz(a, b) => {
+            for (i, row) in m.iter_mut().enumerate() {
+                let sign = if i >> a & 1 == 1 && i >> b & 1 == 1 { -1.0 } else { 1.0 };
+                row[i] = Complex64::real(sign);
+            }
+        }
+        CliffordGate::Swap(a, b) => {
+            for i in 0..dim {
+                let (ba, bb) = (i >> a & 1, i >> b & 1);
+                let j = if ba != bb { i ^ (1 << a) ^ (1 << b) } else { i };
+                m[j][i] = Complex64::ONE;
+            }
+        }
+        other => unreachable!("{other} handled above"),
+    }
+    m
+}
+
+fn all_strings(n: usize) -> Vec<PauliString> {
+    let mut out = Vec::new();
+    let paulis = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+    if n == 1 {
+        for p in paulis {
+            out.push(PauliString::from_sparse(1, [(0, p)]));
+        }
+    } else {
+        for a in paulis {
+            for b in paulis {
+                out.push(PauliString::from_sparse(2, [(0, a), (1, b)]));
+            }
+        }
+    }
+    out
+}
+
+fn verify_gate(g: CliffordGate, n: usize) {
+    let gm = gate_matrix(g, n);
+    let gm_dag = dagger(&gm);
+    // Unitarity sanity.
+    let dim = 1 << n;
+    let mut id = zeros(dim);
+    for (i, row) in id.iter_mut().enumerate() {
+        row[i] = Complex64::ONE;
+    }
+    assert!(approx_eq(&matmul(&gm, &gm_dag), &id), "{g} not unitary");
+    for p in all_strings(n) {
+        let mut image = p.clone();
+        let flip = g.conjugate(&mut image);
+        let sign = if flip { -1.0 } else { 1.0 };
+        let lhs = matmul(&gm, &matmul(&string_matrix(&p), &gm_dag));
+        let rhs = scale(&string_matrix(&image), sign);
+        assert!(
+            approx_eq(&lhs, &rhs),
+            "{g}: g·{p}·g† != {}{image}",
+            if flip { "-" } else { "+" }
+        );
+    }
+}
+
+#[test]
+fn single_qubit_gates_match_dense_matrices() {
+    use CliffordGate::*;
+    for g in [
+        H(0),
+        S(0),
+        Sdg(0),
+        X(0),
+        Y(0),
+        Z(0),
+        SqrtX(0),
+        SqrtXdg(0),
+        SqrtY(0),
+        SqrtYdg(0),
+    ] {
+        verify_gate(g, 1);
+    }
+}
+
+#[test]
+fn single_qubit_gates_embedded_on_second_qubit() {
+    use CliffordGate::*;
+    for g in [H(1), S(1), SqrtX(1), SqrtY(1), Y(1)] {
+        verify_gate(g, 2);
+    }
+}
+
+#[test]
+fn two_qubit_gates_match_dense_matrices() {
+    use CliffordGate::*;
+    for g in [Cx(0, 1), Cx(1, 0), Cz(0, 1), Cz(1, 0), Swap(0, 1)] {
+        verify_gate(g, 2);
+    }
+}
+
+#[test]
+fn quarter_turn_rotations_match_gate_library() {
+    // Ry(k·π/2)/Rz(k·π/2) built by the circuit IR lower to Clifford gates
+    // whose dense matrices equal the rotation matrices up to global phase.
+    use clapton::circuits::Gate;
+    for k in 1..4u8 {
+        let angle = k as f64 * std::f64::consts::FRAC_PI_2;
+        for builder in [Gate::Ry as fn(usize, f64) -> Gate, Gate::Rz] {
+            let gate = builder(0, angle);
+            let cliffords = gate.to_clifford().expect("Clifford angle");
+            assert_eq!(cliffords.len(), 1);
+            // Contract check on a non-trivial probe state |+⟩:
+            // ⟨gψ|P|gψ⟩ = ⟨ψ|g†Pg|ψ⟩ = f·⟨ψ|Q|ψ⟩ where (f, Q) comes from
+            // conjugating P with the *inverse* Clifford gate.
+            for p in all_strings(1) {
+                let mut probe = clapton::sim::StateVector::new(1);
+                probe.apply_gate(Gate::H(0));
+                let mut evolved = probe.clone();
+                evolved.apply_gate(gate);
+                let lhs = evolved.expectation(&p);
+                let mut img = p.clone();
+                let flipped = cliffords[0].inverse().conjugate(&mut img);
+                let rhs = if flipped { -1.0 } else { 1.0 } * probe.expectation(&img);
+                assert!(
+                    (lhs - rhs).abs() < 1e-10,
+                    "{gate:?} on {p}: {lhs} vs {rhs}"
+                );
+            }
+        }
+    }
+}

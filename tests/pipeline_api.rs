@@ -1,0 +1,59 @@
+//! Tests of the high-level [`clapton::pipeline::Pipeline`] builder.
+
+use clapton::devices::FakeBackend;
+use clapton::models::{ising, xxz};
+use clapton::pipeline::Pipeline;
+
+#[test]
+fn pipeline_with_uniform_noise_produces_consistent_report() {
+    let report = Pipeline::new(ising(4, 0.5))
+        .with_uniform_noise(1e-3, 1e-2, 2e-2)
+        .quick(3)
+        .run();
+    // The report's energies respect the exact ground bound (device noise can
+    // only push energies up for this diagonal-dominant problem).
+    assert!(report.cafqa_initial_energy >= report.e0 - 1e-6);
+    assert!(report.clapton_initial_energy >= report.e0 - 1e-6);
+    // η is the ratio of the two gaps.
+    let expected_eta = (report.e0 - report.cafqa_initial_energy)
+        / (report.e0 - report.clapton_initial_energy);
+    assert!((report.eta_initial - expected_eta).abs() < 1e-12);
+    assert!(report.clapton_vqe.is_none());
+}
+
+#[test]
+fn pipeline_on_backend_transpiles_and_runs() {
+    let report = Pipeline::new(xxz(5, 0.5))
+        .on_backend(FakeBackend::nairobi())
+        .quick(5)
+        .run();
+    assert!(report.clapton_initial_energy.is_finite());
+    // Transformation preserved the problem.
+    assert_eq!(
+        report.clapton.transformation.transformed.num_terms(),
+        xxz(5, 0.5).num_terms()
+    );
+}
+
+#[test]
+fn pipeline_with_vqe_attaches_traces() {
+    let report = Pipeline::new(ising(3, 0.25))
+        .with_uniform_noise(5e-4, 5e-3, 1e-2)
+        .quick(9)
+        .with_vqe(40)
+        .run();
+    let clapton_trace = report.clapton_vqe.expect("vqe requested");
+    let cafqa_trace = report.cafqa_vqe.expect("vqe requested");
+    // Initial energies of the traces match the report's device energies.
+    assert!((clapton_trace.initial_energy - report.clapton_initial_energy).abs() < 1e-9);
+    assert!((cafqa_trace.initial_energy - report.cafqa_initial_energy).abs() < 1e-9);
+    // VQE does not make things (much) worse.
+    assert!(clapton_trace.final_energy <= clapton_trace.initial_energy + 0.2);
+}
+
+#[test]
+fn noiseless_pipeline_defaults_to_ideal_model() {
+    let report = Pipeline::new(ising(3, 1.0)).quick(1).run();
+    // Without noise, device evaluation equals the noiseless search loss.
+    assert!((report.cafqa_initial_energy - report.cafqa.energy_noiseless).abs() < 1e-9);
+}

@@ -1,0 +1,120 @@
+//! Transpilation soundness: routed circuits must implement the same unitary
+//! as the logical circuit up to the tracked qubit permutation. Verified
+//! densely by comparing logical-frame energies with compact-frame energies
+//! of mapped Hamiltonians, over random circuits, layouts and topologies.
+
+use clapton::circuits::{route_with_layout, Circuit, CouplingMap, Gate};
+use clapton::pauli::{PauliString, PauliSum};
+use clapton::sim::StateVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_circuit(n: usize, len: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        match rng.gen_range(0..4) {
+            0 => c.push(Gate::Ry(rng.gen_range(0..n), rng.gen_range(0.0..6.28))),
+            1 => c.push(Gate::Rz(rng.gen_range(0..n), rng.gen_range(0.0..6.28))),
+            2 => c.push(Gate::H(rng.gen_range(0..n))),
+            _ => {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                c.push(Gate::Cx(a, b));
+            }
+        }
+    }
+    c
+}
+
+fn random_layout(n_logical: usize, n_physical: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut phys: Vec<usize> = (0..n_physical).collect();
+    for i in 0..n_logical {
+        let j = rng.gen_range(i..n_physical);
+        phys.swap(i, j);
+    }
+    phys[..n_logical].to_vec()
+}
+
+/// Maps a logical Pauli term to physical qubits via the final layout.
+fn map_term(p: &PauliString, final_layout: &[usize], n_physical: usize) -> PauliString {
+    let mut out = PauliString::identity(n_physical);
+    for q in p.support() {
+        out.set(final_layout[q], p.get(q));
+    }
+    out
+}
+
+#[test]
+fn routing_preserves_energies_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(7777);
+    for trial in 0..20 {
+        let n_logical = rng.gen_range(2..5);
+        let n_physical = rng.gen_range(n_logical..=6);
+        let coupling = if rng.gen_bool(0.5) {
+            CouplingMap::line(n_physical)
+        } else if n_physical >= 3 {
+            CouplingMap::ring(n_physical)
+        } else {
+            CouplingMap::line(n_physical)
+        };
+        let circuit = random_circuit(n_logical, 15, &mut rng);
+        let layout = random_layout(n_logical, n_physical, &mut rng);
+        let routed = route_with_layout(&circuit, &coupling, &layout);
+        // Every two-qubit gate respects the topology.
+        for g in routed.circuit.gates() {
+            if g.is_two_qubit() {
+                let q = g.qubits();
+                assert!(coupling.are_adjacent(q[0], q[1]), "trial {trial}: {g}");
+            }
+        }
+        // Energy equivalence for random observables.
+        let logical_state = StateVector::from_circuit(&circuit);
+        let physical_state = StateVector::from_circuit(&routed.circuit);
+        for _ in 0..6 {
+            let p = PauliString::random(n_logical, &mut rng);
+            let h = PauliSum::from_terms(n_logical, vec![(1.0, p.clone())]);
+            let mapped = PauliSum::from_terms(
+                n_physical,
+                vec![(1.0, map_term(&p, &routed.final_layout, n_physical))],
+            );
+            let e_logical = logical_state.energy(&h);
+            let e_physical = physical_state.energy(&mapped);
+            assert!(
+                (e_logical - e_physical).abs() < 1e-9,
+                "trial {trial}: {p} logical {e_logical} vs physical {e_physical}"
+            );
+        }
+    }
+}
+
+#[test]
+fn routing_on_heavy_hex_backends_is_sound() {
+    // The real topologies: route the 10-qubit circular ansatz skeleton on
+    // each 27-qubit backend and check two-qubit adjacency + permutation
+    // validity of the final layout.
+    use clapton::circuits::HardwareEfficientAnsatz;
+    use clapton::devices::FakeBackend;
+    for backend in [FakeBackend::toronto(), FakeBackend::mumbai(), FakeBackend::hanoi()] {
+        let ansatz = HardwareEfficientAnsatz::new(10);
+        let layout = clapton::circuits::chain_layout(backend.coupling_map(), 10).unwrap();
+        let routed =
+            route_with_layout(&ansatz.circuit_at_zero(), backend.coupling_map(), &layout);
+        for g in routed.circuit.gates() {
+            if g.is_two_qubit() {
+                let q = g.qubits();
+                assert!(
+                    backend.coupling_map().are_adjacent(q[0], q[1]),
+                    "{}: {g}",
+                    backend.name()
+                );
+            }
+        }
+        let mut final_sorted = routed.final_layout.clone();
+        final_sorted.sort_unstable();
+        final_sorted.dedup();
+        assert_eq!(final_sorted.len(), 10, "{}", backend.name());
+    }
+}
