@@ -1,13 +1,19 @@
 //! Ablation bench (DESIGN.md): exact Pauli back-propagation vs stim-style
 //! frame sampling for the noisy loss `LN` — the design choice that makes
-//! this reproduction's default loss deterministic.
+//! this reproduction's default loss deterministic — plus the
+//! population-batch evaluation paths of the `LossEvaluator` API
+//! (sequential vs thread-parallel vs cached).
 
-use clapton_circuits::HardwareEfficientAnsatz;
+use clapton_circuits::{HardwareEfficientAnsatz, TransformationAnsatz};
+use clapton_core::{
+    CachedEvaluator, EvaluatorKind, ExecutableAnsatz, LossEvaluator, ParallelEvaluator,
+    TransformLoss,
+};
 use clapton_models::{ising, xxz};
 use clapton_noise::{ExactEvaluator, FrameSampler, NoiseModel, NoisyCircuit};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn noisy_zero_circuit(n: usize) -> NoisyCircuit {
@@ -57,9 +63,65 @@ fn bench_dense_hamiltonian(c: &mut Criterion) {
     group.finish();
 }
 
+/// Population-batch evaluation of the real Clapton objective: the speedup
+/// the `LossEvaluator` redesign exists to deliver. `parallel` fans one
+/// population over all cores; `cached` replays a 50%-duplicate population
+/// (the mix-and-restart regime) through the genome → loss memo.
+fn bench_population_batch(c: &mut Criterion) {
+    let n = 10;
+    let h = ising(n, 0.25);
+    let model = NoiseModel::uniform(n, 3e-4, 8e-3, 2e-2);
+    let exec = ExecutableAnsatz::untranspiled(n, &model);
+    let ansatz = TransformationAnsatz::new(n);
+    let loss = TransformLoss::new(&h, &exec, &ansatz, EvaluatorKind::Exact);
+    let mut rng = StdRng::seed_from_u64(17);
+    let population: Vec<Vec<u8>> = (0..96)
+        .map(|_| {
+            (0..ansatz.num_genes())
+                .map(|_| rng.gen_range(0..4u8))
+                .collect()
+        })
+        .collect();
+    // Mix-round regime: half the population are re-submitted known genomes.
+    let mut mixed = population.clone();
+    for i in 0..mixed.len() / 2 {
+        mixed[2 * i + 1] = population[i].clone();
+    }
+
+    let mut group = c.benchmark_group("population_batch_96");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| loss.evaluate_population(black_box(&population)));
+    });
+    group.bench_function("parallel", |b| {
+        let parallel = ParallelEvaluator::new(&loss);
+        b.iter(|| parallel.evaluate_population(black_box(&population)));
+    });
+    group.bench_function("cached_mix_round", |b| {
+        b.iter(|| {
+            // Fresh cache per iteration: first submission pays, the mixed
+            // half and the replay hit the memo.
+            let cached = CachedEvaluator::new(&loss);
+            let first = cached.evaluate_population(black_box(&mixed));
+            let replay = cached.evaluate_population(black_box(&mixed));
+            black_box((first, replay))
+        });
+    });
+    group.bench_function("parallel_cached_mix_round", |b| {
+        b.iter(|| {
+            let cached = CachedEvaluator::new(ParallelEvaluator::new(&loss));
+            let first = cached.evaluate_population(black_box(&mixed));
+            let replay = cached.evaluate_population(black_box(&mixed));
+            black_box((first, replay))
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_exact_energy, bench_sampled_energy, bench_dense_hamiltonian
+    targets = bench_exact_energy, bench_sampled_energy, bench_dense_hamiltonian,
+        bench_population_batch
 }
 criterion_main!(benches);

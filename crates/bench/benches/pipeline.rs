@@ -29,8 +29,7 @@ fn bench_loss_evaluation(c: &mut Criterion) {
         let gamma: Vec<u8> = (0..t_ansatz.num_genes()).map(|i| (i % 4) as u8).collect();
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
             b.iter(|| {
-                let transformed =
-                    transform_hamiltonian(black_box(h), &t_ansatz.gates(&gamma));
+                let transformed = transform_hamiltonian(black_box(h), &t_ansatz.gates(&gamma));
                 loss.total(&transformed)
             });
         });

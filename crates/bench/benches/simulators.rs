@@ -12,7 +12,9 @@ fn bench_statevector(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector_ansatz");
     for n in [6usize, 8, 10] {
         let ansatz = HardwareEfficientAnsatz::new(n);
-        let theta: Vec<f64> = (0..ansatz.num_parameters()).map(|i| 0.1 * i as f64).collect();
+        let theta: Vec<f64> = (0..ansatz.num_parameters())
+            .map(|i| 0.1 * i as f64)
+            .collect();
         let circuit = ansatz.circuit(&theta);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| StateVector::from_circuit(black_box(&circuit)));
@@ -26,7 +28,9 @@ fn bench_device_evaluation(c: &mut Criterion) {
     group.sample_size(10);
     for n in [6usize, 8, 10] {
         let ansatz = HardwareEfficientAnsatz::new(n);
-        let theta: Vec<f64> = (0..ansatz.num_parameters()).map(|i| 0.2 * i as f64).collect();
+        let theta: Vec<f64> = (0..ansatz.num_parameters())
+            .map(|i| 0.2 * i as f64)
+            .collect();
         let circuit = ansatz.circuit(&theta);
         let mut model = NoiseModel::uniform(n, 3e-4, 8e-3, 2e-2);
         model.set_t1_uniform(100e-6);

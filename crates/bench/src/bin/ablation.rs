@@ -60,8 +60,7 @@ fn main() {
         ];
         for (label, config) in variants {
             let result = run_clapton(h, &instance.exec, &config);
-            let device =
-                instance.device_energy(&result.transformation.transformed, &zeros, None);
+            let device = instance.device_energy(&result.transformation.transformed, &zeros, None);
             println!(
                 "{:<14} {:<22} {:>12.5} {:>12.5} {:>12.5}",
                 instance.name, label, result.loss, result.loss_0, device

@@ -19,7 +19,10 @@ fn main() {
     let h = xxz(n, 1.0);
     println!("# Figure 2: XXZ (J=1.00, N={n}) on {}", backend.name());
     let instance = Instance::prepare("xxz(J=1.00)", &h, &backend);
-    println!("# E0 = {:.6}, E_mixed = {:.6}", instance.e0, instance.e_mixed);
+    println!(
+        "# E0 = {:.6}, E_mixed = {:.6}",
+        instance.e0, instance.e_mixed
+    );
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>12} {:>12}",
         "method", "noiseless", "cliff-model", "device", "norm(device)", "model-gap"

@@ -127,10 +127,7 @@ fn run_backend(backend: &FakeBackend, options: &Options) {
 
 /// Restricts a (27-qubit) hardware-variant model onto the instance's compact
 /// register by rebuilding the executable ansatz against it.
-fn restricted_model(
-    instance: &Instance,
-    hw: &FakeBackend,
-) -> clapton_noise::NoiseModel {
+fn restricted_model(instance: &Instance, hw: &FakeBackend) -> clapton_noise::NoiseModel {
     let exec = clapton_core::ExecutableAnsatz::on_device(
         instance.hamiltonian.num_qubits(),
         hw.coupling_map(),

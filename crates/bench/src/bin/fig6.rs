@@ -23,11 +23,16 @@ fn main() {
             let name = format!("xxz(J={j:.2})");
             let h = xxz(n, j);
             let instance = Instance::prepare(&name, &h, backend);
-            println!("\n## {} on {} (E0 = {:.5})", name, backend.name(), instance.e0);
+            println!(
+                "\n## {} on {} (E0 = {:.5})",
+                name,
+                backend.name(),
+                instance.e0
+            );
             let outcomes = instance.run_methods(&options);
             let vqe_config = VqeConfig::new(options.vqe_iterations());
-            let hardware = (backend.name() == "hanoi")
-                .then(|| backend.hardware_variant(options.seed));
+            let hardware =
+                (backend.name() == "hanoi").then(|| backend.hardware_variant(options.seed));
             for o in &outcomes {
                 let trace = run_vqe(&o.vqe_hamiltonian, &instance.exec, &o.theta0, &vqe_config);
                 let series: Vec<String> = trace
@@ -43,12 +48,9 @@ fn main() {
                     series.join(" ")
                 );
                 if let Some(hw) = &hardware {
-                    let exec_hw = ExecutableAnsatz::on_device(
-                        n,
-                        hw.coupling_map(),
-                        &hw.noise_model(),
-                    )
-                    .expect("hardware variant hosts the chain");
+                    let exec_hw =
+                        ExecutableAnsatz::on_device(n, hw.coupling_map(), &hw.noise_model())
+                            .expect("hardware variant hosts the chain");
                     let hw_model = exec_hw.noise_model().clone();
                     let e_init_hw =
                         instance.device_energy(&o.vqe_hamiltonian, &o.theta0, Some(&hw_model));

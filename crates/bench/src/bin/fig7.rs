@@ -35,10 +35,8 @@ fn main() {
         }
         v
     };
-    let benchmarks: Vec<(&str, &PauliSum)> = benchmarks
-        .iter()
-        .map(|(n, h)| (n.as_str(), h))
-        .collect();
+    let benchmarks: Vec<(&str, &PauliSum)> =
+        benchmarks.iter().map(|(n, h)| (n.as_str(), h)).collect();
     run_sweep(&options, &benchmarks, &t1s, &gate_errors, |p, t1| {
         // Gate-error sweep: readout off, 2q error = 10p (§5.2.3).
         let mut model = NoiseModel::uniform(27, p, (10.0 * p).min(1.0), 0.0);

@@ -33,8 +33,7 @@ fn main() {
         }
         v
     };
-    let benchmarks: Vec<(&str, &PauliSum)> =
-        owned.iter().map(|(n, h)| (n.as_str(), h)).collect();
+    let benchmarks: Vec<(&str, &PauliSum)> = owned.iter().map(|(n, h)| (n.as_str(), h)).collect();
     run_sweep(&options, &benchmarks, &t1s, &readout_errors, |p, t1| {
         // Measurement-error sweep: gates noiseless (§5.2.3).
         let mut model = NoiseModel::uniform(27, 0.0, 0.0, p);

@@ -24,8 +24,8 @@ fn main() {
         _ => ((11..=40).collect(), 5),
     };
     println!(
-        "{:>4} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
-        "N", "t_clap[s]", "tau_clap[s]", "rounds", "t_cafqa[s]", "tau_cafqa[s]", "rounds"
+        "{:>4} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>8}",
+        "N", "t_clap[s]", "tau_clap[s]", "rounds", "t_cafqa[s]", "tau_cafqa[s]", "rounds", "cache"
     );
     let mut xs = Vec::new();
     let mut tau_clapton = Vec::new();
@@ -39,6 +39,8 @@ fn main() {
         let mut rounds_clap = 0usize;
         let mut t_caf = 0.0;
         let mut rounds_caf = 0usize;
+        let mut unique_evals = 0u64;
+        let mut cache_hits = 0u64;
         for g in 0..guesses {
             let seed = options.seed + g as u64;
             let start = Instant::now();
@@ -54,6 +56,8 @@ fn main() {
             );
             t_clap += start.elapsed().as_secs_f64();
             rounds_clap += result.rounds;
+            unique_evals += result.unique_evaluations;
+            cache_hits += result.cache_hits;
             let start = Instant::now();
             let result = run_cafqa(&h, &exec, &options.engine(), seed);
             t_caf += start.elapsed().as_secs_f64();
@@ -61,10 +65,12 @@ fn main() {
         }
         let tau_c = t_clap / rounds_clap as f64;
         let tau_f = t_caf / rounds_caf as f64;
+        let hit_rate = cache_hits as f64 / (cache_hits + unique_evals).max(1) as f64;
         println!(
-            "{n:>4} {t_clap:>12.3} {tau_c:>12.4} {:>8.1} {t_caf:>12.3} {tau_f:>12.4} {:>8.1}",
+            "{n:>4} {t_clap:>12.3} {tau_c:>12.4} {:>8.1} {t_caf:>12.3} {tau_f:>12.4} {:>8.1} {:>7.1}%",
             rounds_clap as f64 / guesses as f64,
             rounds_caf as f64 / guesses as f64,
+            100.0 * hit_rate,
         );
         xs.push(n as f64);
         tau_clapton.push(tau_c);
@@ -78,6 +84,9 @@ fn main() {
     // premium over CAFQA's noiseless-only evaluation.
     let ratio_small = tau_clapton.first().unwrap() / tau_cafqa.first().unwrap();
     let ratio_large = tau_clapton.last().unwrap() / tau_cafqa.last().unwrap();
-    println!("# Clapton/CAFQA round-time ratio: {ratio_small:.2}x at N={} -> {ratio_large:.2}x at N={}",
-        ns.first().unwrap(), ns.last().unwrap());
+    println!(
+        "# Clapton/CAFQA round-time ratio: {ratio_small:.2}x at N={} -> {ratio_large:.2}x at N={}",
+        ns.first().unwrap(),
+        ns.last().unwrap()
+    );
 }

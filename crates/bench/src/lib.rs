@@ -148,7 +148,11 @@ impl Instance {
     }
 
     /// Prepares a benchmark with a plain (untranspiled) noise model.
-    pub fn prepare_untranspiled(name: &str, hamiltonian: &PauliSum, model: &NoiseModel) -> Instance {
+    pub fn prepare_untranspiled(
+        name: &str,
+        hamiltonian: &PauliSum,
+        model: &NoiseModel,
+    ) -> Instance {
         let exec = ExecutableAnsatz::untranspiled(hamiltonian.num_qubits(), model);
         Instance {
             name: name.to_string(),
@@ -174,7 +178,12 @@ impl Instance {
         let loss = LossFunction::new(&self.exec, EvaluatorKind::Exact);
         let zeros = vec![0.0; self.exec.ansatz().num_parameters()];
         // CAFQA.
-        let cafqa = run_cafqa(&self.hamiltonian, &self.exec, &options.engine(), options.seed);
+        let cafqa = run_cafqa(
+            &self.hamiltonian,
+            &self.exec,
+            &options.engine(),
+            options.seed,
+        );
         let cafqa_outcome = self.theta_outcome("CAFQA", &loss, &cafqa);
         // nCAFQA.
         let ncafqa = run_ncafqa(

@@ -72,20 +72,20 @@ impl HardwareEfficientAnsatz {
         assert_eq!(theta.len(), self.num_parameters(), "parameter count");
         let n = self.n;
         let mut c = Circuit::new(n);
-        for q in 0..n {
-            c.push(Gate::Ry(q, theta[q]));
+        for (q, &t) in theta[..n].iter().enumerate() {
+            c.push(Gate::Ry(q, t));
         }
-        for q in 0..n {
-            c.push(Gate::Rz(q, theta[n + q]));
+        for (q, &t) in theta[n..2 * n].iter().enumerate() {
+            c.push(Gate::Rz(q, t));
         }
         for (a, b) in self.entangling_pairs() {
             c.push(Gate::Cx(a, b));
         }
-        for q in 0..n {
-            c.push(Gate::Ry(q, theta[2 * n + q]));
+        for (q, &t) in theta[2 * n..3 * n].iter().enumerate() {
+            c.push(Gate::Ry(q, t));
         }
-        for q in 0..n {
-            c.push(Gate::Rz(q, theta[3 * n + q]));
+        for (q, &t) in theta[3 * n..4 * n].iter().enumerate() {
+            c.push(Gate::Rz(q, t));
         }
         c
     }
@@ -203,11 +203,11 @@ impl TransformationAnsatz {
             };
             out.extend(g);
         };
-        for q in 0..n {
-            rot(&mut out, q, genes[q], true);
+        for (q, &k) in genes[..n].iter().enumerate() {
+            rot(&mut out, q, k, true);
         }
-        for q in 0..n {
-            rot(&mut out, q, genes[n + q], false);
+        for (q, &k) in genes[n..2 * n].iter().enumerate() {
+            rot(&mut out, q, k, false);
         }
         for (j, &(a, b)) in self.pairs.iter().enumerate() {
             match genes[2 * n + j] {

@@ -34,7 +34,11 @@ impl Gate {
     /// The qubits the gate touches.
     pub fn qubits(&self) -> Vec<usize> {
         match *self {
-            Gate::Ry(q, _) | Gate::Rz(q, _) | Gate::H(q) | Gate::S(q) | Gate::Sdg(q)
+            Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
             | Gate::X(q) => vec![q],
             Gate::Cx(a, b) | Gate::Swap(a, b) => vec![a, b],
         }
@@ -435,10 +439,7 @@ mod tests {
         c.push(Gate::S(1));
         c.push(Gate::Cx(0, 1));
         let inv = c.inverse();
-        assert_eq!(
-            inv.gates(),
-            &[Gate::Cx(0, 1), Gate::Sdg(1), Gate::H(0)]
-        );
+        assert_eq!(inv.gates(), &[Gate::Cx(0, 1), Gate::Sdg(1), Gate::H(0)]);
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl CouplingMap {
             .into_iter()
             .map(|(a, b)| {
                 assert!(a != b, "self-loop on qubit {a}");
-                assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+                assert!(
+                    a < num_qubits && b < num_qubits,
+                    "edge ({a},{b}) out of range"
+                );
                 (a.min(b), a.max(b))
             })
             .collect();
@@ -58,10 +61,7 @@ impl CouplingMap {
 
     /// All-to-all connectivity.
     pub fn full(n: usize) -> CouplingMap {
-        CouplingMap::new(
-            n,
-            (0..n).flat_map(move |a| (a + 1..n).map(move |b| (a, b))),
-        )
+        CouplingMap::new(n, (0..n).flat_map(move |a| (a + 1..n).map(move |b| (a, b))))
     }
 
     /// The number of physical qubits.

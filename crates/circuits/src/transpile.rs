@@ -110,9 +110,8 @@ pub fn chain_layout(coupling: &CouplingMap, n: usize) -> Result<Vec<usize>, Stri
                 }
             }
         }
-        let next = found.ok_or_else(|| {
-            format!("coupling map disconnected: cannot extend chain past {tail}")
-        })?;
+        let next = found
+            .ok_or_else(|| format!("coupling map disconnected: cannot extend chain past {tail}"))?;
         used[next] = true;
         line.push(next);
     }
@@ -143,10 +142,10 @@ pub fn route_with_layout(
     }
     let mut out = Circuit::new(phys_n);
     let swap_phys = |out: &mut Circuit,
-                         log2phys: &mut Vec<usize>,
-                         phys2log: &mut Vec<usize>,
-                         a: usize,
-                         b: usize| {
+                     log2phys: &mut Vec<usize>,
+                     phys2log: &mut Vec<usize>,
+                     a: usize,
+                     b: usize| {
         out.push(Gate::Swap(a, b));
         let (la, lb) = (phys2log[a], phys2log[b]);
         if la != usize::MAX {
@@ -240,7 +239,14 @@ mod tests {
         assert!(respects_coupling(&t.circuit, &m));
         // 4 chain CXs are free; the 5th (wrap-around 4→0) needs 3 SWAPs.
         assert_eq!(t.swap_count(), 3);
-        assert_eq!(t.circuit.gates().iter().filter(|g| matches!(g, Gate::Cx(..))).count(), 5);
+        assert_eq!(
+            t.circuit
+                .gates()
+                .iter()
+                .filter(|g| matches!(g, Gate::Cx(..)))
+                .count(),
+            5
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The baselines: CAFQA [38] and the paper's noise-aware CAFQA (§5.2).
 
-use crate::{EvaluatorKind, ExecutableAnsatz, LossFunction};
+use crate::{CafqaLoss, EvaluatorKind, ExecutableAnsatz};
 use clapton_ga::{MultiGa, MultiGaConfig};
 use clapton_pauli::PauliSum;
 
@@ -77,23 +77,15 @@ fn run_cafqa_impl(
     noise_aware: Option<EvaluatorKind>,
 ) -> CafqaResult {
     let ansatz = exec.ansatz();
-    assert_eq!(h.num_qubits(), exec.num_logical(), "register mismatch");
-    let loss = LossFunction::new(exec, noise_aware.unwrap_or(EvaluatorKind::Exact));
-    let fitness = |indices: &[u8]| {
-        let theta = ansatz.angles_from_indices(indices);
-        let circuit = exec.circuit(&theta);
-        let noiseless = loss.noiseless_for_circuit(&circuit, h);
-        match noise_aware {
-            None => noiseless,
-            Some(_) => loss.loss_n_for_circuit(&circuit, h) + noiseless,
-        }
+    let objective = match noise_aware {
+        None => CafqaLoss::cafqa(h, exec),
+        Some(evaluator) => CafqaLoss::ncafqa(h, exec, evaluator),
     };
     let engine = MultiGa::new(ansatz.num_parameters(), 4, *engine_config);
-    let result = engine.run(seed, &fitness);
+    let result = engine.run(seed, &objective);
     let theta_indices = result.best.genes.clone();
     let theta = ansatz.angles_from_indices(&theta_indices);
-    let circuit = exec.circuit(&theta);
-    let energy_noiseless = loss.noiseless_for_circuit(&circuit, h);
+    let energy_noiseless = objective.noiseless_energy(&theta_indices);
     CafqaResult {
         theta_indices,
         theta,

@@ -1,6 +1,6 @@
 //! The end-to-end Clapton optimization (§4.1, Figure 4).
 
-use crate::{EvaluatorKind, ExecutableAnsatz, LossFunction, Transformation};
+use crate::{EvaluatorKind, ExecutableAnsatz, TransformLoss, Transformation};
 use clapton_circuits::TransformationAnsatz;
 use clapton_ga::{MultiGa, MultiGaConfig};
 use clapton_pauli::PauliSum;
@@ -66,6 +66,11 @@ pub struct ClaptonResult {
     pub round_bests: Vec<f64>,
     /// Number of engine rounds until convergence.
     pub rounds: usize,
+    /// Distinct transformations (canonical genomes) whose loss was
+    /// actually computed.
+    pub unique_evaluations: u64,
+    /// Fitness requests answered by the engine's genome → loss cache.
+    pub cache_hits: u64,
 }
 
 /// Runs the Clapton search: finds `γ̂ = argmin [LN(γ) + L0(γ)]` over the
@@ -94,35 +99,21 @@ pub struct ClaptonResult {
 /// let result = run_clapton(&h, &exec, &ClaptonConfig::quick(1));
 /// assert!((result.loss_0 - (-2.0)).abs() < 1e-12);
 /// ```
-pub fn run_clapton(
-    h: &PauliSum,
-    exec: &ExecutableAnsatz,
-    config: &ClaptonConfig,
-) -> ClaptonResult {
+pub fn run_clapton(h: &PauliSum, exec: &ExecutableAnsatz, config: &ClaptonConfig) -> ClaptonResult {
     let n = exec.num_logical();
     assert_eq!(h.num_qubits(), n, "Hamiltonian/ansatz register mismatch");
     let t_ansatz = TransformationAnsatz::new(n);
-    let loss = LossFunction::new(exec, config.evaluator);
-    // Ablation: freeze the two-qubit slot genes to identity.
-    let slot_range = 2 * n..2 * n + t_ansatz.pairs().len();
-    let mask = |gamma: &[u8]| -> Vec<u8> {
-        let mut g = gamma.to_vec();
-        if !config.two_qubit_slots {
-            for i in slot_range.clone() {
-                g[i] = 0;
-            }
-        }
-        g
-    };
-    let fitness = |gamma: &[u8]| {
-        let transformed = crate::transform_hamiltonian(h, &t_ansatz.gates(&mask(gamma)));
-        loss.total(&transformed)
-    };
+    let mut objective = TransformLoss::new(h, exec, &t_ansatz, config.evaluator);
+    if !config.two_qubit_slots {
+        // Ablation: freeze the two-qubit slot genes to identity.
+        objective = objective.freeze_two_qubit_slots();
+    }
     let engine = MultiGa::new(t_ansatz.num_genes(), 4, config.engine);
-    let result = engine.run(config.seed, &fitness);
-    let transformation = Transformation::from_genome(h, &t_ansatz, mask(&result.best.genes));
-    let loss_n = loss.loss_n(&transformation.transformed);
-    let loss_0 = loss.loss_0(&transformation.transformed);
+    let result = engine.run(config.seed, &objective);
+    let transformation =
+        Transformation::from_genome(h, &t_ansatz, objective.masked(&result.best.genes));
+    let loss_n = objective.loss().loss_n(&transformation.transformed);
+    let loss_0 = objective.loss().loss_0(&transformation.transformed);
     ClaptonResult {
         transformation,
         ansatz: t_ansatz,
@@ -131,12 +122,15 @@ pub fn run_clapton(
         loss_0,
         round_bests: result.round_bests,
         rounds: result.rounds,
+        unique_evaluations: result.unique_evaluations,
+        cache_hits: result.cache_hits,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LossFunction;
     use clapton_models::{ising, xxz};
     use clapton_noise::NoiseModel;
     use clapton_sim::ground_energy;

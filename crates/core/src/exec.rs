@@ -71,23 +71,20 @@ impl ExecutableAnsatz {
         // SWAPping the ring closure through off-chain spectator qubits would
         // silently grow the active register (and drag in uncalibrated
         // qubits), so the executable uses exactly the N chain qubits.
-        let compact_of_phys: BTreeMap<usize, usize> = layout
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i))
-            .collect();
+        let compact_of_phys: BTreeMap<usize, usize> =
+            layout.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         if compact_of_phys.len() != n {
             return Err("chain layout assigned duplicate physical qubits".to_string());
         }
         let sub_edges: Vec<(usize, usize)> = coupling
             .edges()
             .iter()
-            .filter_map(|&(a, b)| {
-                match (compact_of_phys.get(&a), compact_of_phys.get(&b)) {
+            .filter_map(
+                |&(a, b)| match (compact_of_phys.get(&a), compact_of_phys.get(&b)) {
                     (Some(&ca), Some(&cb)) => Some((ca, cb)),
                     _ => None,
-                }
-            })
+                },
+            )
             .collect();
         let sub_coupling = CouplingMap::new(n, sub_edges);
         let compact_layout: Vec<usize> = layout.iter().map(|p| compact_of_phys[p]).collect();
@@ -186,9 +183,7 @@ impl ExecutableAnsatz {
     pub fn circuit(&self, theta: &[f64]) -> Circuit {
         let logical = self.ansatz.circuit(theta);
         match &self.coupling {
-            Some(coupling) => {
-                route_with_layout(&logical, coupling, &self.compact_layout).circuit
-            }
+            Some(coupling) => route_with_layout(&logical, coupling, &self.compact_layout).circuit,
             None => logical,
         }
     }
@@ -279,8 +274,14 @@ mod tests {
         let logical_state = StateVector::from_circuit(&exec.ansatz().circuit(&theta));
         let compact_state = StateVector::from_circuit(&exec.circuit(&theta));
         let mut h = PauliSum::new(n);
-        h.push(0.7, PauliString::from_sparse(n, [(0, Pauli::X), (4, Pauli::X)]));
-        h.push(-1.2, PauliString::from_sparse(n, [(1, Pauli::Z), (2, Pauli::Z)]));
+        h.push(
+            0.7,
+            PauliString::from_sparse(n, [(0, Pauli::X), (4, Pauli::X)]),
+        );
+        h.push(
+            -1.2,
+            PauliString::from_sparse(n, [(1, Pauli::Z), (2, Pauli::Z)]),
+        );
         h.push(0.3, PauliString::single(n, 3, Pauli::Y));
         let mapped = exec.map_hamiltonian(&h);
         assert!(

@@ -8,18 +8,25 @@
 //!    circuit `A'`.
 //! 2. [`transform_hamiltonian`] applies `Ĥ = C†(γ) H C(γ)` by anticonjugating
 //!    every Pauli term through the transformation ansatz (Eq. 6).
-//! 3. [`LossFunction`] evaluates `L(γ) = LN(γ) + L0(γ)` (Eq. 9–10) with the
-//!    exact Clifford-noise evaluator or the stim-style sampler.
-//! 4. [`run_clapton`] searches γ with the multi-GA engine of Figure 4 and
-//!    returns the transformation [`Transformation`] plus diagnostics.
+//! 3. [`LossFunction`] evaluates `L(γ) = LN(γ) + L0(γ)` (Eq. 9–10) through a
+//!    pluggable [`EnergyBackend`]: exact Clifford back-propagation
+//!    ([`ExactBackend`]), the stim-style frame sampler ([`SampledBackend`]),
+//!    or dense density-matrix simulation ([`DenseBackend`]).
+//! 4. [`TransformLoss`] packages the objective as a batched
+//!    [`LossEvaluator`](clapton_eval::LossEvaluator) which [`run_clapton`]
+//!    hands to the multi-GA engine of Figure 4 — population-parallel and
+//!    memoized by default — returning the [`Transformation`] plus
+//!    diagnostics.
 //!
 //! Baselines: [`run_cafqa`] (noiseless Clifford search over `θ`, prior art
-//! [38]) and [`run_ncafqa`] (the paper's noise-aware CAFQA, §5.2).
+//! [38]) and [`run_ncafqa`] (the paper's noise-aware CAFQA, §5.2), both
+//! through [`CafqaLoss`].
 //! Metrics: [`relative_improvement`] (η, Eq. 14), [`geometric_mean`],
 //! [`normalized_energy`].
 
 mod baselines;
 mod clapton;
+mod evaluator;
 mod exec;
 mod loss;
 mod metrics;
@@ -27,7 +34,13 @@ mod transform;
 
 pub use baselines::{run_cafqa, run_ncafqa, CafqaResult};
 pub use clapton::{run_clapton, ClaptonConfig, ClaptonResult};
+pub use clapton_eval::{
+    CacheStats, CachedEvaluator, FnEvaluator, LossEvaluator, ParallelEvaluator,
+};
+pub use evaluator::{CafqaLoss, TransformLoss};
 pub use exec::ExecutableAnsatz;
-pub use loss::{EvaluatorKind, LossFunction};
+pub use loss::{
+    DenseBackend, EnergyBackend, EvaluatorKind, ExactBackend, LossFunction, SampledBackend,
+};
 pub use metrics::{geometric_mean, normalized_energy, relative_improvement};
 pub use transform::{transform_hamiltonian, Transformation};

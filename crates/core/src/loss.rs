@@ -1,29 +1,131 @@
-//! The Clapton loss `L(γ) = LN(γ) + L0(γ)` (§4.1).
+//! The Clapton loss `L(γ) = LN(γ) + L0(γ)` (§4.1) and its pluggable
+//! noisy-energy backends.
 
 use crate::ExecutableAnsatz;
 use clapton_circuits::Circuit;
-use clapton_noise::{ExactEvaluator, FrameSampler, NoisyCircuit};
+use clapton_noise::{ExactEvaluator, FrameSampler, NoiseModel, NoisyCircuit};
 use clapton_pauli::PauliSum;
+use clapton_sim::DeviceEvaluator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
+use std::sync::Arc;
 
-/// How the noisy loss term `LN` is evaluated.
+/// A noisy-energy backend: computes `⟨H⟩` of a Clifford circuit under a
+/// noise model.
+///
+/// Backends are trait objects so exact stabilizer back-propagation,
+/// stim-style frame sampling, and dense density-matrix simulation plug into
+/// [`LossFunction`] (and everything above it — `TransformLoss`, the GA
+/// engine, the pipeline) uniformly. Implementations must be pure: the energy
+/// may be computed on any thread and memoized.
+pub trait EnergyBackend: fmt::Debug + Send + Sync {
+    /// The noisy energy `Σ_i c_i ⟨P_i⟩_noisy` of `h` for `circuit` under
+    /// `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is not Clifford (all backends here exploit
+    /// stabilizer structure; the dense backend accepts any circuit but is
+    /// only ever handed Clifford ones by the losses).
+    fn energy(&self, circuit: &Circuit, model: &NoiseModel, h: &PauliSum) -> f64;
+
+    /// The noiseless energy of the same circuit (all damping dropped).
+    fn noiseless_energy(&self, circuit: &Circuit, model: &NoiseModel, h: &PauliSum) -> f64 {
+        let noisy = NoisyCircuit::from_circuit(circuit, model)
+            .expect("energy backends require Clifford circuits");
+        ExactEvaluator::new(&noisy).noiseless_energy(h)
+    }
+
+    /// A short human-readable backend name (diagnostics).
+    fn name(&self) -> &'static str;
+}
+
+/// Closed-form Clifford-noise expectation via Heisenberg back-propagation —
+/// deterministic, zero sampling error (DESIGN.md substitution 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactBackend;
+
+impl EnergyBackend for ExactBackend {
+    fn energy(&self, circuit: &Circuit, model: &NoiseModel, h: &PauliSum) -> f64 {
+        let noisy = NoisyCircuit::from_circuit(circuit, model)
+            .expect("exact backend requires a Clifford circuit");
+        ExactEvaluator::new(&noisy).energy(h)
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// stim-style Pauli-frame Monte Carlo with a fixed shot budget — the paper's
+/// original estimator. The RNG is re-seeded per evaluation from `seed` and
+/// the candidate's content hash, so the loss stays deterministic (and
+/// thread-safe) inside the GA.
+#[derive(Debug, Clone, Copy)]
+pub struct SampledBackend {
+    /// Shots per Pauli term.
+    pub shots: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl EnergyBackend for SampledBackend {
+    fn energy(&self, circuit: &Circuit, model: &NoiseModel, h: &PauliSum) -> f64 {
+        let noisy = NoisyCircuit::from_circuit(circuit, model)
+            .expect("frame sampler requires a Clifford circuit");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ content_hash(circuit, h));
+        FrameSampler::new(&noisy).energy(h, self.shots, &mut rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "sampled"
+    }
+}
+
+/// Full density-matrix simulation ([`DeviceEvaluator`]) — the Qiskit-style
+/// device environment. Exponential in register width; intended for small
+/// problems and cross-validation of the scalable backends.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenseBackend;
+
+impl EnergyBackend for DenseBackend {
+    fn energy(&self, circuit: &Circuit, model: &NoiseModel, h: &PauliSum) -> f64 {
+        DeviceEvaluator::run(circuit, model).energy(h)
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+/// How the noisy loss term `LN` is evaluated — a serializable configuration
+/// tag resolving to an [`EnergyBackend`] trait object via
+/// [`EvaluatorKind::backend`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EvaluatorKind {
-    /// Closed-form Clifford-noise expectation (deterministic, zero sampling
-    /// error; our improvement over the paper's stim sampling — DESIGN.md
-    /// substitution 4).
+    /// Closed-form Clifford-noise expectation ([`ExactBackend`]).
     Exact,
-    /// stim-style Pauli-frame Monte Carlo with a fixed shot budget — the
-    /// paper's original estimator. The RNG is re-seeded per evaluation from
-    /// `seed` and the candidate's content hash, so the loss stays
-    /// deterministic (and thread-safe) inside the GA.
+    /// stim-style Pauli-frame Monte Carlo ([`SampledBackend`]).
     Sampled {
         /// Shots per Pauli term.
         shots: usize,
         /// Base RNG seed.
         seed: u64,
     },
+    /// Dense density-matrix simulation ([`DenseBackend`]).
+    Dense,
+}
+
+impl EvaluatorKind {
+    /// Resolves the configuration tag to a backend object.
+    pub fn backend(&self) -> Arc<dyn EnergyBackend> {
+        match *self {
+            EvaluatorKind::Exact => Arc::new(ExactBackend),
+            EvaluatorKind::Sampled { shots, seed } => Arc::new(SampledBackend { shots, seed }),
+            EvaluatorKind::Dense => Arc::new(DenseBackend),
+        }
+    }
 }
 
 /// Evaluates Clapton/nCAFQA losses against an executable ansatz.
@@ -50,22 +152,36 @@ pub enum EvaluatorKind {
 pub struct LossFunction<'a> {
     exec: &'a ExecutableAnsatz,
     zero_circuit: Circuit,
-    kind: EvaluatorKind,
+    backend: Arc<dyn EnergyBackend>,
 }
 
 impl<'a> LossFunction<'a> {
-    /// Creates the loss for the ansatz's `θ = 0` circuit.
+    /// Creates the loss for the ansatz's `θ = 0` circuit with a built-in
+    /// backend kind.
     pub fn new(exec: &'a ExecutableAnsatz, kind: EvaluatorKind) -> LossFunction<'a> {
+        LossFunction::with_backend(exec, kind.backend())
+    }
+
+    /// Creates the loss with a custom [`EnergyBackend`] implementation.
+    pub fn with_backend(
+        exec: &'a ExecutableAnsatz,
+        backend: Arc<dyn EnergyBackend>,
+    ) -> LossFunction<'a> {
         LossFunction {
             exec,
             zero_circuit: exec.circuit_at_zero(),
-            kind,
+            backend,
         }
     }
 
     /// The executable ansatz this loss evaluates against.
     pub fn exec(&self) -> &ExecutableAnsatz {
         self.exec
+    }
+
+    /// The backend computing `LN`.
+    pub fn backend(&self) -> &dyn EnergyBackend {
+        self.backend.as_ref()
     }
 
     /// `LN(γ)`: noisy energy of a (transformed) logical Hamiltonian at the
@@ -78,15 +194,8 @@ impl<'a> LossFunction<'a> {
     /// which searches over θ rather than transforming H).
     pub fn loss_n_for_circuit(&self, circuit: &Circuit, h_logical: &PauliSum) -> f64 {
         let mapped = self.exec.map_hamiltonian(h_logical);
-        let noisy = NoisyCircuit::from_circuit(circuit, self.exec.noise_model())
-            .expect("executable ansatz at Clifford angles must be Clifford");
-        match self.kind {
-            EvaluatorKind::Exact => ExactEvaluator::new(&noisy).energy(&mapped),
-            EvaluatorKind::Sampled { shots, seed } => {
-                let mut rng = StdRng::seed_from_u64(seed ^ content_hash(circuit, &mapped));
-                FrameSampler::new(&noisy).energy(&mapped, shots, &mut rng)
-            }
-        }
+        self.backend
+            .energy(circuit, self.exec.noise_model(), &mapped)
     }
 
     /// `L0(γ) = ⟨0|H(γ)|0⟩` (Eq. 10): the noiseless anchor that prevents
@@ -99,9 +208,8 @@ impl<'a> LossFunction<'a> {
     /// (mapped) Hamiltonian — CAFQA's objective and nCAFQA's `L0` analogue.
     pub fn noiseless_for_circuit(&self, circuit: &Circuit, h_logical: &PauliSum) -> f64 {
         let mapped = self.exec.map_hamiltonian(h_logical);
-        let noisy = NoisyCircuit::from_circuit(circuit, self.exec.noise_model())
-            .expect("circuit must be Clifford");
-        ExactEvaluator::new(&noisy).noiseless_energy(&mapped)
+        self.backend
+            .noiseless_energy(circuit, self.exec.noise_model(), &mapped)
     }
 
     /// The full Clapton loss `L = LN + L0` (§4.1).
@@ -193,20 +301,74 @@ mod tests {
     }
 
     #[test]
+    fn dense_backend_agrees_with_exact_on_pauli_noise() {
+        // For pure Pauli noise (no T1 relaxation), the density-matrix
+        // simulation and the exact back-propagation compute the same
+        // channel, so LN must agree to numerical precision.
+        let model = NoiseModel::uniform(3, 2e-3, 1.5e-2, 2.5e-2);
+        let exec = ExecutableAnsatz::untranspiled(3, &model);
+        let exact = LossFunction::new(&exec, EvaluatorKind::Exact);
+        let dense = LossFunction::new(&exec, EvaluatorKind::Dense);
+        let h = PauliSum::from_terms(
+            3,
+            vec![(1.0, ps("ZZI")), (-0.5, ps("IZZ")), (0.25, ps("XIX"))],
+        );
+        assert!(
+            (exact.loss_n(&h) - dense.loss_n(&h)).abs() < 1e-9,
+            "exact {} vs dense {}",
+            exact.loss_n(&h),
+            dense.loss_n(&h)
+        );
+    }
+
+    #[test]
+    fn backend_objects_report_names() {
+        assert_eq!(EvaluatorKind::Exact.backend().name(), "exact");
+        assert_eq!(
+            EvaluatorKind::Sampled { shots: 8, seed: 0 }
+                .backend()
+                .name(),
+            "sampled"
+        );
+        assert_eq!(EvaluatorKind::Dense.backend().name(), "dense");
+    }
+
+    #[test]
+    fn custom_backend_plugs_in() {
+        /// A backend that scales the exact energy — checks the trait-object
+        /// path end to end.
+        #[derive(Debug)]
+        struct Halved;
+
+        impl EnergyBackend for Halved {
+            fn energy(&self, circuit: &Circuit, model: &NoiseModel, h: &PauliSum) -> f64 {
+                0.5 * ExactBackend.energy(circuit, model, h)
+            }
+
+            fn name(&self) -> &'static str {
+                "halved"
+            }
+        }
+
+        let model = NoiseModel::noiseless(2);
+        let exec = ExecutableAnsatz::untranspiled(2, &model);
+        let loss = LossFunction::with_backend(&exec, Arc::new(Halved));
+        let h = PauliSum::from_terms(2, vec![(1.0, ps("ZZ"))]);
+        assert!((loss.loss_n(&h) - 0.5).abs() < 1e-12);
+        // L0 is backend-independent.
+        assert_eq!(loss.loss_0(&h), 1.0);
+    }
+
+    #[test]
     fn ln_accounts_for_routing_noise() {
         use clapton_circuits::CouplingMap;
         // The same 5-qubit problem on a line (needs routing SWAPs for the
         // ring closure) must show a strictly noisier LN than on a ring
         // (SWAP-free), for identical per-gate error rates.
-        let h = PauliSum::from_terms(
-            5,
-            vec![(1.0, ps("ZZZZZ"))],
-        );
+        let h = PauliSum::from_terms(5, vec![(1.0, ps("ZZZZZ"))]);
         let line_model = NoiseModel::uniform(5, 1e-3, 1e-2, 0.0);
-        let exec_line =
-            ExecutableAnsatz::on_device(5, &CouplingMap::line(5), &line_model).unwrap();
-        let exec_ring =
-            ExecutableAnsatz::on_device(5, &CouplingMap::ring(5), &line_model).unwrap();
+        let exec_line = ExecutableAnsatz::on_device(5, &CouplingMap::line(5), &line_model).unwrap();
+        let exec_ring = ExecutableAnsatz::on_device(5, &CouplingMap::ring(5), &line_model).unwrap();
         let loss_line = LossFunction::new(&exec_line, EvaluatorKind::Exact);
         let loss_ring = LossFunction::new(&exec_ring, EvaluatorKind::Exact);
         let (ln_line, ln_ring) = (loss_line.loss_n(&h), loss_ring.loss_n(&h));

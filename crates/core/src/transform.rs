@@ -44,7 +44,11 @@ pub struct Transformation {
 
 impl Transformation {
     /// Builds the transformation for a genome over `ansatz`.
-    pub fn from_genome(h: &PauliSum, ansatz: &TransformationAnsatz, gamma: Vec<u8>) -> Transformation {
+    pub fn from_genome(
+        h: &PauliSum,
+        ansatz: &TransformationAnsatz,
+        gamma: Vec<u8>,
+    ) -> Transformation {
         let gates = ansatz.gates(&gamma);
         Transformation {
             num_qubits: h.num_qubits(),
@@ -125,14 +129,13 @@ mod tests {
         let e0 = ground_energy(&h);
         let ansatz = TransformationAnsatz::new(n);
         for _ in 0..5 {
-            let gamma: Vec<u8> = (0..ansatz.num_genes()).map(|_| rng.gen_range(0..4)).collect();
+            let gamma: Vec<u8> = (0..ansatz.num_genes())
+                .map(|_| rng.gen_range(0..4))
+                .collect();
             let t = Transformation::from_genome(&h, &ansatz, gamma);
             assert_eq!(t.transformed.num_terms(), h.num_terms());
             let e0_t = ground_energy(&t.transformed);
-            assert!(
-                (e0 - e0_t).abs() < 1e-8,
-                "spectrum changed: {e0} vs {e0_t}"
-            );
+            assert!((e0 - e0_t).abs() < 1e-8, "spectrum changed: {e0} vs {e0_t}");
         }
     }
 
@@ -146,12 +149,17 @@ mod tests {
             (0..6).map(|_| (rng.gen_range(-1.0..1.0), PauliString::random(n, &mut rng))),
         );
         let ansatz = TransformationAnsatz::new(n);
-        let gamma: Vec<u8> = (0..ansatz.num_genes()).map(|_| rng.gen_range(0..4)).collect();
+        let gamma: Vec<u8> = (0..ansatz.num_genes())
+            .map(|_| rng.gen_range(0..4))
+            .collect();
         let t = Transformation::from_genome(&h, &ansatz, gamma);
         // Random state from a random circuit.
         let mut prep = Circuit::new(n);
         for q in 0..n {
-            prep.push(clapton_circuits::Gate::Ry(q, rng.gen_range(0.0..6.28)));
+            prep.push(clapton_circuits::Gate::Ry(
+                q,
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ));
         }
         prep.push(clapton_circuits::Gate::Cx(0, 1));
         prep.push(clapton_circuits::Gate::Cx(1, 2));

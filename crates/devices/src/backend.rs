@@ -141,14 +141,22 @@ impl FakeBackend {
             .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD511_CE00);
         let calibration = Calibration {
-            t1: (0..n).map(|_| rng.gen_range(p.t1_range.0..p.t1_range.1)).collect(),
-            p1: (0..n).map(|_| rng.gen_range(p.p1_range.0..p.p1_range.1)).collect(),
+            t1: (0..n)
+                .map(|_| rng.gen_range(p.t1_range.0..p.t1_range.1))
+                .collect(),
+            p1: (0..n)
+                .map(|_| rng.gen_range(p.p1_range.0..p.p1_range.1))
+                .collect(),
             p2: coupling
                 .edges()
                 .iter()
                 .map(|&e| {
                     let base = rng.gen_range(p.p2_base.0..p.p2_base.1);
-                    let factor = if rng.gen_bool(p.outlier_edge) { 3.0 } else { 1.0 };
+                    let factor = if rng.gen_bool(p.outlier_edge) {
+                        3.0
+                    } else {
+                        1.0
+                    };
                     (e, (base * factor).min(0.2))
                 })
                 .collect(),
@@ -241,7 +249,11 @@ impl FakeBackend {
                 .iter()
                 .map(|&(e, p)| (e, perturb(p, 0.3).min(0.5)))
                 .collect(),
-            readout: c.readout.iter().map(|&p| perturb(p, 0.3).min(0.5)).collect(),
+            readout: c
+                .readout
+                .iter()
+                .map(|&p| perturb(p, 0.3).min(0.5))
+                .collect(),
         };
         FakeBackend {
             name: format!("{}-hw", self.name),
@@ -304,7 +316,11 @@ mod tests {
     #[test]
     fn backends_have_expected_sizes() {
         assert_eq!(FakeBackend::nairobi().num_qubits(), 7);
-        for b in [FakeBackend::toronto(), FakeBackend::mumbai(), FakeBackend::hanoi()] {
+        for b in [
+            FakeBackend::toronto(),
+            FakeBackend::mumbai(),
+            FakeBackend::hanoi(),
+        ] {
             assert_eq!(b.num_qubits(), 27);
         }
     }
@@ -371,7 +387,12 @@ mod tests {
         assert_eq!(b.hardware_variant(42), b.hardware_variant(42));
         assert_ne!(b.hardware_variant(1), b.hardware_variant(2));
         // Perturbation is moderate: rates stay within ~3x.
-        for (&orig, &pert) in b.calibration().readout.iter().zip(&hw.calibration().readout) {
+        for (&orig, &pert) in b
+            .calibration()
+            .readout
+            .iter()
+            .zip(&hw.calibration().readout)
+        {
             let ratio = pert / orig;
             assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
         }

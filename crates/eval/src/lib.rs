@@ -1,0 +1,449 @@
+//! The batched loss-evaluation API.
+//!
+//! Clapton's runtime is dominated by loss evaluation: every GA individual
+//! triggers a full Hamiltonian conjugation plus a noisy-expectation sweep.
+//! This crate defines the execution model for that hot path:
+//!
+//! * [`LossEvaluator`] — the pluggable evaluation interface. Implementors
+//!   provide genome-at-a-time [`LossEvaluator::evaluate`]; the provided
+//!   [`LossEvaluator::evaluate_population`] gives callers a population-batch
+//!   entry point that implementations (or wrappers) can accelerate.
+//! * [`ParallelEvaluator`] — fans a population batch out over worker threads
+//!   (order-preserving, bit-identical to the sequential path because losses
+//!   are pure functions of the genome).
+//! * [`CachedEvaluator`] — a genome → loss memo table with hit/miss
+//!   statistics. Duplicate genomes recur heavily across the engine's
+//!   mix-and-restart rounds, so this turns a large fraction of evaluations
+//!   into hash lookups.
+//! * [`FnEvaluator`] — adapts a plain closure for tests and toy problems.
+//!
+//! The combinators nest: `CachedEvaluator<ParallelEvaluator<&E>>` is the
+//! engine's default stack (cache lookup first, misses evaluated as one
+//! parallel batch).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A loss function over integer genomes, evaluated one genome or one
+/// population at a time.
+///
+/// `Sync` is a supertrait: evaluators are shared across GA instance threads
+/// and population-batch workers. Implementations must be pure — the loss of
+/// a genome may be computed once, on any thread, and reused.
+pub trait LossEvaluator: Sync {
+    /// The loss of one genome (lower is better).
+    fn evaluate(&self, genome: &[u8]) -> f64;
+
+    /// The losses of a whole population, in order.
+    ///
+    /// The default implementation evaluates sequentially; wrappers such as
+    /// [`ParallelEvaluator`] and [`CachedEvaluator`] override the execution
+    /// strategy while preserving results bit-for-bit.
+    fn evaluate_population(&self, genomes: &[Vec<u8>]) -> Vec<f64> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
+
+    /// A canonical cache key for a genome: two genomes with the same key are
+    /// guaranteed to have the same loss.
+    ///
+    /// The default is the genome itself. Evaluators that ignore some genes
+    /// (e.g. frozen/masked ranges) override this so memo tables deduplicate
+    /// across equivalent genomes instead of recomputing each variant.
+    fn canonical_key(&self, genome: &[u8]) -> Vec<u8> {
+        genome.to_vec()
+    }
+}
+
+impl<E: LossEvaluator + ?Sized> LossEvaluator for &E {
+    fn evaluate(&self, genome: &[u8]) -> f64 {
+        (**self).evaluate(genome)
+    }
+
+    fn evaluate_population(&self, genomes: &[Vec<u8>]) -> Vec<f64> {
+        (**self).evaluate_population(genomes)
+    }
+
+    fn canonical_key(&self, genome: &[u8]) -> Vec<u8> {
+        (**self).canonical_key(genome)
+    }
+}
+
+/// Adapts a closure to [`LossEvaluator`].
+///
+/// # Example
+///
+/// ```
+/// use clapton_eval::{FnEvaluator, LossEvaluator};
+///
+/// let ones = FnEvaluator::new(|g: &[u8]| g.iter().filter(|&&x| x != 0).count() as f64);
+/// assert_eq!(ones.evaluate(&[1, 0, 2]), 2.0);
+/// assert_eq!(ones.evaluate_population(&[vec![0, 0], vec![3, 3]]), vec![0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FnEvaluator<F: Fn(&[u8]) -> f64 + Sync> {
+    f: F,
+}
+
+impl<F: Fn(&[u8]) -> f64 + Sync> FnEvaluator<F> {
+    /// Wraps a closure.
+    pub fn new(f: F) -> FnEvaluator<F> {
+        FnEvaluator { f }
+    }
+}
+
+impl<F: Fn(&[u8]) -> f64 + Sync> LossEvaluator for FnEvaluator<F> {
+    fn evaluate(&self, genome: &[u8]) -> f64 {
+        (self.f)(genome)
+    }
+}
+
+/// Population-parallel batch evaluation over scoped worker threads.
+///
+/// Splits each batch into contiguous chunks, one per worker, and reassembles
+/// results in order — the output is bit-identical to sequential evaluation
+/// because [`LossEvaluator`] implementations are pure.
+#[derive(Debug, Clone)]
+pub struct ParallelEvaluator<E> {
+    inner: E,
+    threads: usize,
+}
+
+impl<E: LossEvaluator> ParallelEvaluator<E> {
+    /// Wraps `inner`, using all available cores per batch.
+    pub fn new(inner: E) -> ParallelEvaluator<E> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelEvaluator::with_threads(inner, threads)
+    }
+
+    /// Wraps `inner` with an explicit worker count (`1` evaluates inline,
+    /// with no thread spawns).
+    pub fn with_threads(inner: E, threads: usize) -> ParallelEvaluator<E> {
+        ParallelEvaluator {
+            inner,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: LossEvaluator> LossEvaluator for ParallelEvaluator<E> {
+    fn evaluate(&self, genome: &[u8]) -> f64 {
+        self.inner.evaluate(genome)
+    }
+
+    fn evaluate_population(&self, genomes: &[Vec<u8>]) -> Vec<f64> {
+        // Spawning threads for tiny batches costs more than it saves.
+        const MIN_CHUNK: usize = 4;
+        let workers = self.threads.min(genomes.len().div_ceil(MIN_CHUNK)).max(1);
+        if workers == 1 {
+            return self.inner.evaluate_population(genomes);
+        }
+        let chunk_len = genomes.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = genomes
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(|| self.inner.evaluate_population(chunk)))
+                .collect();
+            let mut out = Vec::with_capacity(genomes.len());
+            for handle in handles {
+                out.extend(handle.join().expect("population evaluation worker"));
+            }
+            out
+        })
+    }
+
+    fn canonical_key(&self, genome: &[u8]) -> Vec<u8> {
+        self.inner.canonical_key(genome)
+    }
+}
+
+/// Cache statistics of a [`CachedEvaluator`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Evaluations answered from the memo table (including in-batch
+    /// duplicates and concurrent racing duplicates).
+    pub hits: u64,
+    /// Evaluations that inserted a new memo entry — i.e. distinct canonical
+    /// keys actually computed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total evaluations requested.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]` (`0` when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests() as f64
+        }
+    }
+}
+
+/// A genome → loss memo table in front of another evaluator.
+///
+/// Batch evaluation answers hits from the table, deduplicates the remaining
+/// genomes, and forwards one batch of unique misses to the wrapped
+/// evaluator — so a population with heavy duplication (the norm across
+/// mix-and-restart rounds) costs only its unique genomes.
+///
+/// Entries are keyed by [`LossEvaluator::canonical_key`], so evaluators that
+/// ignore some genes (frozen ranges) deduplicate across equivalent genomes.
+///
+/// Thread-safe: the table is shared behind a mutex, statistics are atomic.
+/// Because losses are pure, a cache hit is always bit-identical to
+/// re-evaluation, regardless of which thread populated the entry. A miss is
+/// counted only when the computed loss inserts a **new** table entry, so
+/// `stats().misses` equals the number of distinct keys memoized — stable and
+/// deterministic even when concurrent threads race to evaluate the same
+/// genome (the racing duplicates count as hits).
+#[derive(Debug)]
+pub struct CachedEvaluator<E> {
+    inner: E,
+    table: Mutex<HashMap<Vec<u8>, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<E: LossEvaluator> CachedEvaluator<E> {
+    /// Wraps `inner` with an empty table.
+    pub fn new(inner: E) -> CachedEvaluator<E> {
+        CachedEvaluator {
+            inner,
+            table: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct genomes memoized.
+    pub fn entries(&self) -> usize {
+        self.table.lock().expect("cache lock").len()
+    }
+}
+
+impl<E: LossEvaluator> CachedEvaluator<E> {
+    /// Records `loss` for `key`, crediting a miss only for a fresh entry
+    /// (concurrent duplicates reconcile to hits — see the type docs).
+    fn record(&self, table: &mut HashMap<Vec<u8>, f64>, key: Vec<u8>, loss: f64) {
+        if table.insert(key, loss).is_none() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<E: LossEvaluator> LossEvaluator for CachedEvaluator<E> {
+    fn evaluate(&self, genome: &[u8]) -> f64 {
+        let key = self.inner.canonical_key(genome);
+        if let Some(&loss) = self.table.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return loss;
+        }
+        // The lock is NOT held while the loss runs: concurrent threads may
+        // race to evaluate the same genome, but purity makes the duplicate
+        // work harmless and the stored value identical.
+        let loss = self.inner.evaluate(genome);
+        let mut table = self.table.lock().expect("cache lock");
+        self.record(&mut table, key, loss);
+        loss
+    }
+
+    fn evaluate_population(&self, genomes: &[Vec<u8>]) -> Vec<f64> {
+        let mut out = vec![0.0f64; genomes.len()];
+        // One representative genome per distinct pending key; duplicates
+        // within the batch are evaluated once.
+        let mut pending: Vec<(Vec<u8>, Vec<u8>)> = Vec::new(); // (key, genome)
+        let mut pending_slots: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        {
+            let table = self.table.lock().expect("cache lock");
+            for (i, genome) in genomes.iter().enumerate() {
+                let key = self.inner.canonical_key(genome);
+                if let Some(&loss) = table.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = loss;
+                } else {
+                    let slots = pending_slots.entry(key.clone()).or_default();
+                    if slots.is_empty() {
+                        pending.push((key, genome.clone()));
+                    } else {
+                        // In-batch duplicate of a pending key.
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    slots.push(i);
+                }
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        let representatives: Vec<Vec<u8>> = pending.iter().map(|(_, g)| g.clone()).collect();
+        let losses = self.inner.evaluate_population(&representatives);
+        let mut table = self.table.lock().expect("cache lock");
+        for ((key, _), loss) in pending.into_iter().zip(&losses) {
+            for &slot in &pending_slots[&key] {
+                out[slot] = *loss;
+            }
+            self.record(&mut table, key, *loss);
+        }
+        out
+    }
+
+    fn canonical_key(&self, genome: &[u8]) -> Vec<u8> {
+        self.inner.canonical_key(genome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A deterministic toy loss that counts its own invocations.
+    struct CountingLoss {
+        calls: AtomicUsize,
+    }
+
+    impl CountingLoss {
+        fn new() -> CountingLoss {
+            CountingLoss {
+                calls: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl LossEvaluator for CountingLoss {
+        fn evaluate(&self, genome: &[u8]) -> f64 {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            genome
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (g as f64) * (i as f64 + 1.0).sqrt())
+                .sum()
+        }
+    }
+
+    fn population(n: usize, genes: usize) -> Vec<Vec<u8>> {
+        assert!(
+            n <= 256,
+            "first gene tags the member to keep genomes distinct"
+        );
+        (0..n)
+            .map(|i| {
+                (0..genes)
+                    .map(|j| {
+                        if j == 0 {
+                            i as u8
+                        } else {
+                            ((i * 7 + j * 3) % 4) as u8
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_population_matches_sequential() {
+        let eval = CountingLoss::new();
+        let pop = population(17, 9);
+        let batched = eval.evaluate_population(&pop);
+        let sequential: Vec<f64> = pop.iter().map(|g| eval.evaluate(g)).collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let base = CountingLoss::new();
+        let pop = population(103, 12);
+        let sequential = base.evaluate_population(&pop);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = ParallelEvaluator::with_threads(CountingLoss::new(), threads);
+            assert_eq!(
+                par.evaluate_population(&pop),
+                sequential,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_and_tiny_batches() {
+        let par = ParallelEvaluator::with_threads(CountingLoss::new(), 8);
+        assert_eq!(par.evaluate_population(&[]), Vec::<f64>::new());
+        let one = population(1, 4);
+        assert_eq!(par.evaluate_population(&one), vec![par.evaluate(&one[0])]);
+    }
+
+    #[test]
+    fn cache_deduplicates_within_and_across_batches() {
+        let cached = CachedEvaluator::new(CountingLoss::new());
+        let mut pop = population(10, 6);
+        pop.extend(pop.clone()); // every genome duplicated in-batch
+        let first = cached.evaluate_population(&pop);
+        assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 10);
+        assert_eq!(cached.stats().misses, 10);
+        assert_eq!(cached.stats().hits, 10);
+        // Second batch: all hits.
+        let second = cached.evaluate_population(&pop);
+        assert_eq!(first, second);
+        assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 10);
+        assert_eq!(cached.stats().hits, 30);
+        assert_eq!(cached.entries(), 10);
+    }
+
+    #[test]
+    fn cache_is_transparent() {
+        let pop = population(23, 7);
+        let plain = CountingLoss::new().evaluate_population(&pop);
+        let cached = CachedEvaluator::new(ParallelEvaluator::with_threads(CountingLoss::new(), 4));
+        assert_eq!(cached.evaluate_population(&pop), plain);
+        // Single-genome path too.
+        assert_eq!(cached.evaluate(&pop[0]), plain[0]);
+    }
+
+    #[test]
+    fn fn_evaluator_adapts_closures() {
+        let sum = FnEvaluator::new(|g: &[u8]| g.iter().map(|&x| x as f64).sum());
+        assert_eq!(sum.evaluate(&[1, 2, 3]), 6.0);
+        let stats_free: &dyn LossEvaluator = &sum;
+        assert_eq!(stats_free.evaluate_population(&[vec![4]]), vec![4.0]);
+    }
+
+    #[test]
+    fn hit_rate_reports_fraction() {
+        let cached = CachedEvaluator::new(CountingLoss::new());
+        let g = vec![1u8, 2, 3];
+        cached.evaluate(&g);
+        cached.evaluate(&g);
+        cached.evaluate(&g);
+        let stats = cached.stats();
+        assert_eq!(stats.requests(), 3);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,6 +1,7 @@
 //! The multi-instance mix-and-restart engine of Figure 4.
 
 use crate::{GaConfig, GaInstance, Individual};
+use clapton_eval::{CacheStats, CachedEvaluator, LossEvaluator, ParallelEvaluator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -19,7 +20,8 @@ pub struct MultiGaConfig {
     /// Fraction of each new population drawn from the mixed pool (the rest
     /// are fresh random guesses).
     pub pool_fraction: f64,
-    /// Run instances on parallel threads.
+    /// Run instances on parallel threads and fan population batches out over
+    /// the remaining cores. Results are bit-identical to the serial path.
     pub parallel: bool,
     /// Per-instance GA settings.
     pub ga: GaConfig,
@@ -73,19 +75,54 @@ pub struct MultiGaResult {
     pub round_bests: Vec<f64>,
     /// Total number of rounds executed.
     pub rounds: usize,
+    /// Evaluation-cache traffic per round: how many fitness requests were
+    /// answered from the genome → loss memo vs. actually computed. Duplicate
+    /// genomes recur heavily across mix-and-restart rounds, so later rounds
+    /// typically show high hit rates.
+    pub round_eval_stats: Vec<CacheStats>,
+    /// Distinct genomes (canonical keys) whose loss was actually computed.
+    pub unique_evaluations: u64,
+    /// Total fitness requests answered from the cache.
+    pub cache_hits: u64,
+}
+
+impl MultiGaResult {
+    /// Total fitness requests across the run (hits + real evaluations).
+    pub fn fitness_requests(&self) -> u64 {
+        self.unique_evaluations + self.cache_hits
+    }
+
+    /// Overall cache hit fraction in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.fitness_requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The multi-instance engine (Figure 4): spawn, evolve, mix, repeat until the
 /// global loss stops decreasing.
 ///
+/// Fitness flows through the [`LossEvaluator`] trait: the engine stacks a
+/// shared genome → loss cache on top of a population-parallel batch path, so
+/// every instance's generation is evaluated as one deduplicated batch. Both
+/// wrappers are bit-transparent — results are identical to calling
+/// `evaluate` genome-at-a-time on a single thread.
+///
 /// # Example
 ///
 /// ```
+/// use clapton_eval::FnEvaluator;
 /// use clapton_ga::{MultiGa, MultiGaConfig};
 ///
-/// let fitness = |g: &[u8]| g.iter().map(|&x| x as f64).sum::<f64>();
+/// let fitness = FnEvaluator::new(|g: &[u8]| g.iter().map(|&x| x as f64).sum::<f64>());
 /// let result = MultiGa::new(10, 4, MultiGaConfig::quick()).run(42, &fitness);
 /// assert_eq!(result.best.loss, 0.0);
+/// // Mix-and-restart rounds re-submit known genomes: the cache absorbs them.
+/// assert!(result.cache_hits > 0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MultiGa {
@@ -105,22 +142,40 @@ impl MultiGa {
         }
     }
 
-    /// Runs the engine to convergence. `fitness` is minimized; it must be
-    /// `Sync` because instances may run on parallel threads.
-    pub fn run<F>(&self, seed: u64, fitness: &F) -> MultiGaResult
-    where
-        F: Fn(&[u8]) -> f64 + Sync + ?Sized,
-    {
+    /// Runs the engine to convergence, minimizing `evaluator`'s loss.
+    pub fn run<E: LossEvaluator + ?Sized>(&self, seed: u64, evaluator: &E) -> MultiGaResult {
         let cfg = &self.config;
+        // Evaluation stack: cache → population-parallel batches → user loss.
+        // With instance threads already soaking up `instances` cores, each
+        // batch gets the remaining share to avoid oversubscription.
+        let batch_workers = if cfg.parallel {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            (cores / cfg.instances.max(1)).max(1)
+        } else {
+            1
+        };
+        let batched = ParallelEvaluator::with_threads(evaluator, batch_workers);
+        let cached = CachedEvaluator::new(batched);
+
         let mut mix_rng = StdRng::seed_from_u64(seed ^ 0x5EED_A11C);
         let mut seeds_per_instance: Vec<Option<Vec<Vec<u8>>>> = vec![None; cfg.instances];
         let mut global_best: Option<Individual> = None;
         let mut round_bests = Vec::new();
+        let mut round_eval_stats: Vec<CacheStats> = Vec::new();
+        let mut stats_before = CacheStats::default();
         let mut retries = 0;
         let mut rounds = 0;
         for round in 0..cfg.max_rounds {
             rounds += 1;
-            let finals = self.run_round(seed, round, &mut seeds_per_instance, fitness);
+            let finals = self.run_round(seed, round, &mut seeds_per_instance, &cached);
+            let stats_after = cached.stats();
+            round_eval_stats.push(CacheStats {
+                hits: stats_after.hits - stats_before.hits,
+                misses: stats_after.misses - stats_before.misses,
+            });
+            stats_before = stats_after;
             // Pool the top-k of every instance.
             let mut pool: Vec<Individual> = Vec::new();
             for pop in &finals {
@@ -144,8 +199,7 @@ impl MultiGa {
             }
             // Mix: every instance restarts from a random sample of the pool
             // plus fresh random guesses (Figure 4's shuffle step).
-            let pool_share =
-                ((cfg.ga.population_size as f64) * cfg.pool_fraction).round() as usize;
+            let pool_share = ((cfg.ga.population_size as f64) * cfg.pool_fraction).round() as usize;
             for inst_seeds in seeds_per_instance.iter_mut() {
                 let mut picks: Vec<Vec<u8>> = (0..pool_share.min(pool.len()))
                     .map(|_| pool[mix_rng.gen_range(0..pool.len())].genes.clone())
@@ -157,24 +211,25 @@ impl MultiGa {
                 *inst_seeds = Some(picks);
             }
         }
+        let stats = cached.stats();
         MultiGaResult {
             best: global_best.expect("at least one round ran"),
             round_bests,
             rounds,
+            round_eval_stats,
+            unique_evaluations: stats.misses,
+            cache_hits: stats.hits,
         }
     }
 
     /// Runs all instances of one round (in parallel when configured).
-    fn run_round<F>(
+    fn run_round<E: LossEvaluator + ?Sized>(
         &self,
         seed: u64,
         round: usize,
         seeds_per_instance: &mut [Option<Vec<Vec<u8>>>],
-        fitness: &F,
-    ) -> Vec<crate::Population>
-    where
-        F: Fn(&[u8]) -> f64 + Sync + ?Sized,
-    {
+        evaluator: &E,
+    ) -> Vec<crate::Population> {
         let cfg = &self.config;
         let run_one = |i: usize, seeds: Option<Vec<Vec<u8>>>| {
             let inst_seed = seed
@@ -182,7 +237,7 @@ impl MultiGa {
                 .wrapping_add((round as u64) << 32)
                 .wrapping_add(i as u64);
             let mut ga = GaInstance::new(self.num_genes, self.cardinality, cfg.ga, inst_seed);
-            ga.run(fitness, seeds)
+            ga.run(evaluator, seeds)
         };
         if cfg.parallel {
             std::thread::scope(|scope| {
@@ -194,7 +249,10 @@ impl MultiGa {
                         scope.spawn(move || run_one(i, seeds))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("GA thread")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("GA thread"))
+                    .collect()
             })
         } else {
             seeds_per_instance
@@ -209,21 +267,22 @@ impl MultiGa {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clapton_eval::FnEvaluator;
 
-    fn sum_fitness(g: &[u8]) -> f64 {
-        g.iter().map(|&x| x as f64).sum()
+    fn sum_fitness() -> impl LossEvaluator {
+        FnEvaluator::new(|g: &[u8]| g.iter().map(|&x| x as f64).sum())
     }
 
     #[test]
     fn converges_on_simple_problem() {
-        let result = MultiGa::new(15, 4, MultiGaConfig::quick()).run(7, &sum_fitness);
+        let result = MultiGa::new(15, 4, MultiGaConfig::quick()).run(7, &sum_fitness());
         assert_eq!(result.best.loss, 0.0);
         assert!(result.rounds >= 2, "needs at least the retry rounds");
     }
 
     #[test]
     fn round_bests_are_monotone() {
-        let result = MultiGa::new(30, 4, MultiGaConfig::quick()).run(11, &sum_fitness);
+        let result = MultiGa::new(30, 4, MultiGaConfig::quick()).run(11, &sum_fitness());
         for w in result.round_bests.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }
@@ -232,8 +291,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let engine = MultiGa::new(12, 4, MultiGaConfig::quick());
-        let a = engine.run(99, &sum_fitness);
-        let b = engine.run(99, &sum_fitness);
+        let a = engine.run(99, &sum_fitness());
+        let b = engine.run(99, &sum_fitness());
         assert_eq!(a.best, b.best);
         assert_eq!(a.round_bests, b.round_bests);
     }
@@ -241,29 +300,46 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let mut cfg = MultiGaConfig::quick();
-        let serial = MultiGa::new(12, 4, cfg).run(5, &sum_fitness);
+        let serial = MultiGa::new(12, 4, cfg).run(5, &sum_fitness());
         cfg.parallel = true;
-        let parallel = MultiGa::new(12, 4, cfg).run(5, &sum_fitness);
+        let parallel = MultiGa::new(12, 4, cfg).run(5, &sum_fitness());
         assert_eq!(serial.best, parallel.best);
+        assert_eq!(serial.round_bests, parallel.round_bests);
     }
 
     #[test]
     fn respects_max_rounds() {
         let mut cfg = MultiGaConfig::quick();
         cfg.max_rounds = 1;
-        let result = MultiGa::new(10, 4, cfg).run(3, &sum_fitness);
+        let result = MultiGa::new(10, 4, cfg).run(3, &sum_fitness());
         assert_eq!(result.rounds, 1);
+    }
+
+    #[test]
+    fn cache_diagnostics_are_consistent() {
+        let result = MultiGa::new(12, 4, MultiGaConfig::quick()).run(21, &sum_fitness());
+        assert_eq!(result.round_eval_stats.len(), result.rounds);
+        let hits: u64 = result.round_eval_stats.iter().map(|s| s.hits).sum();
+        let misses: u64 = result.round_eval_stats.iter().map(|s| s.misses).sum();
+        assert_eq!(hits, result.cache_hits);
+        assert_eq!(misses, result.unique_evaluations);
+        // The engine must have evaluated at least one full first-round
+        // population per instance, and mixing must have produced re-submits.
+        let cfg = MultiGaConfig::quick();
+        assert!(result.unique_evaluations >= (cfg.ga.population_size * cfg.instances) as u64);
+        assert!(result.cache_hits > 0, "mix rounds re-submit known genomes");
+        assert!(result.cache_hit_rate() > 0.0 && result.cache_hit_rate() < 1.0);
     }
 
     #[test]
     fn harder_multimodal_problem() {
         // Deceptive fitness: genome must spell an alternating pattern.
-        let fitness = |g: &[u8]| {
+        let fitness = FnEvaluator::new(|g: &[u8]| {
             g.iter()
                 .enumerate()
                 .map(|(i, &x)| if x == ((i % 2) as u8 + 1) { 0.0 } else { 1.0 })
                 .sum::<f64>()
-        };
+        });
         let mut cfg = MultiGaConfig::quick();
         cfg.ga.generations = 40;
         cfg.max_rounds = 12;

@@ -1,5 +1,6 @@
 //! A single genetic-algorithm instance on integer genomes.
 
+use clapton_eval::LossEvaluator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,6 +59,18 @@ impl Population {
         Population { members }
     }
 
+    /// Builds a population by batch-evaluating genomes.
+    pub fn evaluate<E: LossEvaluator + ?Sized>(genomes: Vec<Vec<u8>>, evaluator: &E) -> Population {
+        let losses = evaluator.evaluate_population(&genomes);
+        Population::from_members(
+            genomes
+                .into_iter()
+                .zip(losses)
+                .map(|(genes, loss)| Individual { loss, genes })
+                .collect(),
+        )
+    }
+
     /// The members in ascending-loss order.
     pub fn members(&self) -> &[Individual] {
         &self.members
@@ -90,13 +103,20 @@ impl Population {
 
 /// A single GA instance (one of the `GA_i` boxes of Figure 4).
 ///
+/// Fitness is requested through the [`LossEvaluator`] trait in population
+/// batches: each generation first breeds the full offspring set, then issues
+/// one `evaluate_population` call — so a parallel or cached evaluator sees
+/// the widest possible batch. Because selection only consults the *previous*
+/// generation, batching is bit-identical to genome-at-a-time evaluation.
+///
 /// # Example
 ///
 /// ```
+/// use clapton_eval::FnEvaluator;
 /// use clapton_ga::{GaConfig, GaInstance};
 ///
 /// // Minimize the number of non-zero genes.
-/// let fitness = |g: &[u8]| g.iter().filter(|&&x| x != 0).count() as f64;
+/// let fitness = FnEvaluator::new(|g: &[u8]| g.iter().filter(|&&x| x != 0).count() as f64);
 /// let config = GaConfig { generations: 60, ..GaConfig::default() };
 /// let mut ga = GaInstance::new(12, 4, config, 7);
 /// let pop = ga.run(&fitness, None);
@@ -140,10 +160,11 @@ impl GaInstance {
 
     /// Runs `generations` of evolution, optionally seeded with starting
     /// genomes (topped up with random ones), returning the final population.
-    pub fn run<F>(&mut self, fitness: &F, seeds: Option<Vec<Vec<u8>>>) -> Population
-    where
-        F: Fn(&[u8]) -> f64 + ?Sized,
-    {
+    pub fn run<E: LossEvaluator + ?Sized>(
+        &mut self,
+        evaluator: &E,
+        seeds: Option<Vec<Vec<u8>>>,
+    ) -> Population {
         let mut genomes: Vec<Vec<u8>> = seeds.unwrap_or_default();
         genomes.retain(|g| g.len() == self.num_genes);
         genomes.truncate(self.config.population_size);
@@ -151,29 +172,20 @@ impl GaInstance {
             let g = self.random_genome();
             genomes.push(g);
         }
-        let mut pop = Population::from_members(
-            genomes
-                .into_iter()
-                .map(|genes| Individual {
-                    loss: fitness(&genes),
-                    genes,
-                })
-                .collect(),
-        );
+        let mut pop = Population::evaluate(genomes, evaluator);
         for _ in 0..self.config.generations {
-            pop = self.step(pop, fitness);
+            pop = self.step(pop, evaluator);
         }
         pop
     }
 
-    /// One generation: elitism + tournament selection + crossover + mutation.
-    fn step<F>(&mut self, pop: Population, fitness: &F) -> Population
-    where
-        F: Fn(&[u8]) -> f64 + ?Sized,
-    {
+    /// One generation: elitism + tournament selection + crossover + mutation,
+    /// with the offspring evaluated as a single population batch.
+    fn step<E: LossEvaluator + ?Sized>(&mut self, pop: Population, evaluator: &E) -> Population {
         let size = self.config.population_size;
         let mut next: Vec<Individual> = pop.top(self.config.elite).to_vec();
-        while next.len() < size {
+        let mut offspring: Vec<Vec<u8>> = Vec::with_capacity(size - next.len());
+        while next.len() + offspring.len() < size {
             let a = self.tournament(&pop);
             let b = self.tournament(&pop);
             let mut child = if self.rng.gen::<f64>() < self.config.crossover_rate {
@@ -183,11 +195,15 @@ impl GaInstance {
                 pop.members()[a.min(b)].genes.clone()
             };
             self.mutate(&mut child);
-            next.push(Individual {
-                loss: fitness(&child),
-                genes: child,
-            });
+            offspring.push(child);
         }
+        let losses = evaluator.evaluate_population(&offspring);
+        next.extend(
+            offspring
+                .into_iter()
+                .zip(losses)
+                .map(|(genes, loss)| Individual { loss, genes }),
+        );
         Population::from_members(next)
     }
 
@@ -224,15 +240,16 @@ impl GaInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clapton_eval::FnEvaluator;
 
-    fn ones_count(g: &[u8]) -> f64 {
-        g.iter().filter(|&&x| x != 0).count() as f64
+    fn ones_count() -> impl LossEvaluator {
+        FnEvaluator::new(|g: &[u8]| g.iter().filter(|&&x| x != 0).count() as f64)
     }
 
     #[test]
     fn solves_all_zeros() {
         let mut ga = GaInstance::new(16, 4, GaConfig::default(), 1);
-        let pop = ga.run(&ones_count, None);
+        let pop = ga.run(&ones_count(), None);
         assert_eq!(pop.best().loss, 0.0);
         assert!(pop.best().genes.iter().all(|&g| g == 0));
     }
@@ -241,12 +258,9 @@ mod tests {
     fn solves_target_matching() {
         let target: Vec<u8> = (0..20).map(|i| (i % 4) as u8).collect();
         let t = target.clone();
-        let fitness = move |g: &[u8]| {
-            g.iter()
-                .zip(&t)
-                .filter(|(a, b)| a != b)
-                .count() as f64
-        };
+        let fitness = FnEvaluator::new(move |g: &[u8]| {
+            g.iter().zip(&t).filter(|(a, b)| a != b).count() as f64
+        });
         let mut ga = GaInstance::new(20, 4, GaConfig::default(), 2);
         let pop = ga.run(&fitness, None);
         assert_eq!(pop.best().loss, 0.0);
@@ -264,7 +278,7 @@ mod tests {
             },
             3,
         );
-        let pop = ga.run(&ones_count, None);
+        let pop = ga.run(&ones_count(), None);
         for w in pop.members().windows(2) {
             assert!(w[0].loss <= w[1].loss);
         }
@@ -283,11 +297,12 @@ mod tests {
             },
             4,
         );
-        let mut pop = ga.run(&ones_count, None);
+        let fitness = ones_count();
+        let mut pop = ga.run(&fitness, None);
         let mut best = pop.best().loss;
         for _ in 0..30 {
             let seeds: Vec<Vec<u8>> = pop.members().iter().map(|m| m.genes.clone()).collect();
-            pop = ga.run(&ones_count, Some(seeds));
+            pop = ga.run(&fitness, Some(seeds));
             assert!(pop.best().loss <= best + 1e-12, "best-so-far regressed");
             best = pop.best().loss;
         }
@@ -305,7 +320,7 @@ mod tests {
                 },
                 seed,
             );
-            ga.run(&ones_count, None).best().clone()
+            ga.run(&ones_count(), None).best().clone()
         };
         assert_eq!(run(42), run(42));
     }
@@ -323,8 +338,20 @@ mod tests {
             },
             9,
         );
-        let pop = ga.run(&ones_count, Some(vec![optimum.clone()]));
+        let pop = ga.run(&ones_count(), Some(vec![optimum.clone()]));
         assert_eq!(pop.best().genes, optimum);
+    }
+
+    #[test]
+    fn population_batch_equals_individual_evaluation() {
+        // `Population::evaluate` must agree with genome-at-a-time calls.
+        let fitness = ones_count();
+        let genomes: Vec<Vec<u8>> = (0..12).map(|i| vec![(i % 4) as u8; 6]).collect();
+        let pop = Population::evaluate(genomes.clone(), &fitness);
+        for member in pop.members() {
+            assert_eq!(member.loss, fitness.evaluate(&member.genes));
+        }
+        assert_eq!(pop.len(), genomes.len());
     }
 
     #[test]

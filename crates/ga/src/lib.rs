@@ -14,9 +14,18 @@
 //!
 //! Paper hyper-parameters: `s = 10`, `m = 100`, `k = 20`, `|S| = 100`
 //! ([`MultiGaConfig::paper`]).
+//!
+//! Fitness is consumed exclusively through the [`LossEvaluator`] trait
+//! (re-exported from `clapton-eval`): instances request losses in population
+//! batches, and [`MultiGa`] stacks a shared genome → loss cache on a
+//! population-parallel batch path. Wrap a plain closure with
+//! [`FnEvaluator`] when a full evaluator object is overkill.
 
 mod engine;
 mod instance;
 
+pub use clapton_eval::{
+    CacheStats, CachedEvaluator, FnEvaluator, LossEvaluator, ParallelEvaluator,
+};
 pub use engine::{MultiGa, MultiGaConfig, MultiGaResult};
 pub use instance::{GaConfig, GaInstance, Individual, Population};

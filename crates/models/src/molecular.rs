@@ -232,10 +232,7 @@ mod tests {
     fn every_offdiagonal_term_is_mixed() {
         let h = molecular(Molecule::H6, 3.0);
         // Weight > 2 terms beyond the structured ZZ block all contain X/Y.
-        let mixed = h
-            .iter()
-            .filter(|(_, p)| !p.is_z_type())
-            .count();
+        let mixed = h.iter().filter(|(_, p)| !p.is_z_type()).count();
         // 919 total = 1 identity + 10 Z + 45 ZZ + 863 mixed.
         assert_eq!(mixed, 919 - 56);
     }

@@ -74,7 +74,10 @@ impl NoisyCircuit {
     /// # Errors
     ///
     /// Returns [`NotCliffordError`] if any rotation is off the Clifford grid.
-    pub fn from_circuit(circuit: &Circuit, model: &NoiseModel) -> Result<NoisyCircuit, NotCliffordError> {
+    pub fn from_circuit(
+        circuit: &Circuit,
+        model: &NoiseModel,
+    ) -> Result<NoisyCircuit, NotCliffordError> {
         assert_eq!(
             circuit.num_qubits(),
             model.num_qubits(),
@@ -82,9 +85,7 @@ impl NoisyCircuit {
         );
         let mut ops = Vec::with_capacity(circuit.len() * 2);
         for gate in circuit.gates() {
-            let cliffords = gate
-                .to_clifford()
-                .ok_or(NotCliffordError { gate: *gate })?;
+            let cliffords = gate.to_clifford().ok_or(NotCliffordError { gate: *gate })?;
             ops.extend(cliffords.into_iter().map(NoisyOp::Clifford));
             match *gate {
                 Gate::Cx(a, b) => {
@@ -111,7 +112,9 @@ impl NoisyCircuit {
         Ok(NoisyCircuit {
             num_qubits: circuit.num_qubits(),
             ops,
-            readout: (0..circuit.num_qubits()).map(|q| model.readout(q)).collect(),
+            readout: (0..circuit.num_qubits())
+                .map(|q| model.readout(q))
+                .collect(),
             p1: (0..circuit.num_qubits()).map(|q| model.p1(q)).collect(),
         })
     }

@@ -100,11 +100,7 @@ impl<'a> ExactEvaluator<'a> {
         }
         let mut sign = 1.0;
         let prep = self.circuit.basis_prep_ops(term);
-        for op in prep
-            .iter()
-            .rev()
-            .chain(self.circuit.ops().iter().rev())
-        {
+        for op in prep.iter().rev().chain(self.circuit.ops().iter().rev()) {
             match *op {
                 NoisyOp::Clifford(g) => {
                     // O ← g† O g.
@@ -233,7 +229,11 @@ impl<'a> FrameSampler<'a> {
             } else {
                 -1
             };
-            let mut outcome = if frame.commutes_with(&z_obs) { base } else { -base };
+            let mut outcome = if frame.commutes_with(&z_obs) {
+                base
+            } else {
+                -base
+            };
             for &q in &support {
                 if rng.gen::<f64>() < self.circuit.readout(q) {
                     outcome = -outcome;

@@ -66,7 +66,11 @@ impl Pauli {
     /// Multiplies two single-qubit Paulis: `self · rhs = phase · result`.
     ///
     /// The phase is exact, e.g. `X·Y = iZ` and `Y·X = -iZ`.
+    ///
+    /// Not `std::ops::Mul`: the product carries a phase alongside the Pauli,
+    /// so the output type differs from `Self`.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Pauli) -> (Phase, Pauli) {
         use Pauli::*;
         match (self, rhs) {

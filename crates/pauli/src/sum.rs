@@ -200,7 +200,11 @@ impl PauliSum {
 
     /// Maximum term weight (locality) of the operator.
     pub fn max_weight(&self) -> usize {
-        self.terms.iter().map(|t| t.pauli.weight()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|t| t.pauli.weight())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -240,7 +244,12 @@ mod tests {
     fn simplify_combines_and_drops() {
         let mut h = PauliSum::from_terms(
             2,
-            vec![(1.0, ps("XX")), (2.0, ps("XX")), (0.5, ps("ZI")), (-0.5, ps("ZI"))],
+            vec![
+                (1.0, ps("XX")),
+                (2.0, ps("XX")),
+                (0.5, ps("ZI")),
+                (-0.5, ps("ZI")),
+            ],
         );
         h.simplify();
         assert_eq!(h.num_terms(), 1);
@@ -274,7 +283,12 @@ mod tests {
     fn all_zeros_expectation_sums_z_terms() {
         let h = PauliSum::from_terms(
             3,
-            vec![(1.0, ps("ZII")), (2.0, ps("IZZ")), (7.0, ps("XII")), (-0.5, ps("III"))],
+            vec![
+                (1.0, ps("ZII")),
+                (2.0, ps("IZZ")),
+                (7.0, ps("XII")),
+                (-0.5, ps("III")),
+            ],
         );
         assert_eq!(h.expectation_all_zeros(), 1.0 + 2.0 - 0.5);
     }

@@ -271,7 +271,10 @@ impl DensityMatrix {
         if gamma == 0.0 {
             return;
         }
-        assert!((0.0..=1.0).contains(&gamma), "γ = {gamma} not a probability");
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "γ = {gamma} not a probability"
+        );
         let bit = 1usize << q;
         let s = (1.0 - gamma).sqrt();
         for r in 0..self.dim {
@@ -345,8 +348,14 @@ mod tests {
         let mut c = Circuit::new(n);
         for _ in 0..len {
             match rng.gen_range(0..5) {
-                0 => c.push(Gate::Ry(rng.gen_range(0..n), rng.gen_range(0.0..6.28))),
-                1 => c.push(Gate::Rz(rng.gen_range(0..n), rng.gen_range(0.0..6.28))),
+                0 => c.push(Gate::Ry(
+                    rng.gen_range(0..n),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                )),
+                1 => c.push(Gate::Rz(
+                    rng.gen_range(0..n),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                )),
                 2 => c.push(Gate::H(rng.gen_range(0..n))),
                 3 => c.push(Gate::S(rng.gen_range(0..n))),
                 _ => {

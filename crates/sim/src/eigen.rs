@@ -50,7 +50,10 @@ pub fn dominant_eigenvalue(h: &PauliSum) -> f64 {
 fn extremal_eigenvalue(h: &PauliSum, largest: bool) -> f64 {
     let n = h.num_qubits();
     assert!(n > 0, "need at least one qubit");
-    assert!(n <= 24, "Hamiltonian on {n} qubits too large for dense vectors");
+    assert!(
+        n <= 24,
+        "Hamiltonian on {n} qubits too large for dense vectors"
+    );
     let mut best = f64::INFINITY;
     for seed in [0xC1AF_0001u64, 0xC1AF_0002u64] {
         let v = lanczos_min(h, seed, largest);
@@ -147,18 +150,22 @@ fn tridiagonal_min_eigenvalue(alphas: &[f64], betas: &[f64]) -> f64 {
     let k = alphas.len();
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
-    for i in 0..k {
+    for (i, &alpha) in alphas.iter().enumerate() {
         let r = betas.get(i.wrapping_sub(1)).copied().unwrap_or(0.0).abs()
             + betas.get(i).copied().unwrap_or(0.0).abs();
-        lo = lo.min(alphas[i] - r);
-        hi = hi.max(alphas[i] + r);
+        lo = lo.min(alpha - r);
+        hi = hi.max(alpha + r);
     }
     // Count of eigenvalues < x via the Sturm sequence.
     let count_below = |x: f64| -> usize {
         let mut count = 0;
         let mut d = 1.0f64;
         for i in 0..k {
-            let b2 = if i == 0 { 0.0 } else { betas[i - 1] * betas[i - 1] };
+            let b2 = if i == 0 {
+                0.0
+            } else {
+                betas[i - 1] * betas[i - 1]
+            };
             d = alphas[i] - x - b2 / d;
             if d == 0.0 {
                 d = 1e-300;
@@ -211,10 +218,7 @@ mod tests {
     fn two_qubit_ising_closed_form() {
         // H = J XX + Z1 + Z2: E0 = -√(4 + J²).
         for j in [0.25, 0.5, 1.0, 2.0] {
-            let h = PauliSum::from_terms(
-                2,
-                vec![(j, ps("XX")), (1.0, ps("ZI")), (1.0, ps("IZ"))],
-            );
+            let h = PauliSum::from_terms(2, vec![(j, ps("XX")), (1.0, ps("ZI")), (1.0, ps("IZ"))]);
             assert!(
                 (ground_energy(&h) + (4.0 + j * j).sqrt()).abs() < 1e-9,
                 "J = {j}"
@@ -226,10 +230,7 @@ mod tests {
     fn two_qubit_xxz_closed_form() {
         // H = J(XX + YY) + ZZ: spectrum {1, 1, -1+2J, -1-2J}.
         for j in [0.25, 0.5, 1.0] {
-            let h = PauliSum::from_terms(
-                2,
-                vec![(j, ps("XX")), (j, ps("YY")), (1.0, ps("ZZ"))],
-            );
+            let h = PauliSum::from_terms(2, vec![(j, ps("XX")), (j, ps("YY")), (1.0, ps("ZZ"))]);
             assert!(
                 (ground_energy(&h) - (-1.0 - 2.0 * j)).abs() < 1e-9,
                 "J = {j}"
@@ -251,12 +252,7 @@ mod tests {
         let n = 4;
         let h = PauliSum::from_terms(
             n,
-            (0..12).map(|_| {
-                (
-                    rng.gen_range(-1.0..1.0),
-                    PauliString::random(n, &mut rng),
-                )
-            }),
+            (0..12).map(|_| (rng.gen_range(-1.0..1.0), PauliString::random(n, &mut rng))),
         );
         let e0 = ground_energy(&h);
         // Independent check: power iteration on σI - H.

@@ -180,10 +180,7 @@ mod tests {
                 match rng.gen_range(0..4) {
                     0 => c.push(Gate::H(rng.gen_range(0..n))),
                     1 => c.push(Gate::S(rng.gen_range(0..n))),
-                    2 => c.push(Gate::Ry(
-                        rng.gen_range(0..n),
-                        std::f64::consts::FRAC_PI_2,
-                    )),
+                    2 => c.push(Gate::Ry(rng.gen_range(0..n), std::f64::consts::FRAC_PI_2)),
                     _ => {
                         let a = rng.gen_range(0..n);
                         let mut b = rng.gen_range(0..n);

@@ -399,7 +399,10 @@ mod tests {
         assert_eq!(CliffordGate::ry_quarter(3, 0), None);
         assert_eq!(CliffordGate::ry_quarter(3, 1), Some(CliffordGate::SqrtY(3)));
         assert_eq!(CliffordGate::ry_quarter(3, 2), Some(CliffordGate::Y(3)));
-        assert_eq!(CliffordGate::ry_quarter(3, 3), Some(CliffordGate::SqrtYdg(3)));
+        assert_eq!(
+            CliffordGate::ry_quarter(3, 3),
+            Some(CliffordGate::SqrtYdg(3))
+        );
         assert_eq!(CliffordGate::rz_quarter(1, 1), Some(CliffordGate::S(1)));
         assert_eq!(CliffordGate::rz_quarter(1, 3), Some(CliffordGate::Sdg(1)));
     }

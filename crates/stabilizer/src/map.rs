@@ -117,7 +117,7 @@ impl CliffordMap {
             }
             if x {
                 let row = &self.x_rows[q];
-                phase = phase * out.mul_assign_right(&row.pauli);
+                phase *= out.mul_assign_right(&row.pauli);
                 if row.negative {
                     phase *= Phase::MINUS_ONE;
                 }
@@ -127,7 +127,7 @@ impl CliffordMap {
             let (_, z) = p.get(q).xz();
             if z {
                 let row = &self.z_rows[q];
-                phase = phase * out.mul_assign_right(&row.pauli);
+                phase *= out.mul_assign_right(&row.pauli);
                 if row.negative {
                     phase *= Phase::MINUS_ONE;
                 }
@@ -200,29 +200,23 @@ impl CliffordMap {
         for (r, row) in aug.iter_mut().enumerate() {
             row[r / 64] |= 1 << (r % 64);
         }
-        // Gauss-Jordan over GF(2).
-        let mut pivot_row = 0;
+        // Gauss-Jordan over GF(2). The system is invertible and square, so
+        // every column hosts a pivot and the pivot row equals the column.
         for col in 0..dim {
-            let mut sel = None;
-            for r in pivot_row..dim {
-                if (mat[r][col / 64] >> (col % 64)) & 1 == 1 {
-                    sel = Some(r);
-                    break;
-                }
-            }
-            let sel = sel.expect("Clifford tableau must be invertible");
-            mat.swap(pivot_row, sel);
-            aug.swap(pivot_row, sel);
+            let sel = (col..dim)
+                .find(|&r| (mat[r][col / 64] >> (col % 64)) & 1 == 1)
+                .expect("Clifford tableau must be invertible");
+            mat.swap(col, sel);
+            aug.swap(col, sel);
             for r in 0..dim {
-                if r != pivot_row && (mat[r][col / 64] >> (col % 64)) & 1 == 1 {
+                if r != col && (mat[r][col / 64] >> (col % 64)) & 1 == 1 {
                     for w in 0..words {
-                        let (m, a) = (mat[pivot_row][w], aug[pivot_row][w]);
+                        let (m, a) = (mat[col][w], aug[col][w]);
                         mat[r][w] ^= m;
                         aug[r][w] ^= a;
                     }
                 }
             }
-            pivot_row += 1;
         }
         // Solving A·v = e_k gives v = A^{-1}·e_k, i.e. column k of A^{-1}:
         // v_j = aug[j] bit k. Generators j with v_j = 1 multiply to the
@@ -237,7 +231,7 @@ impl CliffordMap {
                     } else {
                         PauliString::single(n, col - n, Pauli::Z)
                     };
-                    phase = phase * q.mul_assign_right(&gen);
+                    phase *= q.mul_assign_right(&gen);
                 }
             }
             // Fix the sign so that map(Q) = +G exactly.

@@ -107,7 +107,7 @@ impl StabilizerState {
         let mut phase = Phase::ONE;
         for i in 0..self.n {
             if !self.rows[i].commutes_with(p) {
-                phase = phase * acc.mul_assign_right(&self.rows[self.n + i]);
+                phase *= acc.mul_assign_right(&self.rows[self.n + i]);
                 if self.signs[self.n + i] {
                     phase *= Phase::MINUS_ONE;
                 }
@@ -344,10 +344,7 @@ mod tests {
             st.apply_all(&[CliffordGate::H(0), CliffordGate::Cx(0, 1)]);
             let first = st.measure_z(0, &mut rng);
             let expect = if first { -1.0 } else { 1.0 };
-            assert_eq!(
-                st.expectation(&PauliString::single(2, 1, Pauli::Z)),
-                expect
-            );
+            assert_eq!(st.expectation(&PauliString::single(2, 1, Pauli::Z)), expect);
         }
     }
 

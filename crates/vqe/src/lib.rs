@@ -20,6 +20,6 @@ mod zne;
 
 pub use measurement::{group_qubitwise_commuting, qubitwise_commute, SampledEnergy};
 pub use nelder_mead::{NelderMead, NelderMeadConfig};
-pub use runner::{run_vqe, VqeConfig, VqeTrace};
+pub use runner::{run_vqe, run_vqe_with_backend, VqeConfig, VqeTrace};
 pub use spsa::{Spsa, SpsaConfig, SpsaResult};
 pub use zne::{richardson_extrapolate, zero_noise_extrapolate, ZneConfig, ZneEstimate};

@@ -9,10 +9,10 @@
 //! output distribution with readout flips, and every term is estimated from
 //! the sampled bitstrings.
 
+use clapton_circuits::Gate;
 use clapton_core::ExecutableAnsatz;
 use clapton_pauli::{Pauli, PauliString, PauliSum};
 use clapton_sim::{DensityMatrix, DeviceEvaluator};
-use clapton_circuits::Gate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -100,12 +100,7 @@ impl SampledEnergy {
     /// # Panics
     ///
     /// Panics if `shots_per_group == 0` or θ has the wrong dimension.
-    pub fn estimate(
-        &self,
-        h_logical: &PauliSum,
-        exec: &ExecutableAnsatz,
-        theta: &[f64],
-    ) -> f64 {
+    pub fn estimate(&self, h_logical: &PauliSum, exec: &ExecutableAnsatz, theta: &[f64]) -> f64 {
         assert!(self.shots_per_group > 0, "need at least one shot");
         let mapped = exec.map_hamiltonian(h_logical);
         let device = DeviceEvaluator::run(&exec.circuit(theta), exec.noise_model());
@@ -232,10 +227,7 @@ mod tests {
         for g in &groups {
             for (i, &a) in g.iter().enumerate() {
                 for &b in &g[i + 1..] {
-                    assert!(qubitwise_commute(
-                        &h.terms()[a].pauli,
-                        &h.terms()[b].pauli
-                    ));
+                    assert!(qubitwise_commute(&h.terms()[a].pauli, &h.terms()[b].pauli));
                 }
             }
         }
@@ -287,7 +279,7 @@ mod tests {
         let n = 3;
         let h = PauliSum::from_terms(n, vec![(1.0, ps("ZZI")), (2.0, ps("IIZ"))]);
         let exec = ExecutableAnsatz::untranspiled(n, &NoiseModel::noiseless(n));
-        let e = SampledEnergy::new(10, 1).estimate(&h, &exec, &vec![0.0; 12]);
+        let e = SampledEnergy::new(10, 1).estimate(&h, &exec, &[0.0; 12]);
         assert_eq!(e, 3.0);
     }
 }

@@ -114,8 +114,8 @@ impl NelderMead {
                     // Shrink toward the best.
                     let best = simplex[0].1.clone();
                     for entry in simplex.iter_mut().skip(1) {
-                        for i in 0..d {
-                            entry.1[i] = best[i] + sigma * (entry.1[i] - best[i]);
+                        for (x, &b) in entry.1.iter_mut().zip(&best) {
+                            *x = b + sigma * (*x - b);
                         }
                         entry.0 = eval(&entry.1.clone(), &mut evals);
                     }
@@ -135,7 +135,8 @@ mod tests {
     #[test]
     fn minimizes_quadratic() {
         let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
-        let (best, loss) = NelderMead::new(NelderMeadConfig::default()).minimize(&f, vec![3.0, -2.0]);
+        let (best, loss) =
+            NelderMead::new(NelderMeadConfig::default()).minimize(&f, vec![3.0, -2.0]);
         assert!(loss < 1e-6);
         assert!(best.iter().all(|v| v.abs() < 1e-2));
     }

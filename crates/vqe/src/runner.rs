@@ -1,9 +1,8 @@
 //! The end-to-end VQE loop against the noisy device model.
 
 use crate::{Spsa, SpsaConfig};
-use clapton_core::ExecutableAnsatz;
+use clapton_core::{DenseBackend, EnergyBackend, ExecutableAnsatz};
 use clapton_pauli::PauliSum;
-use clapton_sim::DeviceEvaluator;
 
 /// Configuration of a VQE run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +45,7 @@ pub struct VqeTrace {
 /// For Clapton, `h_logical` is the transformed Hamiltonian `Ĥ` and
 /// `theta0 = 0`; for CAFQA/nCAFQA it is the original `H` with
 /// `theta0 = θ_CAFQA` (§5.2). The objective is evaluated with the full
-/// density-matrix noise model ([`DeviceEvaluator`]), i.e. the same
+/// density-matrix noise model ([`DenseBackend`]), i.e. the same
 /// environment the paper's Qiskit simulations use.
 ///
 /// # Panics
@@ -74,6 +73,27 @@ pub fn run_vqe(
     theta0: &[f64],
     config: &VqeConfig,
 ) -> VqeTrace {
+    run_vqe_with_backend(h_logical, exec, theta0, config, &DenseBackend)
+}
+
+/// [`run_vqe`] with an explicit [`EnergyBackend`]: the same trait objects
+/// that drive the Clapton loss plug in here, so the VQE objective can run on
+/// the exact Clifford model, the frame sampler, or (the default) the dense
+/// device simulation.
+///
+/// Note that away from Clifford angles only [`DenseBackend`] is exact; the
+/// stabilizer-based backends are meaningful for Clifford θ only.
+///
+/// # Panics
+///
+/// Panics if `theta0` has the wrong length for the ansatz.
+pub fn run_vqe_with_backend(
+    h_logical: &PauliSum,
+    exec: &ExecutableAnsatz,
+    theta0: &[f64],
+    config: &VqeConfig,
+    backend: &dyn EnergyBackend,
+) -> VqeTrace {
     assert_eq!(
         theta0.len(),
         exec.ansatz().num_parameters(),
@@ -82,7 +102,7 @@ pub fn run_vqe(
     let mapped = exec.map_hamiltonian(h_logical);
     let objective = |theta: &[f64]| {
         let circuit = exec.circuit(theta);
-        DeviceEvaluator::run(&circuit, exec.noise_model()).energy(&mapped)
+        backend.energy(&circuit, exec.noise_model(), &mapped)
     };
     let initial_energy = objective(theta0);
     let result = Spsa::new(config.spsa).minimize(&objective, theta0.to_vec());
@@ -116,7 +136,7 @@ mod tests {
     fn vqe_converges_on_noiseless_two_qubit_ising() {
         let h = ising(2, 0.5);
         let exec = ExecutableAnsatz::untranspiled(2, &NoiseModel::noiseless(2));
-        let trace = run_vqe(&h, &exec, &vec![0.1; 8], &VqeConfig::new(250));
+        let trace = run_vqe(&h, &exec, &[0.1; 8], &VqeConfig::new(250));
         let e0 = ground_energy(&h);
         assert!(
             trace.final_energy < e0 + 0.15,
@@ -156,7 +176,7 @@ mod tests {
     fn trace_is_recorded() {
         let h = ising(2, 1.0);
         let exec = ExecutableAnsatz::untranspiled(2, &NoiseModel::noiseless(2));
-        let trace = run_vqe(&h, &exec, &vec![0.0; 8], &VqeConfig::new(60));
+        let trace = run_vqe(&h, &exec, &[0.0; 8], &VqeConfig::new(60));
         assert!(!trace.trace.is_empty());
         assert_eq!(trace.spsa_history.len(), 60);
         assert_eq!(trace.final_theta.len(), 8);

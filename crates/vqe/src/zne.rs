@@ -129,7 +129,10 @@ mod tests {
         assert!((richardson_extrapolate(&points) - 3.0).abs() < 1e-12);
         // Quadratic through 3 points.
         let quad = |x: f64| 1.0 + 0.5 * x + 0.25 * x * x;
-        let points: Vec<(usize, f64)> = [1usize, 3, 5].iter().map(|&x| (x, quad(x as f64))).collect();
+        let points: Vec<(usize, f64)> = [1usize, 3, 5]
+            .iter()
+            .map(|&x| (x, quad(x as f64)))
+            .collect();
         assert!((richardson_extrapolate(&points) - 1.0).abs() < 1e-10);
     }
 
@@ -167,10 +170,7 @@ mod tests {
         let zne = zero_noise_extrapolate(&h, &exec, &theta, &ZneConfig::default());
         let raw_error = (zne.measurements[0].1 - reference).abs();
         let zne_error = (zne.extrapolated - reference).abs();
-        assert!(
-            zne_error < raw_error,
-            "zne {zne_error} vs raw {raw_error}"
-        );
+        assert!(zne_error < raw_error, "zne {zne_error} vs raw {raw_error}");
     }
 
     #[test]
@@ -178,13 +178,6 @@ mod tests {
     fn rejects_even_scales() {
         let h = ising(2, 1.0);
         let exec = ExecutableAnsatz::untranspiled(2, &NoiseModel::noiseless(2));
-        zero_noise_extrapolate(
-            &h,
-            &exec,
-            &vec![0.0; 8],
-            &ZneConfig {
-                scales: vec![1, 2],
-            },
-        );
+        zero_noise_extrapolate(&h, &exec, &[0.0; 8], &ZneConfig { scales: vec![1, 2] });
     }
 }

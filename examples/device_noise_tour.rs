@@ -7,7 +7,9 @@
 //! cargo run --release --example device_noise_tour
 //! ```
 
-use clapton::core::{run_cafqa, run_clapton, relative_improvement, ClaptonConfig, ExecutableAnsatz};
+use clapton::core::{
+    relative_improvement, run_cafqa, run_clapton, ClaptonConfig, ExecutableAnsatz,
+};
 use clapton::devices::FakeBackend;
 use clapton::ga::MultiGaConfig;
 use clapton::models::ising;
@@ -23,17 +25,15 @@ fn main() {
         let n = if backend.num_qubits() < 10 { 7 } else { 10 };
         let h = ising(n, 0.5);
         let e0 = ground_energy(&h);
-        let exec =
-            ExecutableAnsatz::on_device(n, backend.coupling_map(), &backend.noise_model())
-                .expect("backend hosts the chain");
+        let exec = ExecutableAnsatz::on_device(n, backend.coupling_map(), &backend.noise_model())
+            .expect("backend hosts the chain");
         let zeros = vec![0.0; exec.ansatz().num_parameters()];
-        let device_energy = |h_eval: &clapton::pauli::PauliSum,
-                             theta: &[f64],
-                             exec_eval: &ExecutableAnsatz| {
-            let circuit = exec_eval.circuit(theta);
-            DeviceEvaluator::run(&circuit, exec_eval.noise_model())
-                .energy(&exec_eval.map_hamiltonian(h_eval))
-        };
+        let device_energy =
+            |h_eval: &clapton::pauli::PauliSum, theta: &[f64], exec_eval: &ExecutableAnsatz| {
+                let circuit = exec_eval.circuit(theta);
+                DeviceEvaluator::run(&circuit, exec_eval.noise_model())
+                    .energy(&exec_eval.map_hamiltonian(h_eval))
+            };
         let cafqa = run_cafqa(&h, &exec, &MultiGaConfig::quick(), 0);
         let e_cafqa = device_energy(&h, &cafqa.theta, &exec);
         let clapton = run_clapton(&h, &exec, &ClaptonConfig::quick(1));

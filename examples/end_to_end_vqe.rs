@@ -32,7 +32,12 @@ fn main() {
     );
 
     // VQE on the transformed problem from θ = 0.
-    let trace = run_vqe(&h_hat, &exec, &vec![0.0; exec.ansatz().num_parameters()], &VqeConfig::new(120));
+    let trace = run_vqe(
+        &h_hat,
+        &exec,
+        &vec![0.0; exec.ansatz().num_parameters()],
+        &VqeConfig::new(120),
+    );
     println!(
         "VQE: device energy {:+.5} -> {:+.5} over {} SPSA iterations",
         trace.initial_energy,

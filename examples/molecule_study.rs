@@ -27,7 +27,11 @@ fn main() {
     for bond_length in Molecule::H2O.bond_lengths() {
         let h = molecular(Molecule::H2O, bond_length);
         let e0 = ground_energy(&h);
-        println!("\n=== H2O at l = {bond_length} Å ({} terms, E0 = {:.5}) ===", h.num_terms(), e0);
+        println!(
+            "\n=== H2O at l = {bond_length} Å ({} terms, E0 = {:.5}) ===",
+            h.num_terms(),
+            e0
+        );
         let exec = ExecutableAnsatz::on_device(
             h.num_qubits(),
             backend.coupling_map(),
@@ -43,15 +47,24 @@ fn main() {
 
         let cafqa = run_cafqa(&h, &exec, &engine, 0);
         let e_cafqa = device_energy(&h, &cafqa.theta);
-        println!("CAFQA   : noiseless {:+.5}, device {:+.5}", cafqa.energy_noiseless, e_cafqa);
+        println!(
+            "CAFQA   : noiseless {:+.5}, device {:+.5}",
+            cafqa.energy_noiseless, e_cafqa
+        );
 
         let ncafqa = run_ncafqa(&h, &exec, &engine, EvaluatorKind::Exact, 1);
         let e_ncafqa = device_energy(&h, &ncafqa.theta);
-        println!("nCAFQA  : noiseless {:+.5}, device {:+.5}", ncafqa.energy_noiseless, e_ncafqa);
+        println!(
+            "nCAFQA  : noiseless {:+.5}, device {:+.5}",
+            ncafqa.energy_noiseless, e_ncafqa
+        );
 
         let clapton = run_clapton(&h, &exec, &ClaptonConfig::quick(2));
         let e_clapton = device_energy(&clapton.transformation.transformed, &zeros);
-        println!("Clapton : noiseless {:+.5}, device {:+.5}", clapton.loss_0, e_clapton);
+        println!(
+            "Clapton : noiseless {:+.5}, device {:+.5}",
+            clapton.loss_0, e_clapton
+        );
 
         println!(
             "eta vs CAFQA = {:.2}x, eta vs nCAFQA = {:.2}x",

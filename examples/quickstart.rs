@@ -5,7 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use clapton::core::{run_clapton, ClaptonConfig, EvaluatorKind, ExecutableAnsatz, LossFunction};
+use clapton::circuits::TransformationAnsatz;
+use clapton::core::{
+    run_clapton, CachedEvaluator, ClaptonConfig, EvaluatorKind, ExecutableAnsatz, LossEvaluator,
+    LossFunction, ParallelEvaluator, TransformLoss,
+};
 use clapton::models::ising;
 use clapton::noise::NoiseModel;
 use clapton::sim::ground_energy;
@@ -14,7 +18,10 @@ fn main() {
     // 1. A VQE problem: the 6-qubit transverse-field Ising chain.
     let n = 6;
     let h = ising(n, 0.5);
-    println!("problem: 6-qubit Ising (J = 0.5), {} Pauli terms", h.num_terms());
+    println!(
+        "problem: 6-qubit Ising (J = 0.5), {} Pauli terms",
+        h.num_terms()
+    );
     println!("exact ground energy E0 = {:.6}", ground_energy(&h));
 
     // 2. A device noise model: depolarizing gate errors + readout flips.
@@ -28,15 +35,44 @@ fn main() {
     println!("  L0 (noiseless)      = {:+.6}", loss.loss_0(&h));
     println!("  LN (Clifford noise) = {:+.6}", loss.loss_n(&h));
 
-    // 4. Run Clapton: search Clifford transformations Ĥ = C†(γ)HC(γ) that
-    //    make |0…0⟩ a good, noise-robust starting state.
+    // 4. The search objective is a first-class object: `TransformLoss`
+    //    implements the batched `LossEvaluator` trait, so populations can be
+    //    scored in one call — and wrapped for thread-parallel or memoized
+    //    evaluation without touching the loss itself.
+    let ansatz = TransformationAnsatz::new(n);
+    let objective = TransformLoss::new(&h, &exec, &ansatz, EvaluatorKind::Exact);
+    let identity = vec![0u8; ansatz.num_genes()];
+    let batch = objective.evaluate_population(&[identity.clone(), identity]);
+    println!("\nbatched objective at the identity genome: {batch:?}");
+    let stacked = CachedEvaluator::new(ParallelEvaluator::new(&objective));
+    stacked.evaluate(&vec![0u8; ansatz.num_genes()]);
+    stacked.evaluate(&vec![0u8; ansatz.num_genes()]);
+    println!(
+        "cache after two identical evaluations: {} hit / {} miss",
+        stacked.stats().hits,
+        stacked.stats().misses
+    );
+
+    // 5. Run Clapton: search Clifford transformations Ĥ = C†(γ)HC(γ) that
+    //    make |0…0⟩ a good, noise-robust starting state. The engine stacks
+    //    exactly the wrappers above over this objective internally.
     let result = run_clapton(&h, &exec, &ClaptonConfig::quick(42));
-    println!("\nClapton transformation found in {} engine rounds:", result.rounds);
+    println!(
+        "\nClapton transformation found in {} engine rounds:",
+        result.rounds
+    );
     println!("  L0 (noiseless)      = {:+.6}", result.loss_0);
     println!("  LN (Clifford noise) = {:+.6}", result.loss_n);
     println!("  total loss          = {:+.6}", result.loss);
+    println!(
+        "  loss evaluations    = {} unique (+{} cache hits, {:.0}% hit rate)",
+        result.unique_evaluations,
+        result.cache_hits,
+        100.0 * result.cache_hits as f64
+            / (result.cache_hits + result.unique_evaluations).max(1) as f64
+    );
 
-    // 5. The transformation preserves the problem: same ground energy.
+    // 6. The transformation preserves the problem: same ground energy.
     let e0_transformed = ground_energy(&result.transformation.transformed);
     println!(
         "\nspectrum preserved: E0(Ĥ) = {:.6} (Δ = {:.2e})",

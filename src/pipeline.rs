@@ -38,8 +38,9 @@ pub struct Pipeline {
     hamiltonian: PauliSum,
     backend: Option<FakeBackend>,
     model: Option<NoiseModel>,
+    /// Single source of truth for both the Clapton run and the baseline
+    /// searches — the engine settings live inside [`ClaptonConfig`].
     clapton: ClaptonConfig,
-    engine: MultiGaConfig,
     vqe_iterations: Option<usize>,
 }
 
@@ -72,7 +73,6 @@ impl Pipeline {
             backend: None,
             model: None,
             clapton: ClaptonConfig::paper(),
-            engine: MultiGaConfig::paper(),
             vqe_iterations: None,
         }
     }
@@ -102,7 +102,22 @@ impl Pipeline {
     #[must_use]
     pub fn quick(mut self, seed: u64) -> Pipeline {
         self.clapton = ClaptonConfig::quick(seed);
-        self.engine = MultiGaConfig::quick();
+        self
+    }
+
+    /// Overrides the multi-GA engine settings used by Clapton and the
+    /// baseline searches alike.
+    #[must_use]
+    pub fn with_engine(mut self, engine: MultiGaConfig) -> Pipeline {
+        self.clapton.engine = engine;
+        self
+    }
+
+    /// Overrides the full Clapton configuration (engine, evaluator backend,
+    /// seed, ablation switches).
+    #[must_use]
+    pub fn with_clapton_config(mut self, config: ClaptonConfig) -> Pipeline {
+        self.clapton = config;
         self
     }
 
@@ -123,17 +138,20 @@ impl Pipeline {
     pub fn run(self) -> Report {
         let n = self.hamiltonian.num_qubits();
         let exec = match (&self.backend, &self.model) {
-            (Some(backend), _) => ExecutableAnsatz::on_device(
-                n,
-                backend.coupling_map(),
-                &backend.noise_model(),
-            )
-            .expect("backend hosts the problem"),
+            (Some(backend), _) => {
+                ExecutableAnsatz::on_device(n, backend.coupling_map(), &backend.noise_model())
+                    .expect("backend hosts the problem")
+            }
             (None, Some(model)) => ExecutableAnsatz::untranspiled(n, model),
             (None, None) => ExecutableAnsatz::untranspiled(n, &NoiseModel::noiseless(n)),
         };
         let e0 = ground_energy(&self.hamiltonian);
-        let cafqa = run_cafqa(&self.hamiltonian, &exec, &self.engine, self.clapton.seed);
+        let cafqa = run_cafqa(
+            &self.hamiltonian,
+            &exec,
+            &self.clapton.engine,
+            self.clapton.seed,
+        );
         let clapton = run_clapton(&self.hamiltonian, &exec, &self.clapton);
         let device_energy = |h: &PauliSum, theta: &[f64]| {
             DeviceEvaluator::run(&exec.circuit(theta), exec.noise_model())
@@ -141,10 +159,8 @@ impl Pipeline {
         };
         let zeros = vec![0.0; exec.ansatz().num_parameters()];
         let cafqa_initial_energy = device_energy(&self.hamiltonian, &cafqa.theta);
-        let clapton_initial_energy =
-            device_energy(&clapton.transformation.transformed, &zeros);
-        let eta_initial =
-            relative_improvement(e0, cafqa_initial_energy, clapton_initial_energy);
+        let clapton_initial_energy = device_energy(&clapton.transformation.transformed, &zeros);
+        let eta_initial = relative_improvement(e0, cafqa_initial_energy, clapton_initial_energy);
         let (clapton_vqe, cafqa_vqe) = match self.vqe_iterations {
             Some(iters) => {
                 let config = VqeConfig::new(iters);

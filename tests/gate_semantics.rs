@@ -71,10 +71,22 @@ fn c(re: f64, im: f64) -> Complex64 {
 
 fn pauli_matrix(p: Pauli) -> Mat {
     match p {
-        Pauli::I => vec![vec![c(1.0, 0.0), c(0.0, 0.0)], vec![c(0.0, 0.0), c(1.0, 0.0)]],
-        Pauli::X => vec![vec![c(0.0, 0.0), c(1.0, 0.0)], vec![c(1.0, 0.0), c(0.0, 0.0)]],
-        Pauli::Y => vec![vec![c(0.0, 0.0), c(0.0, -1.0)], vec![c(0.0, 1.0), c(0.0, 0.0)]],
-        Pauli::Z => vec![vec![c(1.0, 0.0), c(0.0, 0.0)], vec![c(0.0, 0.0), c(-1.0, 0.0)]],
+        Pauli::I => vec![
+            vec![c(1.0, 0.0), c(0.0, 0.0)],
+            vec![c(0.0, 0.0), c(1.0, 0.0)],
+        ],
+        Pauli::X => vec![
+            vec![c(0.0, 0.0), c(1.0, 0.0)],
+            vec![c(1.0, 0.0), c(0.0, 0.0)],
+        ],
+        Pauli::Y => vec![
+            vec![c(0.0, 0.0), c(0.0, -1.0)],
+            vec![c(0.0, 1.0), c(0.0, 0.0)],
+        ],
+        Pauli::Z => vec![
+            vec![c(1.0, 0.0), c(0.0, 0.0)],
+            vec![c(0.0, 0.0), c(-1.0, 0.0)],
+        ],
     }
 }
 
@@ -101,23 +113,38 @@ fn embed_1q(u: &Mat, q: usize, n: usize) -> Mat {
     m
 }
 
+// Matrices are built column-by-column from permuted basis indices; index
+// loops are the clearest way to write that.
+#[allow(clippy::needless_range_loop)]
 fn gate_matrix(g: CliffordGate, n: usize) -> Mat {
     use CliffordGate::*;
     let s2 = std::f64::consts::FRAC_1_SQRT_2;
     let mat_1q: Option<(usize, Mat)> = match g {
-        H(q) => Some((q, vec![vec![c(s2, 0.0), c(s2, 0.0)], vec![c(s2, 0.0), c(-s2, 0.0)]])),
-        S(q) => Some((q, vec![vec![c(1.0, 0.0), c(0.0, 0.0)], vec![c(0.0, 0.0), c(0.0, 1.0)]])),
-        Sdg(q) => Some((q, vec![vec![c(1.0, 0.0), c(0.0, 0.0)], vec![c(0.0, 0.0), c(0.0, -1.0)]])),
+        H(q) => Some((
+            q,
+            vec![vec![c(s2, 0.0), c(s2, 0.0)], vec![c(s2, 0.0), c(-s2, 0.0)]],
+        )),
+        S(q) => Some((
+            q,
+            vec![
+                vec![c(1.0, 0.0), c(0.0, 0.0)],
+                vec![c(0.0, 0.0), c(0.0, 1.0)],
+            ],
+        )),
+        Sdg(q) => Some((
+            q,
+            vec![
+                vec![c(1.0, 0.0), c(0.0, 0.0)],
+                vec![c(0.0, 0.0), c(0.0, -1.0)],
+            ],
+        )),
         X(q) => Some((q, pauli_matrix(Pauli::X))),
         Y(q) => Some((q, pauli_matrix(Pauli::Y))),
         Z(q) => Some((q, pauli_matrix(Pauli::Z))),
         SqrtX(q) => Some((
             q,
             // Rx(π/2) = exp(-iπX/4) = (I - iX)/√2.
-            vec![
-                vec![c(s2, 0.0), c(0.0, -s2)],
-                vec![c(0.0, -s2), c(s2, 0.0)],
-            ],
+            vec![vec![c(s2, 0.0), c(0.0, -s2)], vec![c(0.0, -s2), c(s2, 0.0)]],
         )),
         SqrtXdg(q) => Some((
             q,
@@ -143,13 +170,21 @@ fn gate_matrix(g: CliffordGate, n: usize) -> Mat {
     match g {
         CliffordGate::Cx(ctrl, tgt) => {
             for i in 0..dim {
-                let j = if i >> ctrl & 1 == 1 { i ^ (1 << tgt) } else { i };
+                let j = if i >> ctrl & 1 == 1 {
+                    i ^ (1 << tgt)
+                } else {
+                    i
+                };
                 m[j][i] = Complex64::ONE;
             }
         }
         CliffordGate::Cz(a, b) => {
             for (i, row) in m.iter_mut().enumerate() {
-                let sign = if i >> a & 1 == 1 && i >> b & 1 == 1 { -1.0 } else { 1.0 };
+                let sign = if i >> a & 1 == 1 && i >> b & 1 == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 row[i] = Complex64::real(sign);
             }
         }
@@ -264,10 +299,7 @@ fn quarter_turn_rotations_match_gate_library() {
                 let mut img = p.clone();
                 let flipped = cliffords[0].inverse().conjugate(&mut img);
                 let rhs = if flipped { -1.0 } else { 1.0 } * probe.expectation(&img);
-                assert!(
-                    (lhs - rhs).abs() < 1e-10,
-                    "{gate:?} on {p}: {lhs} vs {rhs}"
-                );
+                assert!((lhs - rhs).abs() < 1e-10, "{gate:?} on {p}: {lhs} vs {rhs}");
             }
         }
     }

@@ -19,21 +19,15 @@ fn arb_pauli() -> impl Strategy<Value = Pauli> {
 
 fn arb_hamiltonian(n: usize, max_terms: usize) -> impl Strategy<Value = PauliSum> {
     proptest::collection::vec(
-        (
-            -2.0..2.0f64,
-            proptest::collection::vec(arb_pauli(), n),
-        ),
+        (-2.0..2.0f64, proptest::collection::vec(arb_pauli(), n)),
         1..max_terms,
     )
     .prop_map(move |terms| {
         PauliSum::from_terms(
             n,
-            terms.into_iter().map(|(c, ps)| {
-                (
-                    c,
-                    PauliString::from_sparse(n, ps.into_iter().enumerate().map(|(q, p)| (q, p))),
-                )
-            }),
+            terms
+                .into_iter()
+                .map(|(c, ps)| (c, PauliString::from_sparse(n, ps.into_iter().enumerate()))),
         )
     })
 }

@@ -11,11 +11,7 @@ use clapton::models::{benchmark_suite, ising, physics_suite, xxz};
 use clapton::sim::{ground_energy, DeviceEvaluator};
 use clapton::vqe::{run_vqe, VqeConfig};
 
-fn device_energy(
-    exec: &ExecutableAnsatz,
-    h: &clapton::pauli::PauliSum,
-    theta: &[f64],
-) -> f64 {
+fn device_energy(exec: &ExecutableAnsatz, h: &clapton::pauli::PauliSum, theta: &[f64]) -> f64 {
     let circuit = exec.circuit(theta);
     DeviceEvaluator::run(&circuit, exec.noise_model()).energy(&exec.map_hamiltonian(h))
 }
@@ -30,8 +26,7 @@ fn clapton_improves_over_cafqa_on_nairobi_physics_suite() {
     for bench in physics_suite(7) {
         let h = &bench.hamiltonian;
         let exec =
-            ExecutableAnsatz::on_device(7, backend.coupling_map(), &backend.noise_model())
-                .unwrap();
+            ExecutableAnsatz::on_device(7, backend.coupling_map(), &backend.noise_model()).unwrap();
         let e0 = ground_energy(h);
         let cafqa = run_cafqa(h, &exec, &MultiGaConfig::quick(), 0);
         let e_cafqa = device_energy(&exec, h, &cafqa.theta);
@@ -152,9 +147,11 @@ fn transpiled_and_untranspiled_agree_when_topology_is_a_ring() {
     // relabeling, which maps the problem consistently).
     let loss_device = LossFunction::new(&exec_device, EvaluatorKind::Exact);
     let loss_plain = LossFunction::new(&exec_plain, EvaluatorKind::Exact);
-    let ring_has_no_swaps = exec_device.circuit_at_zero().gates().iter().all(|g| {
-        !matches!(g, clapton::circuits::Gate::Swap(..))
-    });
+    let ring_has_no_swaps = exec_device
+        .circuit_at_zero()
+        .gates()
+        .iter()
+        .all(|g| !matches!(g, clapton::circuits::Gate::Swap(..)));
     assert!(ring_has_no_swaps, "ring hosts the circular ansatz natively");
     assert!(
         (loss_device.loss_n(&h) - loss_plain.loss_n(&h)).abs() < 1e-9,

@@ -15,8 +15,8 @@ fn pipeline_with_uniform_noise_produces_consistent_report() {
     assert!(report.cafqa_initial_energy >= report.e0 - 1e-6);
     assert!(report.clapton_initial_energy >= report.e0 - 1e-6);
     // η is the ratio of the two gaps.
-    let expected_eta = (report.e0 - report.cafqa_initial_energy)
-        / (report.e0 - report.clapton_initial_energy);
+    let expected_eta =
+        (report.e0 - report.cafqa_initial_energy) / (report.e0 - report.clapton_initial_energy);
     assert!((report.eta_initial - expected_eta).abs() < 1e-12);
     assert!(report.clapton_vqe.is_none());
 }

@@ -13,8 +13,14 @@ fn random_circuit(n: usize, len: usize, rng: &mut StdRng) -> Circuit {
     let mut c = Circuit::new(n);
     for _ in 0..len {
         match rng.gen_range(0..4) {
-            0 => c.push(Gate::Ry(rng.gen_range(0..n), rng.gen_range(0.0..6.28))),
-            1 => c.push(Gate::Rz(rng.gen_range(0..n), rng.gen_range(0.0..6.28))),
+            0 => c.push(Gate::Ry(
+                rng.gen_range(0..n),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            )),
+            1 => c.push(Gate::Rz(
+                rng.gen_range(0..n),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            )),
             2 => c.push(Gate::H(rng.gen_range(0..n))),
             _ => {
                 let a = rng.gen_range(0..n);
@@ -97,11 +103,14 @@ fn routing_on_heavy_hex_backends_is_sound() {
     // validity of the final layout.
     use clapton::circuits::HardwareEfficientAnsatz;
     use clapton::devices::FakeBackend;
-    for backend in [FakeBackend::toronto(), FakeBackend::mumbai(), FakeBackend::hanoi()] {
+    for backend in [
+        FakeBackend::toronto(),
+        FakeBackend::mumbai(),
+        FakeBackend::hanoi(),
+    ] {
         let ansatz = HardwareEfficientAnsatz::new(10);
         let layout = clapton::circuits::chain_layout(backend.coupling_map(), 10).unwrap();
-        let routed =
-            route_with_layout(&ansatz.circuit_at_zero(), backend.coupling_map(), &layout);
+        let routed = route_with_layout(&ansatz.circuit_at_zero(), backend.coupling_map(), &layout);
         for g in routed.circuit.gates() {
             if g.is_two_qubit() {
                 let q = g.qubits();

@@ -1,0 +1,240 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides the structural API (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`) with a simple
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//! Each benchmark reports its median iteration time on stdout and appends a
+//! JSON record to `target/bench-results.json` (via the `BENCH_OUTPUT`
+//! environment variable override) so results can be tracked across runs.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made from one parameter value.
+    pub fn from_parameter<D: Display>(parameter: D) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id made from a function name and a parameter value.
+    pub fn new<D: Display>(function: &str, parameter: D) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into());
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+/// Total wall-clock budget per benchmark; keeps `cargo bench` bounded even
+/// for slow routines.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes caches/allocators).
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples collected");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let best = sorted[0];
+        println!(
+            "{group}/{id}: median {} (best {}, {} samples)",
+            format_duration(median),
+            format_duration(best),
+            sorted.len()
+        );
+        append_json_record(group, id, median, best, sorted.len());
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Default output: `BENCH_results.json` at the repository root (benches run
+/// with the package directory as CWD, so walk up to the `.git` marker).
+fn default_output_path() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        if dir.join(".git").exists() {
+            return dir.join("BENCH_results.json");
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("BENCH_results.json");
+        }
+    }
+}
+
+fn append_json_record(group: &str, id: &str, median: Duration, best: Duration, samples: usize) {
+    use std::io::Write as _;
+    let path = std::env::var("BENCH_OUTPUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| default_output_path());
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            file,
+            "{{\"group\":\"{group}\",\"id\":\"{id}\",\"median_ns\":{},\"best_ns\":{},\"samples\":{samples}}}",
+            median.as_nanos(),
+            best.as_nanos()
+        );
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small property-testing harness that is API-compatible with the repo's
+//! tests: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! regex-literal strategies, [`collection::vec`], [`Just`], `prop_oneof!`,
+//! and the `proptest! { ... }` test macro with `prop_assert!`-style checks.
+//!
+//! Differences from real proptest: inputs are sampled from a deterministic
+//! per-test stream (derived from the test name and case index) and failures
+//! are **not shrunk** — the failing case is reported as-is.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Harness configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Builds the deterministic RNG for one test case (macro support).
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(seed ^ ((case as u64) << 32 | case as u64))
+}
+
+/// The commonly imported surface.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Picks uniformly among several strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_in_bounds() {
+        let mut rng = crate::case_rng("bounds", 0);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::sample(&(-1.0..1.0f64), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let xs = Strategy::sample(&crate::collection::vec(0u8..4, 1..6), &mut rng);
+            assert!((1..6).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn regex_literal_strategy_matches_class_and_counts() {
+        let mut rng = crate::case_rng("regex", 1);
+        for _ in 0..100 {
+            let s = Strategy::sample(&"[IXYZ]{1,80}", &mut rng);
+            assert!((1..=80).contains(&s.len()));
+            assert!(s.chars().all(|c| "IXYZ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_oneof_compose() {
+        let pair = (1usize..5).prop_flat_map(|n| {
+            let item = prop_oneof![Just(0u8), Just(1u8)].prop_map(|x| x + 1);
+            crate::collection::vec(item, n)
+        });
+        let mut rng = crate::case_rng("compose", 2);
+        for _ in 0..50 {
+            let v = Strategy::sample(&pair, &mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u8..10, 0u8..10), c in 0usize..4) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(c.min(3), c, "c = {}", c);
+        }
+    }
+}

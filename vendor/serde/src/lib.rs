@@ -1,0 +1,445 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal serialization framework that is API-compatible with the calls the
+//! repository makes: `#[derive(Serialize, Deserialize)]` on plain structs and
+//! tuple-variant enums, hand-written impls via [`Serializer::serialize_str`]
+//! and `String::deserialize`, and `serde_json`'s `to_string` /
+//! `to_string_pretty` / `from_str`.
+//!
+//! Unlike real serde's visitor architecture, this stand-in routes everything
+//! through an owned [`Value`] tree — a deliberate simplification that keeps
+//! the vendored code small while preserving the same JSON wire format
+//! (externally tagged enums, maps for structs).
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the data model both the derive macros
+/// and `serde_json` speak).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used when the value does not fit `i64`).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (preserves field order).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization error support.
+pub mod ser {
+    /// Trait every serializer error must satisfy.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error support.
+pub mod de {
+    use super::Deserialize;
+
+    /// Trait every deserializer error must satisfy.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Marker for types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// The concrete error used by [`to_value`] / [`from_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueError(pub String);
+
+impl Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> ValueError {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> ValueError {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A type that can serialize itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized values.
+pub trait Serializer: Sized {
+    /// The output of successful serialization.
+    type Ok;
+    /// The error type.
+    type Error: ser::Error;
+
+    /// Consumes a fully-built value tree (the only required method).
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_string()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Int(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::UInt(v))
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Float(v))
+    }
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source of serialized values.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: de::Error;
+
+    /// Surrenders the underlying value tree (the only required method).
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Value-backed serializer / deserializer.
+// ---------------------------------------------------------------------------
+
+/// Serializer producing a [`Value`] tree.
+#[derive(Debug, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer reading from a [`Value`] tree.
+#[derive(Debug)]
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value into a [`Value`] tree.
+///
+/// # Panics
+///
+/// Never panics: [`ValueSerializer`] is infallible.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value
+        .serialize(ValueSerializer)
+        .expect("ValueSerializer is infallible")
+}
+
+/// Deserializes any owned type from a [`Value`] tree.
+pub fn from_value<T: de::DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Removes field `name` from a struct map and deserializes it (support
+/// routine for the derive macro).
+pub fn take_field<T: de::DeserializeOwned>(
+    map: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, ValueError> {
+    let at = map
+        .iter()
+        .position(|(k, _)| k == name)
+        .ok_or_else(|| ValueError(format!("missing field `{name}`")))?;
+    let (_, v) = map.remove(at);
+    from_value(v).map_err(|e| ValueError(format!("field `{name}`: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                if (*self as i128) < 0 {
+                    serializer.serialize_i64(*self as i64)
+                } else if (*self as u128) <= u64::MAX as u128 {
+                    serializer.serialize_u64(*self as u64)
+                } else {
+                    serializer.serialize_i64(*self as i64)
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(vec![to_value(&self.0), to_value(&self.1)]))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(vec![
+            to_value(&self.0),
+            to_value(&self.1),
+            to_value(&self.2),
+        ]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and containers.
+// ---------------------------------------------------------------------------
+
+fn number_as_f64(value: &Value) -> Option<f64> {
+    match *value {
+        Value::Int(v) => Some(v as f64),
+        Value::UInt(v) => Some(v as f64),
+        Value::Float(v) => Some(v),
+        _ => None,
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                use crate::de::Error as _;
+                let value = deserializer.take_value()?;
+                let wide: i128 = match value {
+                    Value::Int(v) => v as i128,
+                    Value::UInt(v) => v as i128,
+                    Value::Float(v) if v.fract() == 0.0 => v as i128,
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| D::Error::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use crate::de::Error as _;
+        match deserializer.take_value()? {
+            Value::Bool(v) => Ok(v),
+            other => Err(D::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use crate::de::Error as _;
+        let value = deserializer.take_value()?;
+        number_as_f64(&value)
+            .ok_or_else(|| D::Error::custom(format!("expected number, found {value:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use crate::de::Error as _;
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use crate::de::Error as _;
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use crate::de::Error as _;
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, A: de::DeserializeOwned, B: de::DeserializeOwned> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use crate::de::Error as _;
+        match deserializer.take_value()? {
+            Value::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                Ok((
+                    from_value(it.next().expect("len 2")).map_err(D::Error::custom)?,
+                    from_value(it.next().expect("len 2")).map_err(D::Error::custom)?,
+                ))
+            }
+            other => Err(D::Error::custom(format!(
+                "expected 2-element array, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_value() {
+        assert_eq!(from_value::<u32>(to_value(&7u32)), Ok(7));
+        assert_eq!(from_value::<f64>(to_value(&2.5f64)), Ok(2.5));
+        assert_eq!(from_value::<bool>(to_value(&true)), Ok(true));
+        assert_eq!(from_value::<String>(to_value("hi")), Ok("hi".to_string()));
+        assert_eq!(
+            from_value::<Vec<(usize, usize)>>(to_value(&vec![(1usize, 2usize)])),
+            Ok(vec![(1, 2)])
+        );
+    }
+
+    #[test]
+    fn take_field_reports_missing() {
+        let mut map = vec![("a".to_string(), Value::Int(1))];
+        assert_eq!(take_field::<i64>(&mut map, "a"), Ok(1));
+        assert!(take_field::<i64>(&mut map, "b").is_err());
+    }
+
+    #[test]
+    fn ints_refuse_lossy_conversions() {
+        assert!(from_value::<u8>(Value::Int(300)).is_err());
+        assert!(from_value::<u32>(Value::Str("x".into())).is_err());
+    }
+}

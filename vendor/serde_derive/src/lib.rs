@@ -1,0 +1,337 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — structs with named fields, and enums with
+//! unit or tuple variants — without `syn`/`quote` (the build has no network
+//! access). Input is parsed by walking the token tree directly; output is
+//! generated as source text and re-parsed into a `TokenStream`.
+//!
+//! Wire format matches serde/serde_json defaults: structs are maps keyed by
+//! field name; enums are externally tagged (`"Unit"`, `{"Tuple1": value}`,
+//! `{"TupleN": [values…]}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Input {
+    /// Struct name + named fields.
+    Struct(String, Vec<String>),
+    /// Enum name + `(variant, arity)` pairs (`arity == 0` means unit).
+    Enum(String, Vec<(String, usize)>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push(({f:?}.to_string(), serde::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\n\
+                 let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serializer.serialize_value(serde::Value::Map(__fields))\n\
+                 }}\n}}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::Str({v:?}.to_string()),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => serde::Value::Map(vec![({v:?}.to_string(), \
+                         serde::to_value(__f0))]),\n"
+                    )),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => serde::Value::Map(vec![({v:?}.to_string(), \
+                             serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            values.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\n\
+                 let __value = match self {{\n{arms}}};\n\
+                 serializer.serialize_value(__value)\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct(name, fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: serde::take_field(&mut __map, {f:?})\
+                     .map_err(serde::de::Error::custom)?,\n"
+                ));
+            }
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) \
+                 -> Result<Self, D::Error> {{\n\
+                 let mut __map = match deserializer.take_value()? {{\n\
+                 serde::Value::Map(m) => m,\n\
+                 other => return Err(serde::de::Error::custom(format!(\n\
+                 \"expected map for struct {name}, found {{other:?}}\"))),\n\
+                 }};\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => unit_arms.push_str(&format!("{v:?} => Ok({name}::{v}),\n")),
+                    1 => tagged_arms.push_str(&format!(
+                        "{v:?} => Ok({name}::{v}(serde::from_value(__content)\
+                         .map_err(serde::de::Error::custom)?)),\n"
+                    )),
+                    n => {
+                        let takes: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "serde::from_value(__it.next().expect(\"checked len\"))\
+                                 .map_err(serde::de::Error::custom)?"
+                                    .to_string()
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let __seq = match __content {{\n\
+                             serde::Value::Seq(s) => s,\n\
+                             other => return Err(serde::de::Error::custom(format!(\n\
+                             \"variant {v} expects a sequence, found {{other:?}}\"))),\n\
+                             }};\n\
+                             if __seq.len() != {n} {{\n\
+                             return Err(serde::de::Error::custom(\
+                             \"wrong tuple arity for variant {v}\"));\n\
+                             }}\n\
+                             let mut __it = __seq.into_iter();\n\
+                             Ok({name}::{v}({}))\n\
+                             }}\n",
+                            takes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) \
+                 -> Result<Self, D::Error> {{\n\
+                 match deserializer.take_value()? {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(serde::de::Error::custom(format!(\n\
+                 \"unknown unit variant {{other}} for enum {name}\"))),\n\
+                 }},\n\
+                 serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__tag, __content) = __m.remove(0);\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(serde::de::Error::custom(format!(\n\
+                 \"unknown variant {{other}} for enum {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(serde::de::Error::custom(format!(\n\
+                 \"expected externally tagged enum {name}, found {{other:?}}\"))),\n\
+                 }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing of the deriving item.
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    // Generic parameters are unsupported (nothing in the workspace derives
+    // serde on generic types).
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde_derive stub does not support generic types")
+            }
+            _ => i += 1,
+        }
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct(name, parse_struct_fields(body)),
+        "enum" => Input::Enum(name, parse_enum_variants(body)),
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero
+        // (parenthesized types are single Group tokens, so only `<`/`>`
+        // nesting needs tracking).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = tuple_arity(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive stub does not support struct enum variants")
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        // Skip to the next variant (past the separating comma).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Number of fields in a tuple-variant payload: top-level commas + 1.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
