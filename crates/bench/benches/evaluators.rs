@@ -7,7 +7,7 @@
 use clapton_circuits::{HardwareEfficientAnsatz, TransformationAnsatz};
 use clapton_core::{
     CachedEvaluator, EvaluatorKind, ExecutableAnsatz, LossEvaluator, ParallelEvaluator,
-    TransformLoss,
+    PooledEvaluator, TransformLoss, WorkerPool,
 };
 use clapton_models::{ising, xxz};
 use clapton_noise::{ExactEvaluator, FrameSampler, NoiseModel, NoisyCircuit};
@@ -15,6 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn noisy_zero_circuit(n: usize) -> NoisyCircuit {
     let ansatz = HardwareEfficientAnsatz::new(n);
@@ -64,9 +65,18 @@ fn bench_dense_hamiltonian(c: &mut Criterion) {
 }
 
 /// Population-batch evaluation of the real Clapton objective: the speedup
-/// the `LossEvaluator` redesign exists to deliver. `parallel` fans one
-/// population over all cores; `cached` replays a 50%-duplicate population
-/// (the mix-and-restart regime) through the genome → loss memo.
+/// the `LossEvaluator` redesign exists to deliver.
+///
+/// * `sequential` — genome-at-a-time `evaluate` calls: what a closure-based
+///   GA pays, rebuilding the noisy circuit for every genome.
+/// * `parallel` — the legacy `ParallelEvaluator`, spawning scoped threads
+///   per batch.
+/// * `parallel_pooled` — chunks dispatched onto the persistent shared
+///   `WorkerPool`; each chunk runs the batch fast path (backend prepared
+///   once per chunk), and on multicore machines chunks execute in parallel
+///   with no per-batch spawn cost.
+/// * `cached*` — a 50%-duplicate population (the mix-and-restart regime)
+///   replayed through the genome → loss memo.
 fn bench_population_batch(c: &mut Criterion) {
     let n = 10;
     let h = ising(n, 0.25);
@@ -91,11 +101,21 @@ fn bench_population_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("population_batch_96");
     group.sample_size(10);
     group.bench_function("sequential", |b| {
-        b.iter(|| loss.evaluate_population(black_box(&population)));
+        b.iter(|| {
+            black_box(&population)
+                .iter()
+                .map(|g| loss.evaluate(g))
+                .collect::<Vec<f64>>()
+        });
     });
     group.bench_function("parallel", |b| {
         let parallel = ParallelEvaluator::new(&loss);
         b.iter(|| parallel.evaluate_population(black_box(&population)));
+    });
+    group.bench_function("parallel_pooled", |b| {
+        let pool = Arc::new(WorkerPool::new());
+        let pooled = PooledEvaluator::new(&loss, pool);
+        b.iter(|| pooled.evaluate_population(black_box(&population)));
     });
     group.bench_function("cached_mix_round", |b| {
         b.iter(|| {

@@ -1,0 +1,284 @@
+//! `suite-runner` — the concurrent, checkpointed benchmark-suite
+//! orchestrator.
+//!
+//! Executes the paper's benchmark suite (12 instances at `N = 10`) as
+//! concurrent jobs on one persistent worker pool, checkpointing every GA
+//! round atomically into a run directory. Kill it at any instant (or bound
+//! it with `--halt-after-rounds`) and re-run the same command line: finished
+//! jobs are skipped, interrupted jobs resume from their last round snapshot,
+//! and the final artifacts are byte-identical to an uninterrupted run.
+//!
+//! ```text
+//! suite-runner [--quick|--full] [--seed N] [--qubits N] [--workers N]
+//!              [--registry DIR] [--run NAME] [--halt-after-rounds N]
+//!              [--quiet] [--list]
+//! ```
+//!
+//! Artifacts per run directory: `manifest.json` (suite + seed + profile),
+//! `<job>.checkpoint.json` (per in-flight job), `<job>.result.json` (final,
+//! deterministic), `suite_summary.json` and `bench_rows.json` (wall-clock,
+//! BENCH-row format).
+
+use clapton_bench::{run_suite, Options, SuiteConfig, SuiteOutcome};
+use clapton_runtime::{EventKind, RunEvent, RunRegistry, WorkerPool};
+use serde::Serialize;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One wall-clock row in the repository's BENCH format.
+#[derive(Debug, Serialize)]
+struct BenchRow {
+    group: String,
+    id: String,
+    median_ns: u64,
+    best_ns: u64,
+    samples: usize,
+}
+
+/// Everything `suite_summary.json` records (wall-clock lives here, *not* in
+/// the deterministic per-job results).
+#[derive(Debug, Serialize)]
+struct SummaryJob {
+    name: String,
+    rounds: usize,
+    completed: bool,
+    skipped: bool,
+    wall_ms: u64,
+}
+
+struct Args {
+    options: Options,
+    qubits: usize,
+    workers: usize,
+    registry: String,
+    run_name: Option<String>,
+    halt_after_rounds: Option<u64>,
+    quiet: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        options: Options { effort: 1, seed: 0 },
+        qubits: 10,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        registry: "suite-runs".to_string(),
+        run_name: None,
+        halt_after_rounds: None,
+        quiet: false,
+        list: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs an argument"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.options.effort = 0,
+            "--full" => args.options.effort = 2,
+            "--seed" => {
+                args.options.seed = value(&mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--qubits" => {
+                args.qubits = value(&mut i, "--qubits")?
+                    .parse()
+                    .map_err(|e| format!("--qubits: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value(&mut i, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--registry" => args.registry = value(&mut i, "--registry")?,
+            "--run" => args.run_name = Some(value(&mut i, "--run")?),
+            "--halt-after-rounds" => {
+                args.halt_after_rounds = Some(
+                    value(&mut i, "--halt-after-rounds")?
+                        .parse()
+                        .map_err(|e| format!("--halt-after-rounds: {e}"))?,
+                );
+            }
+            "--quiet" => args.quiet = true,
+            "--list" => args.list = true,
+            other => {
+                return Err(format!(
+                    "unknown argument {other} (see the module docs for usage)"
+                ))
+            }
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn list_runs(registry: &RunRegistry) -> std::io::Result<()> {
+    let runs = registry.list()?;
+    if runs.is_empty() {
+        println!("no runs under {}", registry.path().display());
+        return Ok(());
+    }
+    println!(
+        "{:<28} {:<16} {:>6} {:>10} {:>12} {:>10}",
+        "run", "profile", "seed", "jobs", "complete", "in-flight"
+    );
+    for run in runs {
+        println!(
+            "{:<28} {:<16} {:>6} {:>10} {:>12} {:>10}",
+            run.name,
+            run.manifest.profile,
+            run.manifest.seed,
+            run.manifest.jobs.len(),
+            run.complete_jobs,
+            run.checkpointed_jobs
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("suite-runner: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let registry = match RunRegistry::open(&args.registry) {
+        Ok(registry) => registry,
+        Err(e) => {
+            eprintln!("suite-runner: cannot open registry {}: {e}", args.registry);
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        return match list_runs(&registry) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("suite-runner: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let config = SuiteConfig {
+        options: args.options,
+        qubits: args.qubits,
+        halt_after_rounds: args.halt_after_rounds,
+    };
+    let run_name = args.run_name.clone().unwrap_or_else(|| {
+        format!(
+            "{}-n{}-seed{}",
+            config.profile(),
+            args.qubits,
+            args.options.seed
+        )
+    });
+    let dir = match registry.run(&run_name) {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("suite-runner: cannot open run {run_name}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "suite-runner: run {run_name} ({} profile, seed {}, {} workers) → {}",
+        config.profile(),
+        args.options.seed,
+        args.workers,
+        dir.path().display()
+    );
+    let pool = Arc::new(WorkerPool::with_workers(args.workers));
+    // Stream progress events on a printer thread while the suite runs.
+    let (tx, rx) = mpsc::channel::<RunEvent>();
+    let quiet = args.quiet;
+    let printer = std::thread::spawn(move || {
+        for event in rx {
+            if quiet {
+                continue;
+            }
+            match event.kind {
+                EventKind::Started => println!("[{}] started", event.job),
+                EventKind::Round(round, best) => {
+                    println!("[{}] round {round}: best {best:.6}", event.job)
+                }
+                EventKind::Checkpointed(_) => {}
+                EventKind::Finished(outcome) => println!("[{}] {outcome}", event.job),
+                EventKind::Suspended(rounds) => {
+                    println!("[{}] suspended after {rounds} rounds", event.job)
+                }
+            }
+        }
+    });
+    let started = std::time::Instant::now();
+    let outcome = run_suite(&dir, &config, pool, Some(tx));
+    printer.join().expect("printer thread");
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("suite-runner: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = write_summaries(&dir, &config, &outcome) {
+        eprintln!("suite-runner: writing summaries: {e}");
+        return ExitCode::from(2);
+    }
+    let wall = started.elapsed();
+    println!(
+        "suite-runner: {} of {} jobs complete in {:.2?}{}",
+        outcome.completed(),
+        outcome.jobs.len(),
+        wall,
+        if outcome.is_complete() {
+            String::new()
+        } else {
+            format!(
+                " — {} suspended; re-run the same command to resume",
+                outcome.suspended()
+            )
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+/// Writes the wall-clock summary and the BENCH-format rows for this
+/// invocation (separate from the deterministic result artifacts).
+fn write_summaries(
+    dir: &clapton_runtime::RunDirectory,
+    config: &SuiteConfig,
+    outcome: &SuiteOutcome,
+) -> std::io::Result<()> {
+    let summary: Vec<SummaryJob> = outcome
+        .jobs
+        .iter()
+        .map(|j| SummaryJob {
+            name: j.name.clone(),
+            rounds: j.rounds,
+            completed: j.completed,
+            skipped: j.skipped,
+            wall_ms: j.wall_ms as u64,
+        })
+        .collect();
+    dir.write_json("suite_summary.json", &summary)?;
+    let rows: Vec<BenchRow> = outcome
+        .jobs
+        .iter()
+        .filter(|j| j.completed && !j.skipped)
+        .map(|j| BenchRow {
+            group: format!("suite_{}", config.profile()),
+            id: j.name.clone(),
+            median_ns: j.wall_ms as u64 * 1_000_000,
+            best_ns: j.wall_ms as u64 * 1_000_000,
+            samples: 1,
+        })
+        .collect();
+    dir.write_json("bench_rows.json", &rows)
+}

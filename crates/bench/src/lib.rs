@@ -14,6 +14,10 @@
 //! All binaries accept `--quick` (reduced hyper-parameters; the default is a
 //! middle ground) and `--full` (paper-scale settings), plus `--seed <u64>`.
 
+pub mod suite_run;
+
+pub use suite_run::{run_suite, JobOutcome, SuiteConfig, SuiteOutcome, SuiteRecord};
+
 use clapton_core::{
     relative_improvement, run_cafqa, run_clapton, run_ncafqa, CafqaResult, ClaptonConfig,
     ClaptonResult, EvaluatorKind, ExecutableAnsatz, LossFunction,

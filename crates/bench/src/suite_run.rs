@@ -1,0 +1,325 @@
+//! The concurrent, checkpointed benchmark-suite orchestrator behind the
+//! `suite-runner` CLI.
+//!
+//! One *suite run* executes the paper's benchmark suite (12 instances at
+//! `N = 10`, Figure 5) as concurrent jobs on a shared persistent
+//! [`WorkerPool`]: the scheduler interleaves the jobs' population batches
+//! fairly, every GA round is checkpointed atomically into the run
+//! directory, and a run killed at any instant resumes bit-identically —
+//! finished jobs are skipped, in-flight jobs continue from their last round
+//! snapshot.
+//!
+//! Determinism contract: the per-job result artifacts
+//! (`<job>.result.json`) depend only on the manifest (suite + seed +
+//! profile). Interrupting and resuming arbitrarily, re-running a completed
+//! suite, or changing pool sizes never changes a single byte of them.
+
+use crate::Options;
+use clapton_core::{
+    run_clapton_resumable, ClaptonConfig, EngineState, EvaluatorKind, ExecutableAnsatz,
+};
+use clapton_models::benchmark_suite;
+use clapton_noise::NoiseModel;
+use clapton_pauli::PauliSum;
+use clapton_runtime::{
+    artifact_slug, EventKind, JobContext, JobScheduler, JobSpec, RunDirectory, RunEvent,
+    RunManifest, WorkerPool,
+};
+use clapton_sim::ground_energy;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The uniform device model the suite scores against (the same rates as the
+/// `population_batch` bench, so suite wall-clock tracks the bench rows).
+const SUITE_NOISE: (f64, f64, f64) = (3e-4, 8e-3, 2e-2);
+
+/// Configuration of one suite run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteConfig {
+    /// Effort scale and base seed (the CLI's `--quick`/`--full`/`--seed`).
+    pub options: Options,
+    /// Physics-suite register size; `10` includes the chemistry benchmarks
+    /// for the paper's full 12-instance suite.
+    pub qubits: usize,
+    /// Global GA-round budget: after this many rounds (summed over all
+    /// jobs), every job suspends at its next checkpoint. `None` runs to
+    /// convergence. This is the deterministic stand-in for `kill -9` — both
+    /// leave only atomic round snapshots behind.
+    pub halt_after_rounds: Option<u64>,
+}
+
+impl SuiteConfig {
+    /// Human-readable effort name, recorded in the run manifest.
+    pub fn profile(&self) -> &'static str {
+        match self.options.effort {
+            0 => "quick",
+            1 => "default",
+            _ => "full",
+        }
+    }
+
+    /// The manifest this configuration stamps onto its run directory.
+    pub fn manifest(&self) -> RunManifest {
+        RunManifest {
+            jobs: benchmark_suite(self.qubits)
+                .iter()
+                .map(|b| b.name.clone())
+                .collect(),
+            seed: self.options.seed,
+            profile: format!("{}-n{}", self.profile(), self.qubits),
+        }
+    }
+}
+
+/// The deterministic result artifact of one suite job
+/// (`<job>.result.json`). Contains no wall-clock data, so interrupted and
+/// uninterrupted runs produce byte-identical artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// The job's derived seed (base seed mixed with the job index).
+    pub seed: u64,
+    /// Exact ground energy of the problem.
+    pub e0: f64,
+    /// Best Clapton loss `L = LN + L0`.
+    pub loss: f64,
+    /// `LN` of the winning transformation.
+    pub loss_n: f64,
+    /// `L0` of the winning transformation.
+    pub loss_0: f64,
+    /// Engine rounds to convergence.
+    pub rounds: usize,
+    /// Distinct genomes evaluated.
+    pub unique_evaluations: u64,
+    /// Fitness requests answered by the genome → loss memo.
+    pub cache_hits: u64,
+    /// Global best loss per round.
+    pub round_bests: Vec<f64>,
+    /// The winning transformation genome `γ̂`.
+    pub gamma: Vec<u8>,
+}
+
+/// What happened to one job in one `run_suite` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Rounds completed so far (across all invocations).
+    pub rounds: usize,
+    /// Whether the job now has a final result.
+    pub completed: bool,
+    /// Whether the result already existed and the job was skipped.
+    pub skipped: bool,
+    /// Wall-clock spent in this invocation.
+    pub wall_ms: u128,
+}
+
+/// The summary of one `run_suite` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteOutcome {
+    /// Per-job outcomes, in suite order.
+    pub jobs: Vec<JobOutcome>,
+}
+
+impl SuiteOutcome {
+    /// Jobs that have a final result.
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.completed).count()
+    }
+
+    /// Jobs suspended with a checkpoint.
+    pub fn suspended(&self) -> usize {
+        self.jobs.len() - self.completed()
+    }
+
+    /// Whether the whole suite is done.
+    pub fn is_complete(&self) -> bool {
+        self.suspended() == 0
+    }
+}
+
+/// The per-job seed: the base seed mixed with the (stable) job index, so
+/// jobs are decorrelated but the whole suite reproduces from one `--seed`.
+fn job_seed(base: u64, index: usize) -> u64 {
+    base ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs (or resumes) a whole benchmark suite concurrently on `pool`.
+///
+/// Jobs stream [`RunEvent`]s to `events` while running. Returns after every
+/// job either finished or suspended on the round budget.
+///
+/// # Errors
+///
+/// Fails if the run directory belongs to a different configuration (suite,
+/// seed, or profile mismatch — resuming would corrupt it), or on artifact
+/// I/O errors.
+pub fn run_suite(
+    dir: &RunDirectory,
+    config: &SuiteConfig,
+    pool: Arc<WorkerPool>,
+    events: Option<Sender<RunEvent>>,
+) -> io::Result<SuiteOutcome> {
+    let suite = benchmark_suite(config.qubits);
+    let manifest = config.manifest();
+    match dir.manifest()? {
+        Some(existing) if existing != manifest => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "run at {} was created with seed {} / profile {:?}; refusing to resume it \
+                     with seed {} / profile {:?}",
+                    dir.path().display(),
+                    existing.seed,
+                    existing.profile,
+                    manifest.seed,
+                    manifest.profile
+                ),
+            ));
+        }
+        Some(_) => {}
+        None => dir.write_manifest(&manifest)?,
+    }
+    let engine = config.options.engine();
+    let budget: Option<Arc<AtomicI64>> = config
+        .halt_after_rounds
+        .map(|rounds| Arc::new(AtomicI64::new(rounds as i64)));
+    let scheduler = JobScheduler::new(pool);
+    let jobs: Vec<JobSpec<'_, io::Result<JobOutcome>>> = suite
+        .iter()
+        .enumerate()
+        .map(|(index, bench)| {
+            let dir = dir.clone();
+            let budget = budget.clone();
+            let name = bench.name.clone();
+            let hamiltonian = &bench.hamiltonian;
+            let seed = job_seed(config.options.seed, index);
+            JobSpec::new(bench.name.clone(), move |ctx: &JobContext| {
+                let config = ClaptonConfig {
+                    engine,
+                    evaluator: EvaluatorKind::Exact,
+                    seed,
+                    two_qubit_slots: true,
+                };
+                run_one_job(ctx, &dir, &name, hamiltonian, &config, budget.as_deref())
+            })
+        })
+        .collect();
+    let outcomes = scheduler.run_all(jobs, events);
+    outcomes
+        .into_iter()
+        .collect::<io::Result<Vec<JobOutcome>>>()
+        .map(|jobs| SuiteOutcome { jobs })
+}
+
+/// Runs one benchmark instance with round-level checkpointing.
+fn run_one_job(
+    ctx: &JobContext,
+    dir: &RunDirectory,
+    name: &str,
+    hamiltonian: &PauliSum,
+    config: &ClaptonConfig,
+    budget: Option<&AtomicI64>,
+) -> io::Result<JobOutcome> {
+    let started = Instant::now();
+    let slug = artifact_slug(name);
+    let result_artifact = format!("{slug}.result.json");
+    let checkpoint_artifact = format!("{slug}.checkpoint.json");
+    if let Some(existing) = dir.read_json::<SuiteRecord>(&result_artifact)? {
+        ctx.emit(EventKind::Finished(format!(
+            "already complete: loss {:.6} in {} rounds",
+            existing.loss, existing.rounds
+        )));
+        return Ok(JobOutcome {
+            name: name.to_string(),
+            rounds: existing.rounds,
+            completed: true,
+            skipped: true,
+            wall_ms: started.elapsed().as_millis(),
+        });
+    }
+    let resume = dir.read_json::<EngineState>(&checkpoint_artifact)?;
+    let resumed_rounds = resume.as_ref().map_or(0, EngineState::rounds);
+    if budget.is_some_and(|b| b.load(Ordering::Relaxed) <= 0) {
+        // The global budget was exhausted before this job got a round in.
+        ctx.emit(EventKind::Suspended(resumed_rounds));
+        return Ok(JobOutcome {
+            name: name.to_string(),
+            rounds: resumed_rounds,
+            completed: false,
+            skipped: false,
+            wall_ms: started.elapsed().as_millis(),
+        });
+    }
+    let n = hamiltonian.num_qubits();
+    let (p1, p2, readout) = SUITE_NOISE;
+    let model = NoiseModel::uniform(n, p1, p2, readout);
+    let exec = ExecutableAnsatz::untranspiled(n, &model);
+    let mut checkpoint_error: Option<io::Error> = None;
+    let (state, result) = run_clapton_resumable(
+        hamiltonian,
+        &exec,
+        config,
+        Some(ctx.pool()),
+        resume,
+        &mut |state| {
+            if let Err(e) = dir.write_json(&checkpoint_artifact, state) {
+                checkpoint_error = Some(e);
+                return false;
+            }
+            ctx.emit(EventKind::Checkpointed(state.rounds()));
+            if let Some(best) = &state.global_best {
+                ctx.emit(EventKind::Round(state.rounds(), best.loss));
+            }
+            budget.is_none_or(|b| b.fetch_sub(1, Ordering::Relaxed) > 1)
+        },
+    );
+    if let Some(e) = checkpoint_error {
+        return Err(e);
+    }
+    match result {
+        Some(clapton) => {
+            let record = SuiteRecord {
+                name: name.to_string(),
+                seed: config.seed,
+                e0: ground_energy(hamiltonian),
+                loss: clapton.loss,
+                loss_n: clapton.loss_n,
+                loss_0: clapton.loss_0,
+                rounds: clapton.rounds,
+                unique_evaluations: clapton.unique_evaluations,
+                cache_hits: clapton.cache_hits,
+                round_bests: clapton.round_bests.clone(),
+                gamma: clapton.transformation.gamma.clone(),
+            };
+            dir.write_json(&result_artifact, &record)?;
+            dir.remove(&checkpoint_artifact)?;
+            ctx.emit(EventKind::Finished(format!(
+                "loss {:.6} in {} rounds",
+                record.loss, record.rounds
+            )));
+            Ok(JobOutcome {
+                name: name.to_string(),
+                rounds: record.rounds,
+                completed: true,
+                skipped: false,
+                wall_ms: started.elapsed().as_millis(),
+            })
+        }
+        None => {
+            ctx.emit(EventKind::Suspended(state.rounds()));
+            Ok(JobOutcome {
+                name: name.to_string(),
+                rounds: state.rounds(),
+                completed: false,
+                skipped: false,
+                wall_ms: started.elapsed().as_millis(),
+            })
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration tests of the suite orchestrator: interrupted runs resume
+//! bit-identically, seeds reproduce exactly, and mismatched configurations
+//! are refused.
+//!
+//! Uses the 6-instance `N = 4` physics suite at quick effort so each full
+//! suite run stays in test-friendly wall-clock territory; the 12-instance
+//! `N = 10` suite exercises the identical code path (see the CI smoke job).
+
+use clapton_bench::{run_suite, Options, SuiteConfig};
+use clapton_runtime::{artifact_slug, RunRegistry, WorkerPool};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clapton-suite-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_config(seed: u64) -> SuiteConfig {
+    SuiteConfig {
+        options: Options { effort: 0, seed },
+        qubits: 4,
+        halt_after_rounds: None,
+    }
+}
+
+/// Reads every result artifact of a run as raw bytes, keyed by job name.
+fn result_bytes(registry: &RunRegistry, run: &str, config: &SuiteConfig) -> Vec<(String, Vec<u8>)> {
+    let dir = registry.run(run).unwrap();
+    config
+        .manifest()
+        .jobs
+        .iter()
+        .map(|job| {
+            let path = dir
+                .path()
+                .join(format!("{}.result.json", artifact_slug(job)));
+            (job.clone(), fs::read(path).expect("result artifact"))
+        })
+        .collect()
+}
+
+#[test]
+fn interrupted_suite_resumes_bit_identically_and_seeds_reproduce() {
+    let registry = RunRegistry::open(scratch("resume")).unwrap();
+    let config = quick_config(11);
+    let pool = Arc::new(WorkerPool::with_workers(2));
+
+    // Reference: one uninterrupted run.
+    let reference = registry.run("reference").unwrap();
+    let outcome = run_suite(&reference, &config, Arc::clone(&pool), None).unwrap();
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.jobs.len(), 6, "N=4 physics suite");
+    let reference_bytes = result_bytes(&registry, "reference", &config);
+
+    // Interrupted: a 3-round budget per invocation, resumed until done.
+    let interrupted = registry.run("interrupted").unwrap();
+    let budgeted = SuiteConfig {
+        halt_after_rounds: Some(3),
+        ..config
+    };
+    let mut invocations = 0;
+    loop {
+        invocations += 1;
+        assert!(invocations < 100, "suite never converged under interrupts");
+        let outcome = run_suite(&interrupted, &budgeted, Arc::clone(&pool), None).unwrap();
+        if outcome.is_complete() {
+            break;
+        }
+        // Suspended jobs must have left resumable checkpoints or untouched
+        // starts, never partial results.
+        for job in outcome.jobs.iter().filter(|j| !j.completed) {
+            let slug = artifact_slug(&job.name);
+            assert!(!interrupted.exists(&format!("{slug}.result.json")));
+        }
+    }
+    assert!(
+        invocations > 2,
+        "the budget must actually interrupt the suite"
+    );
+    assert_eq!(
+        result_bytes(&registry, "interrupted", &config),
+        reference_bytes,
+        "interrupted + resumed artifacts must be byte-identical"
+    );
+
+    // Seed hygiene: the same seed reproduces byte-identical artifacts...
+    let replay = registry.run("replay").unwrap();
+    run_suite(&replay, &config, Arc::clone(&pool), None).unwrap();
+    assert_eq!(result_bytes(&registry, "replay", &config), reference_bytes);
+
+    // ...and a different seed produces different search results.
+    let other = quick_config(12);
+    let other_dir = registry.run("other-seed").unwrap();
+    run_suite(&other_dir, &other, Arc::clone(&pool), None).unwrap();
+    let other_bytes = result_bytes(&registry, "other-seed", &other);
+    assert_ne!(other_bytes, reference_bytes, "seed must steer the search");
+
+    // Re-running a complete suite is a cheap no-op that changes nothing.
+    let outcome = run_suite(&reference, &config, pool, None).unwrap();
+    assert!(outcome.is_complete());
+    assert!(outcome.jobs.iter().all(|j| j.skipped));
+    assert_eq!(
+        result_bytes(&registry, "reference", &config),
+        reference_bytes
+    );
+
+    fs::remove_dir_all(registry.path()).unwrap();
+}
+
+#[test]
+fn resuming_with_mismatched_configuration_is_refused() {
+    let registry = RunRegistry::open(scratch("mismatch")).unwrap();
+    let pool = Arc::new(WorkerPool::with_workers(0));
+    let dir = registry.run("run").unwrap();
+    let config = SuiteConfig {
+        halt_after_rounds: Some(1),
+        ..quick_config(3)
+    };
+    run_suite(&dir, &config, Arc::clone(&pool), None).unwrap();
+
+    // Different seed → refuse.
+    let reseeded = SuiteConfig {
+        options: Options { effort: 0, seed: 4 },
+        ..config
+    };
+    let err = run_suite(&dir, &reseeded, Arc::clone(&pool), None).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    // Different suite shape → refuse.
+    let resized = SuiteConfig {
+        qubits: 5,
+        ..config
+    };
+    let err = run_suite(&dir, &resized, pool, None).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    fs::remove_dir_all(registry.path()).unwrap();
+}

@@ -3,6 +3,7 @@
 
 use crate::{Circuit, Gate};
 use clapton_stabilizer::CliffordGate;
+use serde::{Deserialize, Serialize};
 use std::f64::consts::FRAC_PI_2;
 
 /// The four Clifford-compatible rotation angles `{0, π/2, π, 3π/2}` (§4).
@@ -137,7 +138,7 @@ impl HardwareEfficientAnsatz {
 /// let gates = ansatz.gates(&vec![0u8; 20]);
 /// assert!(gates.is_empty()); // all-zero genome is the identity
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransformationAnsatz {
     n: usize,
     pairs: Vec<(usize, usize)>,

@@ -2,8 +2,11 @@
 
 use crate::{EvaluatorKind, ExecutableAnsatz, TransformLoss, Transformation};
 use clapton_circuits::TransformationAnsatz;
-use clapton_ga::{MultiGa, MultiGaConfig};
+use clapton_ga::{EngineState, MultiGa, MultiGaConfig};
 use clapton_pauli::PauliSum;
+use clapton_runtime::WorkerPool;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of a Clapton run.
 #[derive(Debug, Clone)]
@@ -50,7 +53,7 @@ impl Default for ClaptonConfig {
 }
 
 /// The outcome of a Clapton run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClaptonResult {
     /// The best transformation found.
     pub transformation: Transformation,
@@ -100,6 +103,43 @@ pub struct ClaptonResult {
 /// assert!((result.loss_0 - (-2.0)).abs() < 1e-12);
 /// ```
 pub fn run_clapton(h: &PauliSum, exec: &ExecutableAnsatz, config: &ClaptonConfig) -> ClaptonResult {
+    run_clapton_resumable(h, exec, config, None, None, &mut |_| true)
+        .1
+        .expect("uninterrupted run converges")
+}
+
+/// [`run_clapton`] with a shared worker pool, round-level checkpoint hooks,
+/// and resume — the job body of the `suite-runner` orchestrator.
+///
+/// * `pool` — when given, GA instances and population batches execute on the
+///   shared persistent [`WorkerPool`] instead of spawning threads per round
+///   (results are bit-identical either way).
+/// * `resume` — an [`EngineState`] snapshot from a previous, interrupted
+///   run. The search continues from the captured round, bit-identical to a
+///   run that was never interrupted.
+/// * `on_round` — called with the engine state after every completed round;
+///   persist it to implement checkpointing. Returning `false` suspends the
+///   search: the function returns the current state and `None`.
+///
+/// Returns the final engine state (always serializable) plus the
+/// [`ClaptonResult`] when the search ran to convergence.
+///
+/// # Panics
+///
+/// Panics on a register mismatch, or when `resume` does not belong to this
+/// exact search: the state's seed, instance count, and problem fingerprint
+/// (a hash of the Hamiltonian, the evaluator backend, the ablation switch,
+/// and the engine settings, stamped into [`EngineState::tag`] at start) must
+/// all match — a memo cache built against a different objective would
+/// silently corrupt the search.
+pub fn run_clapton_resumable(
+    h: &PauliSum,
+    exec: &ExecutableAnsatz,
+    config: &ClaptonConfig,
+    pool: Option<&Arc<WorkerPool>>,
+    resume: Option<EngineState>,
+    on_round: &mut dyn FnMut(&EngineState) -> bool,
+) -> (EngineState, Option<ClaptonResult>) {
     let n = exec.num_logical();
     assert_eq!(h.num_qubits(), n, "Hamiltonian/ansatz register mismatch");
     let t_ansatz = TransformationAnsatz::new(n);
@@ -109,12 +149,43 @@ pub fn run_clapton(h: &PauliSum, exec: &ExecutableAnsatz, config: &ClaptonConfig
         objective = objective.freeze_two_qubit_slots();
     }
     let engine = MultiGa::new(t_ansatz.num_genes(), 4, config.engine);
-    let result = engine.run(config.seed, &objective);
+    let tag = problem_fingerprint(h, config);
+    let mut state = match resume {
+        Some(state) => {
+            assert_eq!(state.seed, config.seed, "resume seed mismatch");
+            assert_eq!(
+                state.seeds_per_instance.len(),
+                config.engine.instances,
+                "resume instance-count mismatch"
+            );
+            assert_eq!(
+                state.tag, tag,
+                "resume problem-fingerprint mismatch: the checkpoint belongs to a different \
+                 Hamiltonian, evaluator backend, or engine configuration"
+            );
+            state
+        }
+        None => {
+            let mut state = engine.start(config.seed);
+            state.tag = tag;
+            state
+        }
+    };
+    while !state.finished {
+        match pool {
+            Some(pool) => engine.step_pooled(&mut state, &objective, pool),
+            None => engine.step(&mut state, &objective),
+        };
+        if !on_round(&state) && !state.finished {
+            return (state, None);
+        }
+    }
+    let result = engine.result(&state);
     let transformation =
         Transformation::from_genome(h, &t_ansatz, objective.masked(&result.best.genes));
     let loss_n = objective.loss().loss_n(&transformation.transformed);
     let loss_0 = objective.loss().loss_0(&transformation.transformed);
-    ClaptonResult {
+    let clapton = ClaptonResult {
         transformation,
         ansatz: t_ansatz,
         loss: result.best.loss,
@@ -124,7 +195,53 @@ pub fn run_clapton(h: &PauliSum, exec: &ExecutableAnsatz, config: &ClaptonConfig
         rounds: result.rounds,
         unique_evaluations: result.unique_evaluations,
         cache_hits: result.cache_hits,
+    };
+    (state, Some(clapton))
+}
+
+/// A deterministic FNV-style fingerprint of everything that shapes the
+/// search besides the seed: the Hamiltonian's terms, the evaluator backend,
+/// the ablation switch, and the engine hyper-parameters. Stamped into
+/// [`EngineState::tag`] so checkpoints refuse to resume a different search.
+fn problem_fingerprint(h: &PauliSum, config: &ClaptonConfig) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        acc ^= v;
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(h.num_qubits() as u64);
+    for (c, p) in h.iter() {
+        mix(c.to_bits());
+        for &w in p.x_words() {
+            mix(w);
+        }
+        for &w in p.z_words() {
+            mix(w);
+        }
     }
+    match config.evaluator {
+        EvaluatorKind::Exact => mix(1),
+        EvaluatorKind::Sampled { shots, seed } => {
+            mix(2);
+            mix(shots as u64);
+            mix(seed);
+        }
+        EvaluatorKind::Dense => mix(3),
+    }
+    mix(u64::from(config.two_qubit_slots));
+    let engine = &config.engine;
+    mix(engine.instances as u64);
+    mix(engine.top_k as u64);
+    mix(engine.max_retry_rounds as u64);
+    mix(engine.max_rounds as u64);
+    mix(engine.pool_fraction.to_bits());
+    mix(engine.ga.population_size as u64);
+    mix(engine.ga.generations as u64);
+    mix(engine.ga.tournament_size as u64);
+    mix(engine.ga.crossover_rate.to_bits());
+    mix(engine.ga.mutation_rate.to_bits());
+    mix(engine.ga.elite as u64);
+    acc
 }
 
 #[cfg(test)]
@@ -187,6 +304,55 @@ mod tests {
         // vary, so compare against the ablated loss with a margin).
         let full = run_clapton(&h, &exec, &ClaptonConfig::quick(8));
         assert!(full.loss <= result.loss + 1e-9);
+    }
+
+    #[test]
+    fn resumable_run_suspends_resumes_and_pools_bit_identically() {
+        let h = ising(3, 0.5);
+        let model = NoiseModel::uniform(3, 1e-3, 1e-2, 2e-2);
+        let exec = ExecutableAnsatz::untranspiled(3, &model);
+        let config = ClaptonConfig::quick(9);
+        let reference = run_clapton(&h, &exec, &config);
+
+        // Pool-backed execution produces the identical result.
+        let pool = std::sync::Arc::new(clapton_runtime::WorkerPool::with_workers(2));
+        let (_, pooled) =
+            run_clapton_resumable(&h, &exec, &config, Some(&pool), None, &mut |_| true);
+        assert_eq!(pooled.expect("converged"), reference);
+
+        // Suspend after the first round, round-trip the state through JSON,
+        // resume: bit-identical to the uninterrupted run.
+        let (suspended, early) =
+            run_clapton_resumable(&h, &exec, &config, None, None, &mut |_| false);
+        assert!(early.is_none(), "observer suspended the run");
+        assert!(!suspended.finished);
+        assert_eq!(suspended.rounds(), 1);
+        let json = serde_json::to_string(&suspended).expect("state serializes");
+        let restored: EngineState = serde_json::from_str(&json).expect("state parses");
+        let (final_state, resumed) =
+            run_clapton_resumable(&h, &exec, &config, None, Some(restored), &mut |_| true);
+        assert!(final_state.finished);
+        assert_eq!(resumed.expect("converged"), reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "problem-fingerprint mismatch")]
+    fn resume_rejects_checkpoint_from_different_problem() {
+        // Same register, same seed, same engine shape — only the Hamiltonian
+        // differs. The stamped fingerprint must catch it.
+        let model = NoiseModel::uniform(3, 1e-3, 1e-2, 2e-2);
+        let exec = ExecutableAnsatz::untranspiled(3, &model);
+        let config = ClaptonConfig::quick(5);
+        let (state, _) =
+            run_clapton_resumable(&ising(3, 0.25), &exec, &config, None, None, &mut |_| false);
+        run_clapton_resumable(
+            &xxz(3, 0.25),
+            &exec,
+            &config,
+            None,
+            Some(state),
+            &mut |_| true,
+        );
     }
 
     #[test]

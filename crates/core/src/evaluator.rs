@@ -117,6 +117,25 @@ impl LossEvaluator for TransformLoss<'_> {
         self.loss.total(&self.transformed(gamma))
     }
 
+    /// The population-batch fast path: the backend is prepared once for the
+    /// fixed `θ = 0` circuit (noise attachment hoisted out of the per-genome
+    /// loop), then every genome pays only its own transformation and energy.
+    /// Bit-identical to genome-at-a-time [`LossEvaluator::evaluate`] — the
+    /// losses are the same arithmetic, minus the reconstruction overhead.
+    fn evaluate_population(&self, genomes: &[Vec<u8>]) -> Vec<f64> {
+        match self.loss.prepare_zero() {
+            Some(prepared) => genomes
+                .iter()
+                .map(|gamma| {
+                    let transformed = self.transformed(gamma);
+                    self.loss.loss_n_prepared(prepared.as_ref(), &transformed)
+                        + self.loss.loss_0(&transformed)
+                })
+                .collect(),
+            None => genomes.iter().map(|gamma| self.evaluate(gamma)).collect(),
+        }
+    }
+
     /// Frozen slot genes do not affect the loss, so the masked genome is the
     /// cache identity — genomes differing only in frozen genes share one
     /// memo entry.

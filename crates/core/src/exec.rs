@@ -193,6 +193,15 @@ impl ExecutableAnsatz {
         self.circuit(&vec![0.0; self.ansatz.num_parameters()])
     }
 
+    /// Whether logical terms map onto the compact register unchanged
+    /// (`map_term` is a copy): true for untranspiled ansätze and for routed
+    /// circuits whose final layout happens to be the identity. Lets hot
+    /// paths skip the per-term re-indexing copy.
+    pub fn mapping_is_identity(&self) -> bool {
+        self.num_compact == self.num_logical()
+            && self.final_compact.iter().enumerate().all(|(i, &c)| i == c)
+    }
+
     /// Maps a logical Pauli term onto the compact register according to
     /// where each logical qubit sits at measurement time.
     ///

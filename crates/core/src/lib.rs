@@ -33,14 +33,17 @@ mod metrics;
 mod transform;
 
 pub use baselines::{run_cafqa, run_ncafqa, CafqaResult};
-pub use clapton::{run_clapton, ClaptonConfig, ClaptonResult};
+pub use clapton::{run_clapton, run_clapton_resumable, ClaptonConfig, ClaptonResult};
 pub use clapton_eval::{
     CacheStats, CachedEvaluator, FnEvaluator, LossEvaluator, ParallelEvaluator,
 };
+pub use clapton_ga::EngineState;
+pub use clapton_runtime::{PooledEvaluator, WorkerPool};
 pub use evaluator::{CafqaLoss, TransformLoss};
 pub use exec::ExecutableAnsatz;
 pub use loss::{
-    DenseBackend, EnergyBackend, EvaluatorKind, ExactBackend, LossFunction, SampledBackend,
+    DenseBackend, EnergyBackend, EvaluatorKind, ExactBackend, LossFunction, PreparedEnergy,
+    SampledBackend,
 };
 pub use metrics::{geometric_mean, normalized_energy, relative_improvement};
 pub use transform::{transform_hamiltonian, Transformation};

@@ -11,6 +11,24 @@ use rand::SeedableRng;
 use std::fmt;
 use std::sync::Arc;
 
+/// A noisy-energy backend specialized to one fixed circuit.
+///
+/// Produced by [`EnergyBackend::prepare`]: the circuit-dependent setup
+/// (noise attachment, Clifford conversion, dense simulation of the state)
+/// is paid once, after which [`PreparedEnergy::energy`] scores arbitrary
+/// Hamiltonians against the same circuit. Results are bit-identical to the
+/// unprepared [`EnergyBackend::energy`] — preparation hoists construction,
+/// never changes arithmetic.
+///
+/// This is the batch fast path of the Clapton hot loop: the GA evaluates
+/// thousands of transformed Hamiltonians against the *same* `θ = 0` circuit,
+/// so rebuilding the noisy circuit per genome is pure overhead.
+pub trait PreparedEnergy: Send + Sync {
+    /// The noisy energy of `h` (already on the circuit's register) for the
+    /// prepared circuit.
+    fn energy(&self, h: &PauliSum) -> f64;
+}
+
 /// A noisy-energy backend: computes `⟨H⟩` of a Clifford circuit under a
 /// noise model.
 ///
@@ -29,6 +47,17 @@ pub trait EnergyBackend: fmt::Debug + Send + Sync {
     /// stabilizer structure; the dense backend accepts any circuit but is
     /// only ever handed Clifford ones by the losses).
     fn energy(&self, circuit: &Circuit, model: &NoiseModel, h: &PauliSum) -> f64;
+
+    /// Specializes the backend to a fixed circuit for repeated energy
+    /// evaluations of different Hamiltonians.
+    ///
+    /// `None` (the default) means the backend has no circuit-invariant work
+    /// worth hoisting; callers fall back to [`EnergyBackend::energy`]. When
+    /// `Some`, the prepared evaluator must return bit-identical energies.
+    fn prepare(&self, circuit: &Circuit, model: &NoiseModel) -> Option<Box<dyn PreparedEnergy>> {
+        let _ = (circuit, model);
+        None
+    }
 
     /// The noiseless energy of the same circuit (all damping dropped).
     fn noiseless_energy(&self, circuit: &Circuit, model: &NoiseModel, h: &PauliSum) -> f64 {
@@ -53,8 +82,26 @@ impl EnergyBackend for ExactBackend {
         ExactEvaluator::new(&noisy).energy(h)
     }
 
+    fn prepare(&self, circuit: &Circuit, model: &NoiseModel) -> Option<Box<dyn PreparedEnergy>> {
+        let noisy = NoisyCircuit::from_circuit(circuit, model)
+            .expect("exact backend requires a Clifford circuit");
+        Some(Box::new(PreparedExact { noisy }))
+    }
+
     fn name(&self) -> &'static str {
         "exact"
+    }
+}
+
+/// [`ExactBackend`] with the noisy circuit attached once.
+#[derive(Debug)]
+struct PreparedExact {
+    noisy: NoisyCircuit,
+}
+
+impl PreparedEnergy for PreparedExact {
+    fn energy(&self, h: &PauliSum) -> f64 {
+        ExactEvaluator::new(&self.noisy).energy(h)
     }
 }
 
@@ -78,8 +125,37 @@ impl EnergyBackend for SampledBackend {
         FrameSampler::new(&noisy).energy(h, self.shots, &mut rng)
     }
 
+    fn prepare(&self, circuit: &Circuit, model: &NoiseModel) -> Option<Box<dyn PreparedEnergy>> {
+        let noisy = NoisyCircuit::from_circuit(circuit, model)
+            .expect("frame sampler requires a Clifford circuit");
+        Some(Box::new(PreparedSampled {
+            noisy,
+            circuit_hash: circuit_hash(circuit),
+            shots: self.shots,
+            seed: self.seed,
+        }))
+    }
+
     fn name(&self) -> &'static str {
         "sampled"
+    }
+}
+
+/// [`SampledBackend`] with the noisy circuit and the circuit half of the
+/// per-candidate seed hash computed once. The final per-Hamiltonian seed is
+/// identical to the unprepared path, so sampled losses replay exactly.
+#[derive(Debug)]
+struct PreparedSampled {
+    noisy: NoisyCircuit,
+    circuit_hash: u64,
+    shots: usize,
+    seed: u64,
+}
+
+impl PreparedEnergy for PreparedSampled {
+    fn energy(&self, h: &PauliSum) -> f64 {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ hamiltonian_hash(self.circuit_hash, h));
+        FrameSampler::new(&self.noisy).energy(h, self.shots, &mut rng)
     }
 }
 
@@ -94,8 +170,20 @@ impl EnergyBackend for DenseBackend {
         DeviceEvaluator::run(circuit, model).energy(h)
     }
 
+    fn prepare(&self, circuit: &Circuit, model: &NoiseModel) -> Option<Box<dyn PreparedEnergy>> {
+        // The density-matrix evolution depends only on the circuit; measuring
+        // a Hamiltonian against the evolved state is the cheap part.
+        Some(Box::new(DeviceEvaluator::run(circuit, model)))
+    }
+
     fn name(&self) -> &'static str {
         "dense"
+    }
+}
+
+impl PreparedEnergy for DeviceEvaluator {
+    fn energy(&self, h: &PauliSum) -> f64 {
+        DeviceEvaluator::energy(self, h)
     }
 }
 
@@ -190,6 +278,29 @@ impl<'a> LossFunction<'a> {
         self.loss_n_for_circuit(&self.zero_circuit, h_logical)
     }
 
+    /// Specializes the backend to the fixed `θ = 0` circuit for repeated
+    /// `LN` evaluations (the population-batch fast path).
+    ///
+    /// `None` when the backend has nothing to hoist; results through the
+    /// prepared path are bit-identical to [`LossFunction::loss_n`].
+    pub fn prepare_zero(&self) -> Option<Box<dyn PreparedEnergy>> {
+        self.backend
+            .prepare(&self.zero_circuit, self.exec.noise_model())
+    }
+
+    /// `LN` through a prepared backend (see [`LossFunction::prepare_zero`]).
+    ///
+    /// Skips the logical → compact Hamiltonian copy when the executable's
+    /// mapping is the identity (the untranspiled case) — the mapped sum would
+    /// be term-for-term equal, so the energy is bit-identical either way.
+    pub fn loss_n_prepared(&self, prepared: &dyn PreparedEnergy, h_logical: &PauliSum) -> f64 {
+        if self.exec.mapping_is_identity() {
+            prepared.energy(h_logical)
+        } else {
+            prepared.energy(&self.exec.map_hamiltonian(h_logical))
+        }
+    }
+
     /// `LN` for an arbitrary executable circuit `A'(θ)` (used by nCAFQA,
     /// which searches over θ rather than transforming H).
     pub fn loss_n_for_circuit(&self, circuit: &Circuit, h_logical: &PauliSum) -> f64 {
@@ -221,23 +332,36 @@ impl<'a> LossFunction<'a> {
 /// A cheap deterministic content hash of circuit + Hamiltonian coefficients
 /// for per-candidate sampler seeding.
 fn content_hash(circuit: &Circuit, h: &PauliSum) -> u64 {
+    hamiltonian_hash(circuit_hash(circuit), h)
+}
+
+/// The circuit half of [`content_hash`] (hoistable: the GA evaluates every
+/// candidate against one fixed circuit).
+fn circuit_hash(circuit: &Circuit) -> u64 {
     let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        acc ^= v;
-        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
-    };
-    mix(circuit.len() as u64);
+    mix(&mut acc, circuit.len() as u64);
     for g in circuit.gates() {
         for q in g.qubits() {
-            mix(q as u64 + 1);
+            mix(&mut acc, q as u64 + 1);
         }
     }
+    acc
+}
+
+/// Folds a Hamiltonian into a running [`circuit_hash`] accumulator,
+/// completing [`content_hash`].
+fn hamiltonian_hash(mut acc: u64, h: &PauliSum) -> u64 {
     for (c, p) in h.iter() {
-        mix(c.to_bits());
-        mix(p.x_words().first().copied().unwrap_or(0));
-        mix(p.z_words().first().copied().unwrap_or(0));
+        mix(&mut acc, c.to_bits());
+        mix(&mut acc, p.x_words().first().copied().unwrap_or(0));
+        mix(&mut acc, p.z_words().first().copied().unwrap_or(0));
     }
     acc
+}
+
+fn mix(acc: &mut u64, v: u64) {
+    *acc ^= v;
+    *acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ pub fn transform_hamiltonian(h: &PauliSum, gates: &[CliffordGate]) -> PauliSum {
 
 /// A found Clapton transformation: the genome, the Clifford circuit
 /// `Ĉ = C(γ̂)` and the transformed problem `Ĥ`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Transformation {
     /// The genome `γ̂` over the transformation ansatz.
     pub gamma: Vec<u8>,

@@ -21,6 +21,7 @@
 //! engine's default stack (cache lookup first, misses evaluated as one
 //! parallel batch).
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -165,7 +166,7 @@ impl<E: LossEvaluator> LossEvaluator for ParallelEvaluator<E> {
 }
 
 /// Cache statistics of a [`CachedEvaluator`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Evaluations answered from the memo table (including in-batch
     /// duplicates and concurrent racing duplicates).
@@ -227,6 +228,22 @@ impl<E: LossEvaluator> CachedEvaluator<E> {
         }
     }
 
+    /// Rebuilds a cache from a [`CachedEvaluator::export`] snapshot,
+    /// restoring memoized losses and statistics bit-identically — the
+    /// checkpoint/resume path of the GA engine.
+    pub fn from_snapshot(
+        inner: E,
+        entries: Vec<(Vec<u8>, f64)>,
+        stats: CacheStats,
+    ) -> CachedEvaluator<E> {
+        CachedEvaluator {
+            inner,
+            table: Mutex::new(entries.into_iter().collect()),
+            hits: AtomicU64::new(stats.hits),
+            misses: AtomicU64::new(stats.misses),
+        }
+    }
+
     /// The wrapped evaluator.
     pub fn inner(&self) -> &E {
         &self.inner
@@ -243,6 +260,15 @@ impl<E: LossEvaluator> CachedEvaluator<E> {
     /// Number of distinct genomes memoized.
     pub fn entries(&self) -> usize {
         self.table.lock().expect("cache lock").len()
+    }
+
+    /// The memo table as `(canonical key, loss)` pairs, sorted by key so the
+    /// snapshot is deterministic (hash-map iteration order is not).
+    pub fn export(&self) -> Vec<(Vec<u8>, f64)> {
+        let table = self.table.lock().expect("cache lock");
+        let mut entries: Vec<(Vec<u8>, f64)> = table.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
     }
 }
 
@@ -433,6 +459,34 @@ mod tests {
         assert_eq!(sum.evaluate(&[1, 2, 3]), 6.0);
         let stats_free: &dyn LossEvaluator = &sum;
         assert_eq!(stats_free.evaluate_population(&[vec![4]]), vec![4.0]);
+    }
+
+    #[test]
+    fn snapshot_restores_losses_and_stats() {
+        let cached = CachedEvaluator::new(CountingLoss::new());
+        let pop = population(9, 5);
+        let losses = cached.evaluate_population(&pop);
+        let (entries, stats) = (cached.export(), cached.stats());
+        assert_eq!(entries.len(), 9);
+        // Exported entries are key-sorted → deterministic snapshots.
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        let restored = CachedEvaluator::from_snapshot(CountingLoss::new(), entries, stats);
+        assert_eq!(restored.stats(), stats);
+        assert_eq!(restored.evaluate_population(&pop), losses);
+        // Everything was answered from the restored table.
+        assert_eq!(restored.inner().calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cache_stats_round_trip_json() {
+        let stats = CacheStats {
+            hits: 12,
+            misses: 5,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert_eq!(serde_json::from_str::<CacheStats>(&json).unwrap(), stats);
     }
 
     #[test]

@@ -1,9 +1,13 @@
-//! The multi-instance mix-and-restart engine of Figure 4.
+//! The multi-instance mix-and-restart engine of Figure 4, as a resumable
+//! state machine.
 
 use crate::{GaConfig, GaInstance, Individual};
 use clapton_eval::{CacheStats, CachedEvaluator, LossEvaluator, ParallelEvaluator};
+use clapton_runtime::{PooledEvaluator, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Hyper-parameters of the full Clapton optimization engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +26,8 @@ pub struct MultiGaConfig {
     pub pool_fraction: f64,
     /// Run instances on parallel threads and fan population batches out over
     /// the remaining cores. Results are bit-identical to the serial path.
+    /// (With [`MultiGa::run_pooled`] the shared worker pool takes over both
+    /// roles and this flag is ignored.)
     pub parallel: bool,
     /// Per-instance GA settings.
     pub ga: GaConfig,
@@ -67,7 +73,7 @@ impl Default for MultiGaConfig {
 }
 
 /// The outcome of a multi-GA optimization.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiGaResult {
     /// The best individual found.
     pub best: Individual,
@@ -103,6 +109,66 @@ impl MultiGaResult {
     }
 }
 
+/// The complete engine state between two rounds — the checkpoint unit.
+///
+/// Produced by [`MultiGa::start`], advanced one round at a time by
+/// [`MultiGa::step`] (or [`MultiGa::step_pooled`]), and serializable as
+/// JSON. A state written after round `k` and deserialized later continues
+/// **bit-identically** to a run that was never interrupted: the mixing RNG
+/// state, the per-instance restart seeds, and the full genome → loss memo
+/// (with its statistics) are all part of the snapshot, and per-instance GA
+/// streams are derived deterministically from `(seed, round, instance)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// The base seed the run was started with.
+    pub seed: u64,
+    /// Caller-defined problem fingerprint. The engine initializes it to `0`
+    /// and never reads it; layers that serialize checkpoints (e.g.
+    /// `run_clapton_resumable`) stamp a hash of their objective here and
+    /// refuse to resume a state whose fingerprint does not match — a memo
+    /// cache built against a different loss would silently corrupt the
+    /// search.
+    pub tag: u64,
+    /// The next round to execute (= rounds completed so far).
+    pub next_round: usize,
+    /// Restart seeds assigned to each instance by the last mix step.
+    pub seeds_per_instance: Vec<Option<Vec<Vec<u8>>>>,
+    /// Best individual found so far.
+    pub global_best: Option<Individual>,
+    /// Global best loss after each completed round.
+    pub round_bests: Vec<f64>,
+    /// Cache traffic per completed round.
+    pub round_eval_stats: Vec<CacheStats>,
+    /// Rounds without improvement so far.
+    pub retries: usize,
+    /// Raw state of the mixing RNG.
+    pub mix_rng: [u64; 4],
+    /// The genome → loss memo, sorted by key (deterministic snapshots).
+    pub cache_entries: Vec<(Vec<u8>, f64)>,
+    /// Cache statistics matching `cache_entries`.
+    pub cache_stats: CacheStats,
+    /// Whether the run has converged (no further steps allowed).
+    pub finished: bool,
+}
+
+impl EngineState {
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> usize {
+        self.next_round
+    }
+}
+
+/// How one round's GA instances are executed.
+#[derive(Clone, Copy)]
+enum RoundExec<'p> {
+    /// All instances on the calling thread.
+    Serial,
+    /// One scoped thread per instance (the legacy `parallel: true` path).
+    Threads,
+    /// Instance tasks on the shared persistent worker pool.
+    Pool(&'p WorkerPool),
+}
+
 /// The multi-instance engine (Figure 4): spawn, evolve, mix, repeat until the
 /// global loss stops decreasing.
 ///
@@ -111,6 +177,13 @@ impl MultiGaResult {
 /// every instance's generation is evaluated as one deduplicated batch. Both
 /// wrappers are bit-transparent — results are identical to calling
 /// `evaluate` genome-at-a-time on a single thread.
+///
+/// The engine is a resumable state machine: [`MultiGa::run`] is a loop over
+/// [`MultiGa::step`] on an [`EngineState`], and callers that need
+/// checkpointing drive the steps themselves, serializing the state between
+/// rounds. [`MultiGa::run_pooled`] / [`MultiGa::step_pooled`] execute both
+/// the instances and their population batches on a shared persistent
+/// [`WorkerPool`] instead of spawning threads per round.
 ///
 /// # Example
 ///
@@ -142,93 +215,237 @@ impl MultiGa {
         }
     }
 
+    /// The engine configuration.
+    pub fn config(&self) -> &MultiGaConfig {
+        &self.config
+    }
+
     /// Runs the engine to convergence, minimizing `evaluator`'s loss.
     pub fn run<E: LossEvaluator + ?Sized>(&self, seed: u64, evaluator: &E) -> MultiGaResult {
-        let cfg = &self.config;
-        // Evaluation stack: cache → population-parallel batches → user loss.
-        // With instance threads already soaking up `instances` cores, each
-        // batch gets the remaining share to avoid oversubscription.
-        let batch_workers = if cfg.parallel {
-            let cores = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
-            (cores / cfg.instances.max(1)).max(1)
+        let mut state = self.start(seed);
+        if self.config.parallel {
+            let batched = ParallelEvaluator::with_threads(evaluator, self.batch_workers());
+            self.run_to_convergence(&mut state, batched, RoundExec::Threads)
         } else {
-            1
-        };
-        let batched = ParallelEvaluator::with_threads(evaluator, batch_workers);
-        let cached = CachedEvaluator::new(batched);
+            self.run_to_convergence(&mut state, evaluator, RoundExec::Serial)
+        }
+    }
 
-        let mut mix_rng = StdRng::seed_from_u64(seed ^ 0x5EED_A11C);
-        let mut seeds_per_instance: Vec<Option<Vec<Vec<u8>>>> = vec![None; cfg.instances];
-        let mut global_best: Option<Individual> = None;
-        let mut round_bests = Vec::new();
-        let mut round_eval_stats: Vec<CacheStats> = Vec::new();
-        let mut stats_before = CacheStats::default();
-        let mut retries = 0;
-        let mut rounds = 0;
-        for round in 0..cfg.max_rounds {
-            rounds += 1;
-            let finals = self.run_round(seed, round, &mut seeds_per_instance, &cached);
-            let stats_after = cached.stats();
-            round_eval_stats.push(CacheStats {
-                hits: stats_after.hits - stats_before.hits,
-                misses: stats_after.misses - stats_before.misses,
-            });
-            stats_before = stats_after;
-            // Pool the top-k of every instance.
-            let mut pool: Vec<Individual> = Vec::new();
-            for pop in &finals {
-                pool.extend(pop.top(cfg.top_k).iter().cloned());
-            }
-            pool.sort_by(|a, b| a.loss.total_cmp(&b.loss));
-            let round_best = pool.first().expect("pool non-empty").clone();
-            let improved = match &global_best {
-                Some(b) => round_best.loss < b.loss - 1e-12,
-                None => true,
-            };
-            if improved {
-                global_best = Some(round_best.clone());
-                retries = 0;
-            } else {
-                retries += 1;
-            }
-            round_bests.push(global_best.as_ref().expect("set above").loss);
-            if retries > cfg.max_retry_rounds {
-                break;
-            }
+    /// [`MultiGa::run`] with instances and population batches executed on a
+    /// shared persistent pool — bit-identical results, no per-round thread
+    /// spawns, and fair sharing with other runs on the same pool.
+    pub fn run_pooled<E: LossEvaluator + ?Sized>(
+        &self,
+        seed: u64,
+        evaluator: &E,
+        pool: &Arc<WorkerPool>,
+    ) -> MultiGaResult {
+        let mut state = self.start(seed);
+        let batched = PooledEvaluator::new(evaluator, Arc::clone(pool));
+        self.run_to_convergence(&mut state, batched, RoundExec::Pool(pool))
+    }
+
+    /// Drives a fresh state to convergence on a *live* cache: monolithic
+    /// runs keep the genome → loss memo across rounds and materialize the
+    /// serializable snapshot only once at the end, instead of paying the
+    /// per-round export/import that checkpointing steps require.
+    fn run_to_convergence<E2: LossEvaluator>(
+        &self,
+        state: &mut EngineState,
+        batched: E2,
+        exec: RoundExec<'_>,
+    ) -> MultiGaResult {
+        let cached = CachedEvaluator::from_snapshot(
+            batched,
+            std::mem::take(&mut state.cache_entries),
+            state.cache_stats,
+        );
+        while !self.step_core(state, &cached, exec) {}
+        state.cache_entries = cached.export();
+        state.cache_stats = cached.stats();
+        self.result(state)
+    }
+
+    /// The initial [`EngineState`] for a run seeded with `seed`.
+    pub fn start(&self, seed: u64) -> EngineState {
+        EngineState {
+            seed,
+            tag: 0,
+            next_round: 0,
+            seeds_per_instance: vec![None; self.config.instances],
+            global_best: None,
+            round_bests: Vec::new(),
+            round_eval_stats: Vec::new(),
+            retries: 0,
+            mix_rng: StdRng::seed_from_u64(seed ^ 0x5EED_A11C).state(),
+            cache_entries: Vec::new(),
+            cache_stats: CacheStats::default(),
+            finished: false,
+        }
+    }
+
+    /// Executes one round (evolve all instances, pool the elites, mix) and
+    /// returns whether the run has converged.
+    ///
+    /// Respects `config.parallel` exactly like the original monolithic loop:
+    /// scoped instance threads plus a per-batch thread fan-out, or fully
+    /// serial execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.finished` is already set.
+    pub fn step<E: LossEvaluator + ?Sized>(&self, state: &mut EngineState, evaluator: &E) -> bool {
+        if self.config.parallel {
+            let batched = ParallelEvaluator::with_threads(evaluator, self.batch_workers());
+            self.step_stacked(state, batched, RoundExec::Threads)
+        } else {
+            self.step_stacked(state, evaluator, RoundExec::Serial)
+        }
+    }
+
+    /// [`MultiGa::step`] on a shared persistent [`WorkerPool`]: instances
+    /// become pool tasks and population batches go through a
+    /// [`PooledEvaluator`], so concurrent engine runs interleave fairly on
+    /// one set of threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.finished` is already set.
+    pub fn step_pooled<E: LossEvaluator + ?Sized>(
+        &self,
+        state: &mut EngineState,
+        evaluator: &E,
+        pool: &Arc<WorkerPool>,
+    ) -> bool {
+        let batched = PooledEvaluator::new(evaluator, Arc::clone(pool));
+        self.step_stacked(state, batched, RoundExec::Pool(pool))
+    }
+
+    /// The final result of a converged run (or the best-so-far snapshot of a
+    /// suspended one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has completed yet.
+    pub fn result(&self, state: &EngineState) -> MultiGaResult {
+        MultiGaResult {
+            best: state
+                .global_best
+                .clone()
+                .expect("at least one round completed"),
+            round_bests: state.round_bests.clone(),
+            rounds: state.next_round,
+            round_eval_stats: state.round_eval_stats.clone(),
+            unique_evaluations: state.cache_stats.misses,
+            cache_hits: state.cache_stats.hits,
+        }
+    }
+
+    /// Workers per population batch when instance threads are also running
+    /// (avoids oversubscription in the legacy scoped-thread mode).
+    fn batch_workers(&self) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cores / self.config.instances.max(1)).max(1)
+    }
+
+    /// One checkpointable round: restore the genome → loss memo from the
+    /// state snapshot, run the round, snapshot the memo back.
+    fn step_stacked<E: LossEvaluator>(
+        &self,
+        state: &mut EngineState,
+        batched: E,
+        exec: RoundExec<'_>,
+    ) -> bool {
+        // Evaluation stack: cache → batch path → user loss, exactly as in a
+        // monolithic run.
+        let cached = CachedEvaluator::from_snapshot(
+            batched,
+            std::mem::take(&mut state.cache_entries),
+            state.cache_stats,
+        );
+        let finished = self.step_core(state, &cached, exec);
+        state.cache_entries = cached.export();
+        state.cache_stats = cached.stats();
+        finished
+    }
+
+    /// One round (evolve, pool elites, mix) against a live cache. The
+    /// caller owns the cache ↔ snapshot synchronization.
+    fn step_core<E: LossEvaluator>(
+        &self,
+        state: &mut EngineState,
+        cached: &CachedEvaluator<E>,
+        exec: RoundExec<'_>,
+    ) -> bool {
+        assert!(!state.finished, "stepping a finished engine run");
+        let cfg = &self.config;
+        let stats_before = cached.stats();
+        let round = state.next_round;
+        let finals = self.run_round(
+            state.seed,
+            round,
+            &mut state.seeds_per_instance,
+            cached,
+            exec,
+        );
+        let stats_after = cached.stats();
+        state.round_eval_stats.push(CacheStats {
+            hits: stats_after.hits - stats_before.hits,
+            misses: stats_after.misses - stats_before.misses,
+        });
+        // Pool the top-k of every instance.
+        let mut pool: Vec<Individual> = Vec::new();
+        for pop in &finals {
+            pool.extend(pop.top(cfg.top_k).iter().cloned());
+        }
+        pool.sort_by(|a, b| a.loss.total_cmp(&b.loss));
+        let round_best = pool.first().expect("pool non-empty").clone();
+        let improved = match &state.global_best {
+            Some(b) => round_best.loss < b.loss - 1e-12,
+            None => true,
+        };
+        if improved {
+            state.global_best = Some(round_best);
+            state.retries = 0;
+        } else {
+            state.retries += 1;
+        }
+        state
+            .round_bests
+            .push(state.global_best.as_ref().expect("set above").loss);
+        state.next_round += 1;
+        let finished = state.retries > cfg.max_retry_rounds || state.next_round >= cfg.max_rounds;
+        if !finished {
             // Mix: every instance restarts from a random sample of the pool
             // plus fresh random guesses (Figure 4's shuffle step).
+            let mut mix_rng = StdRng::from_state(state.mix_rng);
             let pool_share = ((cfg.ga.population_size as f64) * cfg.pool_fraction).round() as usize;
-            for inst_seeds in seeds_per_instance.iter_mut() {
+            for inst_seeds in state.seeds_per_instance.iter_mut() {
                 let mut picks: Vec<Vec<u8>> = (0..pool_share.min(pool.len()))
                     .map(|_| pool[mix_rng.gen_range(0..pool.len())].genes.clone())
                     .collect();
                 // Always propagate the global best so rounds never regress.
-                if let Some(b) = &global_best {
+                if let Some(b) = &state.global_best {
                     picks.push(b.genes.clone());
                 }
                 *inst_seeds = Some(picks);
             }
+            state.mix_rng = mix_rng.state();
         }
-        let stats = cached.stats();
-        MultiGaResult {
-            best: global_best.expect("at least one round ran"),
-            round_bests,
-            rounds,
-            round_eval_stats,
-            unique_evaluations: stats.misses,
-            cache_hits: stats.hits,
-        }
+        state.finished = finished;
+        finished
     }
 
-    /// Runs all instances of one round (in parallel when configured).
+    /// Runs all instances of one round on the configured executor.
     fn run_round<E: LossEvaluator + ?Sized>(
         &self,
         seed: u64,
         round: usize,
         seeds_per_instance: &mut [Option<Vec<Vec<u8>>>],
         evaluator: &E,
+        exec: RoundExec<'_>,
     ) -> Vec<crate::Population> {
         let cfg = &self.config;
         let run_one = |i: usize, seeds: Option<Vec<Vec<u8>>>| {
@@ -239,13 +456,19 @@ impl MultiGa {
             let mut ga = GaInstance::new(self.num_genes, self.cardinality, cfg.ga, inst_seed);
             ga.run(evaluator, seeds)
         };
-        if cfg.parallel {
-            std::thread::scope(|scope| {
+        match exec {
+            RoundExec::Serial => seeds_per_instance
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| run_one(i, s.take()))
+                .collect(),
+            RoundExec::Threads => std::thread::scope(|scope| {
                 let handles: Vec<_> = seeds_per_instance
                     .iter_mut()
                     .enumerate()
                     .map(|(i, s)| {
                         let seeds = s.take();
+                        let run_one = &run_one;
                         scope.spawn(move || run_one(i, seeds))
                     })
                     .collect();
@@ -253,13 +476,25 @@ impl MultiGa {
                     .into_iter()
                     .map(|h| h.join().expect("GA thread"))
                     .collect()
-            })
-        } else {
-            seeds_per_instance
-                .iter_mut()
-                .enumerate()
-                .map(|(i, s)| run_one(i, s.take()))
-                .collect()
+            }),
+            RoundExec::Pool(pool) => {
+                let mut out: Vec<Option<crate::Population>> =
+                    seeds_per_instance.iter().map(|_| None).collect();
+                pool.scope(|s| {
+                    for (i, (slot, inst_seeds)) in out
+                        .iter_mut()
+                        .zip(seeds_per_instance.iter_mut())
+                        .enumerate()
+                    {
+                        let seeds = inst_seeds.take();
+                        let run_one = &run_one;
+                        s.spawn(move || *slot = Some(run_one(i, seeds)));
+                    }
+                });
+                out.into_iter()
+                    .map(|p| p.expect("instance task completed"))
+                    .collect()
+            }
         }
     }
 }
@@ -308,6 +543,18 @@ mod tests {
     }
 
     #[test]
+    fn pooled_matches_serial_bit_for_bit() {
+        let cfg = MultiGaConfig::quick();
+        let engine = MultiGa::new(12, 4, cfg);
+        let serial = engine.run(5, &sum_fitness());
+        for workers in [0, 2] {
+            let pool = Arc::new(WorkerPool::with_workers(workers));
+            let pooled = engine.run_pooled(5, &sum_fitness(), &pool);
+            assert_eq!(serial, pooled, "workers {workers}");
+        }
+    }
+
+    #[test]
     fn respects_max_rounds() {
         let mut cfg = MultiGaConfig::quick();
         cfg.max_rounds = 1;
@@ -345,5 +592,52 @@ mod tests {
         cfg.max_rounds = 12;
         let result = MultiGa::new(20, 4, cfg).run(13, &fitness);
         assert_eq!(result.best.loss, 0.0, "engine should solve 20-gene pattern");
+    }
+
+    #[test]
+    fn stepping_matches_monolithic_run() {
+        let engine = MultiGa::new(14, 4, MultiGaConfig::quick());
+        let fitness = sum_fitness();
+        let reference = engine.run(31, &fitness);
+        let mut state = engine.start(31);
+        let mut steps = 0;
+        while !engine.step(&mut state, &fitness) {
+            steps += 1;
+            assert_eq!(state.rounds(), steps);
+        }
+        assert_eq!(engine.result(&state), reference);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let engine = MultiGa::new(14, 4, MultiGaConfig::quick());
+        let fitness = sum_fitness();
+        let reference = engine.run(77, &fitness);
+        // Interrupt after every possible round k, resume from a JSON
+        // round-trip of the state, and compare the final result.
+        for k in 1..reference.rounds {
+            let mut state = engine.start(77);
+            for _ in 0..k {
+                assert!(!engine.step(&mut state, &fitness), "k within run");
+            }
+            let json = serde_json::to_string(&state).expect("state serializes");
+            let mut resumed: EngineState = serde_json::from_str(&json).expect("state parses");
+            assert_eq!(resumed, state);
+            while !engine.step(&mut resumed, &fitness) {}
+            assert_eq!(engine.result(&resumed), reference, "interrupted at {k}");
+        }
+    }
+
+    #[test]
+    fn finished_state_rejects_further_steps() {
+        let engine = MultiGa::new(8, 4, MultiGaConfig::quick());
+        let fitness = sum_fitness();
+        let mut state = engine.start(3);
+        while !engine.step(&mut state, &fitness) {}
+        assert!(state.finished);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.step(&mut state, &fitness)
+        }));
+        assert!(result.is_err());
     }
 }

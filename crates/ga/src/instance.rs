@@ -3,6 +3,7 @@
 use clapton_eval::LossEvaluator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of one GA instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,7 +39,7 @@ impl Default for GaConfig {
 }
 
 /// One evaluated genome.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Individual {
     /// The loss value (lower is better).
     pub loss: f64,

@@ -27,5 +27,6 @@ mod instance;
 pub use clapton_eval::{
     CacheStats, CachedEvaluator, FnEvaluator, LossEvaluator, ParallelEvaluator,
 };
-pub use engine::{MultiGa, MultiGaConfig, MultiGaResult};
+pub use clapton_runtime::{PooledEvaluator, WorkerPool};
+pub use engine::{EngineState, MultiGa, MultiGaConfig, MultiGaResult};
 pub use instance::{GaConfig, GaInstance, Individual, Population};

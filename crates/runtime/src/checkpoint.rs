@@ -1,0 +1,271 @@
+//! Durable run state: atomic JSON artifacts, manifests, and the run
+//! registry.
+//!
+//! A *run directory* holds everything one suite run produces: a
+//! `manifest.json` describing the configuration, one `<job>.checkpoint.json`
+//! per in-flight job (replaced atomically every round), and one
+//! `<job>.result.json` per finished job. Because every write is
+//! tmp-file + rename, a run killed at any instant leaves only complete
+//! artifacts — resuming re-reads the manifest, skips finished jobs, and
+//! continues the rest from their latest round snapshot.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Configuration record of a suite run, written once at run creation and
+/// verified on resume (a resume with a different seed or suite would
+/// silently corrupt the run, so it is rejected instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Job names, in scheduling order.
+    pub jobs: Vec<String>,
+    /// The base seed every job derives its stream from.
+    pub seed: u64,
+    /// Free-form configuration descriptor (e.g. `"quick"` / `"paper"`).
+    pub profile: String,
+}
+
+/// Turns an arbitrary job name into a stable, filesystem-safe artifact stem
+/// (alphanumerics kept, everything else folded to `-`).
+///
+/// ```
+/// assert_eq!(clapton_runtime::artifact_slug("ising(J=0.25)"), "ising-J-0.25");
+/// ```
+pub fn artifact_slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '.' || c == '_' {
+            out.push(c);
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// One run's artifact directory with atomic JSON read/write.
+#[derive(Debug, Clone)]
+pub struct RunDirectory {
+    root: PathBuf,
+}
+
+impl RunDirectory {
+    /// Opens (creating if needed) the run directory at `root`.
+    pub fn create(root: impl Into<PathBuf>) -> io::Result<RunDirectory> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(RunDirectory { root })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Whether artifact `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.root.join(name).is_file()
+    }
+
+    /// Serializes `value` to `<root>/<name>` atomically: the JSON is written
+    /// to a temporary sibling and renamed into place, so readers (and
+    /// resumers after a kill) only ever observe complete documents.
+    pub fn write_json<T: Serialize + ?Sized>(&self, name: &str, value: &T) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let target = self.root.join(name);
+        let tmp = self.root.join(format!("{name}.tmp"));
+        fs::write(&tmp, json.as_bytes())?;
+        fs::rename(&tmp, &target)
+    }
+
+    /// Reads artifact `name`, returning `Ok(None)` when it does not exist
+    /// and an `InvalidData` error when it exists but does not parse.
+    pub fn read_json<T: DeserializeOwned>(&self, name: &str) -> io::Result<Option<T>> {
+        let target = self.root.join(name);
+        let text = match fs::read_to_string(&target) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))
+    }
+
+    /// Deletes artifact `name` if present.
+    pub fn remove(&self, name: &str) -> io::Result<()> {
+        match fs::remove_file(self.root.join(name)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Writes the run manifest.
+    pub fn write_manifest(&self, manifest: &RunManifest) -> io::Result<()> {
+        self.write_json("manifest.json", manifest)
+    }
+
+    /// Reads the run manifest, if the run was initialized.
+    pub fn manifest(&self) -> io::Result<Option<RunManifest>> {
+        self.read_json("manifest.json")
+    }
+}
+
+/// Completion summary of one registered run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunInfo {
+    /// Directory name of the run.
+    pub name: String,
+    /// The manifest it was created with.
+    pub manifest: RunManifest,
+    /// Jobs with a final result artifact.
+    pub complete_jobs: usize,
+    /// Jobs with only a checkpoint (interrupted mid-run).
+    pub checkpointed_jobs: usize,
+}
+
+impl RunInfo {
+    /// Whether every job of the run has a final result.
+    pub fn is_complete(&self) -> bool {
+        self.complete_jobs == self.manifest.jobs.len()
+    }
+}
+
+/// A root directory containing one subdirectory per run — the registry the
+/// `suite-runner` CLI lists and resumes from.
+#[derive(Debug, Clone)]
+pub struct RunRegistry {
+    root: PathBuf,
+}
+
+impl RunRegistry {
+    /// Opens (creating if needed) a registry rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<RunRegistry> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(RunRegistry { root })
+    }
+
+    /// The registry root.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Opens (creating if needed) the run directory for `run_name`.
+    pub fn run(&self, run_name: &str) -> io::Result<RunDirectory> {
+        RunDirectory::create(self.root.join(run_name))
+    }
+
+    /// Summarizes every initialized run under the registry, sorted by name.
+    pub fn list(&self) -> io::Result<Vec<RunInfo>> {
+        let mut runs = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let dir = RunDirectory::create(entry.path())?;
+            let Some(manifest) = dir.manifest()? else {
+                continue;
+            };
+            let mut complete = 0;
+            let mut checkpointed = 0;
+            for job in &manifest.jobs {
+                let slug = artifact_slug(job);
+                if dir.exists(&format!("{slug}.result.json")) {
+                    complete += 1;
+                } else if dir.exists(&format!("{slug}.checkpoint.json")) {
+                    checkpointed += 1;
+                }
+            }
+            runs.push(RunInfo {
+                name,
+                manifest,
+                complete_jobs: complete,
+                checkpointed_jobs: checkpointed,
+            });
+        }
+        runs.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("clapton-runtime-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn artifacts_round_trip_and_overwrite_atomically() {
+        let dir = RunDirectory::create(scratch("rt")).unwrap();
+        assert_eq!(dir.read_json::<Vec<u64>>("x.json").unwrap(), None);
+        dir.write_json("x.json", &vec![1u64, 2, 3]).unwrap();
+        assert_eq!(
+            dir.read_json::<Vec<u64>>("x.json").unwrap(),
+            Some(vec![1, 2, 3])
+        );
+        dir.write_json("x.json", &vec![9u64]).unwrap();
+        assert_eq!(dir.read_json::<Vec<u64>>("x.json").unwrap(), Some(vec![9]));
+        assert!(!dir.exists("x.json.tmp"), "tmp file renamed away");
+        dir.remove("x.json").unwrap();
+        dir.remove("x.json").unwrap(); // idempotent
+        assert!(!dir.exists("x.json"));
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifacts_error_instead_of_vanishing() {
+        let dir = RunDirectory::create(scratch("corrupt")).unwrap();
+        fs::write(dir.path().join("bad.json"), b"{not json").unwrap();
+        let err = dir.read_json::<Vec<u64>>("bad.json").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn registry_tracks_completion() {
+        let registry = RunRegistry::open(scratch("registry")).unwrap();
+        let manifest = RunManifest {
+            jobs: vec!["ising(J=0.25)".to_string(), "xxz(J=1.00)".to_string()],
+            seed: 7,
+            profile: "quick".to_string(),
+        };
+        let run = registry.run("run-a").unwrap();
+        run.write_manifest(&manifest).unwrap();
+        run.write_json(
+            &format!("{}.result.json", artifact_slug("ising(J=0.25)")),
+            &1u64,
+        )
+        .unwrap();
+        run.write_json(
+            &format!("{}.checkpoint.json", artifact_slug("xxz(J=1.00)")),
+            &2u64,
+        )
+        .unwrap();
+        let runs = registry.list().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].manifest, manifest);
+        assert_eq!(runs[0].complete_jobs, 1);
+        assert_eq!(runs[0].checkpointed_jobs, 1);
+        assert!(!runs[0].is_complete());
+        fs::remove_dir_all(registry.path()).unwrap();
+    }
+
+    #[test]
+    fn slugs_are_stable_and_safe() {
+        assert_eq!(artifact_slug("ising(J=0.25)"), "ising-J-0.25");
+        assert_eq!(artifact_slug("H2O(l=1.0)"), "H2O-l-1.0");
+        assert_eq!(artifact_slug("a/b\\c d"), "a-b-c-d");
+    }
+}

@@ -1,0 +1,162 @@
+//! Pool-backed population evaluation.
+
+use crate::WorkerPool;
+use clapton_eval::LossEvaluator;
+use std::sync::Arc;
+
+/// Population-parallel batch evaluation on a shared persistent
+/// [`WorkerPool`] — the pool-backed successor of
+/// [`clapton_eval::ParallelEvaluator`].
+///
+/// Where `ParallelEvaluator` spawns scoped threads per batch, this wrapper
+/// submits chunk tasks to workers that already exist and are shared with
+/// every other batch, GA round, and scheduler job in the process. Chunks are
+/// sized so idle workers can steal meaningful work while each chunk is still
+/// wide enough to amortize the wrapped evaluator's per-batch setup (e.g. the
+/// prepared-backend hoist of `TransformLoss`).
+///
+/// Results are written into per-chunk output slots, so the batch is
+/// bit-identical to sequential evaluation no matter which worker executes
+/// which chunk — losses are pure functions of the genome.
+#[derive(Debug, Clone)]
+pub struct PooledEvaluator<E> {
+    inner: E,
+    pool: Arc<WorkerPool>,
+    min_chunk: usize,
+}
+
+impl<E: LossEvaluator> PooledEvaluator<E> {
+    /// Wraps `inner`, dispatching batches onto `pool`.
+    pub fn new(inner: E, pool: Arc<WorkerPool>) -> PooledEvaluator<E> {
+        PooledEvaluator {
+            inner,
+            pool,
+            min_chunk: 4,
+        }
+    }
+
+    /// Overrides the minimum genomes per chunk task (default 4).
+    pub fn with_min_chunk(mut self, min_chunk: usize) -> PooledEvaluator<E> {
+        self.min_chunk = min_chunk.max(1);
+        self
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The shared pool batches run on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+}
+
+impl<E: LossEvaluator> LossEvaluator for PooledEvaluator<E> {
+    fn evaluate(&self, genome: &[u8]) -> f64 {
+        self.inner.evaluate(genome)
+    }
+
+    fn evaluate_population(&self, genomes: &[Vec<u8>]) -> Vec<f64> {
+        if genomes.is_empty() {
+            return Vec::new();
+        }
+        // Effective parallelism: pool workers plus the calling thread (which
+        // drains its own scope), capped at the machine's cores — threads
+        // beyond the hardware are pure scheduling overhead, so on a
+        // saturated (or single-core) machine the batch runs inline and
+        // keeps the wrapped evaluator's whole-batch fast path.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let effective = (self.pool.workers() + 1).min(cores);
+        if effective == 1 {
+            return self.inner.evaluate_population(genomes);
+        }
+        // More chunks than threads lets stealing balance uneven losses.
+        let chunks = genomes
+            .len()
+            .div_ceil(self.min_chunk)
+            .clamp(1, effective * 4);
+        if chunks == 1 {
+            return self.inner.evaluate_population(genomes);
+        }
+        let chunk_len = genomes.len().div_ceil(chunks);
+        let mut out = vec![0.0f64; genomes.len()];
+        let inner = &self.inner;
+        self.pool.scope(|s| {
+            for (chunk, slots) in genomes.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
+                s.spawn(move || {
+                    slots.copy_from_slice(&inner.evaluate_population(chunk));
+                });
+            }
+        });
+        out
+    }
+
+    fn canonical_key(&self, genome: &[u8]) -> Vec<u8> {
+        self.inner.canonical_key(genome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clapton_eval::FnEvaluator;
+
+    fn toy() -> impl LossEvaluator {
+        FnEvaluator::new(|g: &[u8]| {
+            g.iter()
+                .enumerate()
+                .map(|(i, &x)| (x as f64) * ((i + 1) as f64).sqrt())
+                .sum()
+        })
+    }
+
+    fn population(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| (0..9).map(|j| ((i * 5 + j) % 4) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn pooled_batch_is_bit_identical_to_sequential() {
+        let base = toy();
+        let pop = population(97);
+        let sequential: Vec<f64> = pop.iter().map(|g| base.evaluate(g)).collect();
+        for workers in [0, 1, 4] {
+            let pool = Arc::new(WorkerPool::with_workers(workers));
+            let pooled = PooledEvaluator::new(toy(), pool);
+            assert_eq!(
+                pooled.evaluate_population(&pop),
+                sequential,
+                "workers {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_batches() {
+        let pool = Arc::new(WorkerPool::with_workers(2));
+        let pooled = PooledEvaluator::new(toy(), pool);
+        assert_eq!(pooled.evaluate_population(&[]), Vec::<f64>::new());
+        let one = population(1);
+        assert_eq!(
+            pooled.evaluate_population(&one),
+            vec![pooled.evaluate(&one[0])]
+        );
+    }
+
+    #[test]
+    fn one_pool_serves_many_evaluators() {
+        let pool = Arc::new(WorkerPool::with_workers(2));
+        let a = PooledEvaluator::new(toy(), Arc::clone(&pool));
+        let b = PooledEvaluator::new(toy(), pool);
+        let pop = population(40);
+        let expected: Vec<f64> = pop.iter().map(|g| a.inner().evaluate(g)).collect();
+        std::thread::scope(|s| {
+            s.spawn(|| assert_eq!(a.evaluate_population(&pop), expected));
+            s.spawn(|| assert_eq!(b.evaluate_population(&pop), expected));
+        });
+    }
+}

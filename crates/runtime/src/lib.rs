@@ -1,0 +1,34 @@
+//! The Clapton runtime: a persistent worker-pool scheduler with
+//! checkpoint/resume.
+//!
+//! The GA engine's wall-clock is dominated by loss evaluation, and a
+//! production deployment runs *many* searches at once (the paper's Figure 5
+//! suite alone is 12 instances). This crate provides the shared execution
+//! substrate those workloads run on:
+//!
+//! * [`WorkerPool`] — a persistent work-stealing thread pool. Scoped tasks
+//!   may borrow from the caller's stack; scope owners drain their own queue
+//!   while waiting, so nested fan-out (suite → job → GA round → population
+//!   batch) shares one set of threads without deadlock or oversubscription.
+//! * [`PooledEvaluator`] — population-batch evaluation on the shared pool,
+//!   replacing per-batch thread spawns (`clapton_eval::ParallelEvaluator`).
+//! * [`JobScheduler`] — runs many jobs concurrently with fair round-robin
+//!   interleaving of their batches, streaming [`RunEvent`]s while they run.
+//! * [`RunDirectory`] / [`RunRegistry`] — atomic JSON artifact storage for
+//!   checkpoint/resume: a run killed at any instant resumes from complete
+//!   round snapshots, bit-identical to an uninterrupted run.
+//!
+//! The crate is deliberately independent of the GA/core layers: it moves
+//! closures and serializable documents, so `clapton-ga` can expose
+//! checkpointable engine state and `clapton-bench`'s `suite-runner` can
+//! orchestrate whole benchmark suites on top.
+
+mod checkpoint;
+mod evaluator;
+mod pool;
+mod scheduler;
+
+pub use checkpoint::{artifact_slug, RunDirectory, RunInfo, RunManifest, RunRegistry};
+pub use evaluator::PooledEvaluator;
+pub use pool::{PoolScope, WorkerPool};
+pub use scheduler::{EventKind, JobContext, JobScheduler, JobSpec, RunEvent};

@@ -1,0 +1,246 @@
+//! Fair multi-job scheduling on the shared worker pool.
+
+use crate::{PoolScope, WorkerPool};
+use serde::{Deserialize, Serialize};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+/// What happened inside a scheduled job (streamed over a channel while the
+/// suite runs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The job started executing.
+    Started,
+    /// One unit of job progress: `(round, best loss so far)`.
+    Round(usize, f64),
+    /// A checkpoint for the given round was persisted.
+    Checkpointed(usize),
+    /// The job finished; the payload is a short human-readable outcome.
+    Finished(String),
+    /// The job halted early (budget exhausted / interrupt requested) after
+    /// the given number of completed rounds.
+    Suspended(usize),
+}
+
+/// A progress event of one job in a scheduled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunEvent {
+    /// Name of the job that emitted the event.
+    pub job: String,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Per-job handle passed to job closures: the shared pool for nested
+/// parallelism plus the event stream.
+#[derive(Debug)]
+pub struct JobContext {
+    pool: Arc<WorkerPool>,
+    name: String,
+    events: Option<Sender<RunEvent>>,
+}
+
+impl JobContext {
+    /// The process-wide worker pool; jobs open nested scopes or pooled
+    /// evaluators on it instead of spawning threads.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The job's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Streams a progress event (dropped silently when no listener is
+    /// attached or the receiver hung up — progress must never block a job).
+    pub fn emit(&self, kind: EventKind) {
+        if let Some(events) = &self.events {
+            let _ = events.send(RunEvent {
+                job: self.name.clone(),
+                kind,
+            });
+        }
+    }
+}
+
+/// One schedulable unit of work producing a `T`.
+pub struct JobSpec<'a, T> {
+    name: String,
+    run: Box<dyn FnOnce(&JobContext) -> T + Send + 'a>,
+}
+
+impl<'a, T> JobSpec<'a, T> {
+    /// Packages a closure as a named job.
+    pub fn new(
+        name: impl Into<String>,
+        run: impl FnOnce(&JobContext) -> T + Send + 'a,
+    ) -> JobSpec<'a, T> {
+        JobSpec {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The job's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<T> std::fmt::Debug for JobSpec<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec").field("name", &self.name).finish()
+    }
+}
+
+/// Runs many jobs concurrently on one [`WorkerPool`] with fair interleaving.
+///
+/// Every job becomes a pool task; the population batches a job fans out
+/// (nested scopes, [`PooledEvaluator`](crate::PooledEvaluator) chunks) land
+/// in per-scope queues that idle workers drain round-robin — so concurrent
+/// jobs share the machine instead of queueing behind each other, and a
+/// single-core machine degrades to clean interleaved progress.
+///
+/// # Example
+///
+/// ```
+/// use clapton_runtime::{JobScheduler, JobSpec, WorkerPool};
+/// use std::sync::Arc;
+///
+/// let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(2)));
+/// let jobs = (0..4)
+///     .map(|i| JobSpec::new(format!("square-{i}"), move |_ctx| i * i))
+///     .collect();
+/// assert_eq!(scheduler.run_all(jobs, None), vec![0, 1, 4, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobScheduler {
+    pool: Arc<WorkerPool>,
+}
+
+impl JobScheduler {
+    /// A scheduler dispatching onto `pool`.
+    pub fn new(pool: Arc<WorkerPool>) -> JobScheduler {
+        JobScheduler { pool }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Runs all jobs to completion, returning their results in job order.
+    /// Progress is streamed to `events` when provided.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first job panic after every job has finished.
+    pub fn run_all<'a, T: Send>(
+        &self,
+        jobs: Vec<JobSpec<'a, T>>,
+        events: Option<Sender<RunEvent>>,
+    ) -> Vec<T> {
+        let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        self.pool.scope(|s: &PoolScope<'_, '_>| {
+            for (job, slot) in jobs.into_iter().zip(&slots) {
+                let ctx = JobContext {
+                    pool: Arc::clone(&self.pool),
+                    name: job.name,
+                    events: events.clone(),
+                };
+                let run = job.run;
+                s.spawn(move || {
+                    ctx.emit(EventKind::Started);
+                    let out = run(&ctx);
+                    *slot.lock().expect("job result slot") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("job result slot")
+                    .expect("job completed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(2)));
+        let jobs: Vec<JobSpec<usize>> = (0..10)
+            .map(|i| JobSpec::new(format!("job-{i}"), move |_| i * 7))
+            .collect();
+        assert_eq!(
+            scheduler.run_all(jobs, None),
+            (0..10).map(|i| i * 7).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn jobs_share_the_pool_for_nested_batches() {
+        let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(1)));
+        let touched = AtomicUsize::new(0);
+        let jobs: Vec<JobSpec<usize>> = (0..6)
+            .map(|i| {
+                let touched = &touched;
+                JobSpec::new(format!("fanout-{i}"), move |ctx: &JobContext| {
+                    ctx.pool().scope(|s| {
+                        for _ in 0..16 {
+                            s.spawn(|| {
+                                touched.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    i
+                })
+            })
+            .collect();
+        let results = scheduler.run_all(jobs, None);
+        assert_eq!(results, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(touched.load(Ordering::Relaxed), 6 * 16);
+    }
+
+    #[test]
+    fn events_stream_start_and_custom_kinds() {
+        let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(1)));
+        let (tx, rx) = mpsc::channel();
+        let jobs: Vec<JobSpec<()>> = (0..3)
+            .map(|i| {
+                JobSpec::new(format!("j{i}"), move |ctx: &JobContext| {
+                    ctx.emit(EventKind::Round(1, 0.5));
+                    ctx.emit(EventKind::Finished("ok".to_string()));
+                })
+            })
+            .collect();
+        scheduler.run_all(jobs, Some(tx));
+        let events: Vec<RunEvent> = rx.try_iter().collect();
+        assert_eq!(events.len(), 9, "3 jobs x (started + round + finished)");
+        for i in 0..3 {
+            let name = format!("j{i}");
+            let mine: Vec<&RunEvent> = events.iter().filter(|e| e.job == name).collect();
+            assert_eq!(mine[0].kind, EventKind::Started);
+            assert_eq!(mine[1].kind, EventKind::Round(1, 0.5));
+            assert_eq!(mine[2].kind, EventKind::Finished("ok".to_string()));
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let event = RunEvent {
+            job: "ising(J=0.25)".to_string(),
+            kind: EventKind::Round(3, -12.625),
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        assert_eq!(serde_json::from_str::<RunEvent>(&json).unwrap(), event);
+    }
+}

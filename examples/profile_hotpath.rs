@@ -1,0 +1,101 @@
+//! Ad-hoc breakdown of the per-genome loss-evaluation cost (dev aid).
+
+use clapton::circuits::TransformationAnsatz;
+use clapton::core::{EvaluatorKind, ExecutableAnsatz, LossEvaluator, TransformLoss};
+use clapton::models::ising;
+use clapton::noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let n = 10;
+    let h = ising(n, 0.25);
+    let model = NoiseModel::uniform(n, 3e-4, 8e-3, 2e-2);
+    let exec = ExecutableAnsatz::untranspiled(n, &model);
+    let ansatz = TransformationAnsatz::new(n);
+    let loss = TransformLoss::new(&h, &exec, &ansatz, EvaluatorKind::Exact);
+    let mut rng = StdRng::seed_from_u64(17);
+    let population: Vec<Vec<u8>> = (0..96)
+        .map(|_| {
+            (0..ansatz.num_genes())
+                .map(|_| rng.gen_range(0..4u8))
+                .collect()
+        })
+        .collect();
+
+    let reps = 20;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for g in &population {
+            black_box(loss.evaluate(black_box(g)));
+        }
+    }
+    let full = t.elapsed().as_nanos() / (reps * population.len()) as u128;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(loss.evaluate_population(black_box(&population)));
+    }
+    let batch = t.elapsed().as_nanos() / (reps * population.len()) as u128;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for g in &population {
+            black_box(loss.transformed(black_box(g)));
+        }
+    }
+    let transform = t.elapsed().as_nanos() / (reps * population.len()) as u128;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for g in &population {
+            black_box(ansatz.gates(black_box(g)));
+        }
+    }
+    let gates = t.elapsed().as_nanos() / (reps * population.len()) as u128;
+
+    // NoisyCircuit construction for the fixed zero circuit.
+    let zero = exec.circuit_at_zero();
+    let t = Instant::now();
+    for _ in 0..(reps * population.len()) {
+        black_box(
+            clapton::noise::NoisyCircuit::from_circuit(black_box(&zero), exec.noise_model())
+                .unwrap(),
+        );
+    }
+    let noisy_build = t.elapsed().as_nanos() / (reps * population.len()) as u128;
+
+    // Back-prop energy with a prebuilt evaluator.
+    let noisy = clapton::noise::NoisyCircuit::from_circuit(&zero, exec.noise_model()).unwrap();
+    let eval = clapton::noise::ExactEvaluator::new(&noisy);
+    let transformed = loss.transformed(&population[0]);
+    let mapped = exec.map_hamiltonian(&transformed);
+    let t = Instant::now();
+    for _ in 0..(reps * population.len()) {
+        black_box(eval.energy(black_box(&mapped)));
+    }
+    let energy = t.elapsed().as_nanos() / (reps * population.len()) as u128;
+
+    let t = Instant::now();
+    for _ in 0..(reps * population.len()) {
+        black_box(exec.map_hamiltonian(black_box(&transformed)));
+    }
+    let map_h = t.elapsed().as_nanos() / (reps * population.len()) as u128;
+
+    let t = Instant::now();
+    for _ in 0..(reps * population.len()) {
+        black_box(black_box(&transformed).expectation_all_zeros());
+    }
+    let loss0 = t.elapsed().as_nanos() / (reps * population.len()) as u128;
+
+    println!("full evaluate      : {full:>8} ns/genome");
+    println!("batch evaluate     : {batch:>8} ns/genome");
+    println!("  transformed()    : {transform:>8} ns  (gates: {gates} ns)");
+    println!("  map_hamiltonian  : {map_h:>8} ns");
+    println!("  NoisyCircuit     : {noisy_build:>8} ns");
+    println!("  back-prop energy : {energy:>8} ns");
+    println!("  loss_0           : {loss0:>8} ns");
+}

@@ -33,6 +33,7 @@ pub use clapton_ga as ga;
 pub use clapton_models as models;
 pub use clapton_noise as noise;
 pub use clapton_pauli as pauli;
+pub use clapton_runtime as runtime;
 pub use clapton_sim as sim;
 pub use clapton_stabilizer as stabilizer;
 pub use clapton_vqe as vqe;

@@ -7,15 +7,17 @@
 //! VQE → device-model evaluation and metrics.
 
 use clapton_core::{
-    relative_improvement, run_cafqa, run_clapton, CafqaResult, ClaptonConfig, ClaptonResult,
-    ExecutableAnsatz,
+    relative_improvement, run_cafqa, run_clapton_resumable, CafqaResult, ClaptonConfig,
+    ClaptonResult, ExecutableAnsatz,
 };
 use clapton_devices::FakeBackend;
 use clapton_ga::MultiGaConfig;
 use clapton_noise::NoiseModel;
 use clapton_pauli::PauliSum;
+use clapton_runtime::WorkerPool;
 use clapton_sim::{ground_energy, DeviceEvaluator};
 use clapton_vqe::{run_vqe, VqeConfig, VqeTrace};
+use std::sync::Arc;
 
 /// Builder for an end-to-end Clapton run.
 ///
@@ -42,6 +44,9 @@ pub struct Pipeline {
     /// searches — the engine settings live inside [`ClaptonConfig`].
     clapton: ClaptonConfig,
     vqe_iterations: Option<usize>,
+    /// Shared runtime pool for the Clapton search (None = legacy scoped
+    /// threads / serial execution per the engine config).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 /// Everything an end-to-end run produces.
@@ -74,7 +79,17 @@ impl Pipeline {
             model: None,
             clapton: ClaptonConfig::paper(),
             vqe_iterations: None,
+            pool: None,
         }
+    }
+
+    /// Runs the Clapton search on a shared persistent [`WorkerPool`] — the
+    /// runtime substrate suite runs and concurrent pipelines share. Results
+    /// are bit-identical to the threaded/serial paths.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Pipeline {
+        self.pool = Some(pool);
+        self
     }
 
     /// Targets a fake backend (topology + calibration snapshot).
@@ -152,7 +167,16 @@ impl Pipeline {
             &self.clapton.engine,
             self.clapton.seed,
         );
-        let clapton = run_clapton(&self.hamiltonian, &exec, &self.clapton);
+        let clapton = run_clapton_resumable(
+            &self.hamiltonian,
+            &exec,
+            &self.clapton,
+            self.pool.as_ref(),
+            None,
+            &mut |_| true,
+        )
+        .1
+        .expect("uninterrupted run converges");
         let device_energy = |h: &PauliSum, theta: &[f64]| {
             DeviceEvaluator::run(&exec.circuit(theta), exec.noise_model())
                 .energy(&exec.map_hamiltonian(h))

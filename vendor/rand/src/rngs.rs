@@ -9,6 +9,25 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// The raw generator state (for checkpointing; restore with
+    /// [`StdRng::from_state`]).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Reconstructs a generator from a [`StdRng::state`] snapshot, resuming
+    /// the stream bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state, which xoshiro256** cannot leave.
+    pub fn from_state(s: [u64; 4]) -> StdRng {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> StdRng {
         // SplitMix64 expansion of the 64-bit seed into the full state,

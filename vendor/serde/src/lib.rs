@@ -273,6 +273,12 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         match self {
@@ -383,6 +389,17 @@ impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
                 .collect(),
             other => Err(D::Error::custom(format!("expected array, found {other:?}"))),
         }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use crate::de::Error as _;
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::custom(format!("expected {N}-element array, found {got}")))
     }
 }
 
