@@ -3,6 +3,12 @@
 //! this reproduction's default loss deterministic — plus the
 //! population-batch evaluation paths of the `LossEvaluator` API
 //! (sequential vs thread-parallel vs cached).
+//!
+//! The sampled rows exercise the bit-parallel `FrameBatch` kernel
+//! (`ln_sampled_*`), its scalar one-frame-per-shot reference
+//! (`ln_sampled_scalar_*`), and emit an explicit batched-vs-scalar speedup
+//! record so regressions of the word-level path are visible directly in
+//! `BENCH_results.json`.
 
 use clapton_circuits::{HardwareEfficientAnsatz, TransformationAnsatz};
 use clapton_core::{
@@ -37,6 +43,7 @@ fn bench_exact_energy(c: &mut Criterion) {
 }
 
 fn bench_sampled_energy(c: &mut Criterion) {
+    // The bit-parallel default path (64 shots per circuit pass).
     let mut group = c.benchmark_group("ln_sampled_256shots");
     group.sample_size(10);
     for n in [10usize, 20] {
@@ -49,6 +56,129 @@ fn bench_sampled_energy(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_sampled_energy_scalar(c: &mut Criterion) {
+    // The one-frame-per-shot reference the batch kernel replaced.
+    let mut group = c.benchmark_group("ln_sampled_scalar_256shots");
+    group.sample_size(10);
+    for n in [10usize, 20] {
+        let h = ising(n, 0.25);
+        let nc = noisy_zero_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let sampler = FrameSampler::new(&nc);
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                black_box(&h)
+                    .iter()
+                    .map(|(coeff, p)| coeff * sampler.expectation_scalar(p, 256, &mut rng))
+                    .sum::<f64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn median(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times two contenders with ABBA-interleaved samples, so slow clock drift
+/// across the bench run (very visible on small containers) cancels instead
+/// of systematically penalizing whichever row runs later. Emits one row per
+/// contender in the standard format.
+fn bench_head_to_head(
+    group: &str,
+    (id_a, mut run_a): (&str, impl FnMut()),
+    (id_b, mut run_b): (&str, impl FnMut()),
+) {
+    const ROUNDS: usize = 12;
+    let mut samples_a = Vec::with_capacity(2 * ROUNDS);
+    let mut samples_b = Vec::with_capacity(2 * ROUNDS);
+    run_a();
+    run_b();
+    let time = |f: &mut dyn FnMut()| {
+        let t0 = std::time::Instant::now();
+        f();
+        t0.elapsed().as_nanos()
+    };
+    for round in 0..ROUNDS {
+        // Counterbalanced: ABBA on even rounds, BAAB on odd rounds, so
+        // neither contender systematically owns the sequence boundaries.
+        if round % 2 == 0 {
+            samples_a.push(time(&mut run_a));
+            samples_b.push(time(&mut run_b));
+            samples_b.push(time(&mut run_b));
+            samples_a.push(time(&mut run_a));
+        } else {
+            samples_b.push(time(&mut run_b));
+            samples_a.push(time(&mut run_a));
+            samples_a.push(time(&mut run_a));
+            samples_b.push(time(&mut run_b));
+        }
+    }
+    for (id, mut samples) in [(id_a, samples_a), (id_b, samples_b)] {
+        samples.sort_unstable();
+        let (median, best) = (samples[samples.len() / 2], samples[0]);
+        println!(
+            "{group}/{id}: median {:.2} ms (best {:.2} ms, {} interleaved samples)",
+            median as f64 / 1e6,
+            best as f64 / 1e6,
+            samples.len()
+        );
+        criterion::append_record(group, id, median, best, samples.len());
+    }
+}
+
+/// Measures the batched-vs-scalar sampled-path speedup directly and appends
+/// it to the BENCH results file, so a regression of the word-level kernel
+/// shows up as a number, not as two rows someone has to divide. Samples are
+/// ABBA-interleaved for the same reason as [`bench_head_to_head`]: a ratio
+/// of two back-to-back blocks would bake row-order clock drift into the
+/// headline metric.
+fn emit_sampled_speedup(_c: &mut Criterion) {
+    for n in [10usize, 20] {
+        let h = ising(n, 0.25);
+        let nc = noisy_zero_circuit(n);
+        let sampler = FrameSampler::new(&nc);
+        let mut rng = StdRng::seed_from_u64(5);
+        let run_batched = |rng: &mut StdRng| {
+            black_box(sampler.energy(black_box(&h), 256, rng));
+        };
+        let run_scalar = |rng: &mut StdRng| {
+            let e: f64 = black_box(&h)
+                .iter()
+                .map(|(coeff, p)| coeff * sampler.expectation_scalar(p, 256, rng))
+                .sum();
+            black_box(e);
+        };
+        run_batched(&mut rng);
+        run_scalar(&mut rng);
+        let (mut batched_samples, mut scalar_samples) = (Vec::new(), Vec::new());
+        for _ in 0..5 {
+            let t0 = std::time::Instant::now();
+            run_batched(&mut rng);
+            batched_samples.push(t0.elapsed().as_nanos());
+            let t0 = std::time::Instant::now();
+            run_scalar(&mut rng);
+            scalar_samples.push(t0.elapsed().as_nanos());
+            let t0 = std::time::Instant::now();
+            run_scalar(&mut rng);
+            scalar_samples.push(t0.elapsed().as_nanos());
+            let t0 = std::time::Instant::now();
+            run_batched(&mut rng);
+            batched_samples.push(t0.elapsed().as_nanos());
+        }
+        let (batched, scalar) = (median(batched_samples), median(scalar_samples));
+        let speedup = scalar as f64 / batched.max(1) as f64;
+        println!(
+            "ln_sampled_speedup/{n}: {speedup:.1}x (scalar {scalar} ns / batched {batched} ns)"
+        );
+        criterion::append_line(&format!(
+            "{{\"group\":\"ln_sampled_speedup\",\"id\":\"{n}\",\"batched_ns\":{batched},\"scalar_ns\":{scalar},\"speedup_x\":{speedup:.2}}}"
+        ));
+    }
 }
 
 fn bench_dense_hamiltonian(c: &mut Criterion) {
@@ -108,15 +238,23 @@ fn bench_population_batch(c: &mut Criterion) {
                 .collect::<Vec<f64>>()
         });
     });
-    group.bench_function("parallel", |b| {
+    {
+        // The pooled-vs-scoped-threads comparison drove the PooledEvaluator
+        // chunk tuning; measure it ABBA-interleaved so row-order clock
+        // drift cannot manufacture a winner.
         let parallel = ParallelEvaluator::new(&loss);
-        b.iter(|| parallel.evaluate_population(black_box(&population)));
-    });
-    group.bench_function("parallel_pooled", |b| {
         let pool = Arc::new(WorkerPool::new());
         let pooled = PooledEvaluator::new(&loss, pool);
-        b.iter(|| pooled.evaluate_population(black_box(&population)));
-    });
+        bench_head_to_head(
+            "population_batch_96",
+            ("parallel", || {
+                black_box(parallel.evaluate_population(black_box(&population)));
+            }),
+            ("parallel_pooled", || {
+                black_box(pooled.evaluate_population(black_box(&population)));
+            }),
+        );
+    }
     group.bench_function("cached_mix_round", |b| {
         b.iter(|| {
             // Fresh cache per iteration: first submission pays, the mixed
@@ -135,13 +273,29 @@ fn bench_population_batch(c: &mut Criterion) {
             black_box((first, replay))
         });
     });
+    // The sampled (bit-parallel frame) backend through the same pooled
+    // batch path: realistic shot budget, term prep cached per batch.
+    let sampled_loss = TransformLoss::new(
+        &h,
+        &exec,
+        &ansatz,
+        EvaluatorKind::Sampled {
+            shots: 256,
+            seed: 5,
+        },
+    );
+    group.bench_function("sampled_pooled_256shots", |b| {
+        let pool = Arc::new(WorkerPool::new());
+        let pooled = PooledEvaluator::new(&sampled_loss, pool);
+        b.iter(|| pooled.evaluate_population(black_box(&population)));
+    });
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_exact_energy, bench_sampled_energy, bench_dense_hamiltonian,
-        bench_population_batch
+    targets = bench_exact_energy, bench_sampled_energy, bench_sampled_energy_scalar,
+        emit_sampled_speedup, bench_dense_hamiltonian, bench_population_batch
 }
 criterion_main!(benches);

@@ -117,18 +117,20 @@ impl LossEvaluator for TransformLoss<'_> {
         self.loss.total(&self.transformed(gamma))
     }
 
-    /// The population-batch fast path: the backend is prepared once for the
-    /// fixed `θ = 0` circuit (noise attachment hoisted out of the per-genome
-    /// loop), then every genome pays only its own transformation and energy.
+    /// The population-batch fast path: the backend is prepared once per
+    /// loss object for the fixed `θ = 0` circuit (noise attachment and, for
+    /// the sampled backend, the per-term prep cache hoisted out of the
+    /// per-genome loop and shared across batches/rounds/pooled chunks),
+    /// then every genome pays only its own transformation and energy.
     /// Bit-identical to genome-at-a-time [`LossEvaluator::evaluate`] — the
     /// losses are the same arithmetic, minus the reconstruction overhead.
     fn evaluate_population(&self, genomes: &[Vec<u8>]) -> Vec<f64> {
-        match self.loss.prepare_zero() {
+        match self.loss.prepared_zero() {
             Some(prepared) => genomes
                 .iter()
                 .map(|gamma| {
                     let transformed = self.transformed(gamma);
-                    self.loss.loss_n_prepared(prepared.as_ref(), &transformed)
+                    self.loss.loss_n_prepared(prepared, &transformed)
                         + self.loss.loss_0(&transformed)
                 })
                 .collect(),
@@ -253,6 +255,38 @@ mod tests {
         assert_eq!(cached.evaluate_population(&genomes), sequential);
         assert_eq!(cached.evaluate_population(&genomes), sequential);
         assert_eq!(cached.stats().misses, genomes.len() as u64);
+    }
+
+    #[test]
+    fn sampled_population_batch_is_bit_identical_through_every_path() {
+        // The sampled backend's prepared batch path (noisy circuit + term
+        // cache hoisted) and the pool-backed wrapper must replay the
+        // genome-at-a-time losses exactly: per-candidate seeding is content
+        // hashed and term-prep cache hits consume no randomness.
+        use crate::{PooledEvaluator, WorkerPool};
+        use std::sync::Arc;
+        let h = ising(3, 0.5);
+        let model = NoiseModel::uniform(3, 1e-3, 1e-2, 2e-2);
+        let exec = ExecutableAnsatz::untranspiled(3, &model);
+        let ansatz = TransformationAnsatz::new(3);
+        let loss = TransformLoss::new(
+            &h,
+            &exec,
+            &ansatz,
+            EvaluatorKind::Sampled {
+                shots: 96,
+                seed: 11,
+            },
+        );
+        let genomes = random_genomes(16, ansatz.num_genes(), 5);
+        let sequential: Vec<f64> = genomes.iter().map(|g| loss.evaluate(g)).collect();
+        assert_eq!(loss.evaluate_population(&genomes), sequential);
+        // A second batch shares the loss object's one prepared backend —
+        // its term cache is warm now — and still replays exactly.
+        assert_eq!(loss.evaluate_population(&genomes), sequential);
+        let pool = Arc::new(WorkerPool::with_workers(2));
+        let pooled = PooledEvaluator::new(&loss, pool);
+        assert_eq!(pooled.evaluate_population(&genomes), sequential);
     }
 
     #[test]

@@ -3,13 +3,13 @@
 
 use crate::ExecutableAnsatz;
 use clapton_circuits::Circuit;
-use clapton_noise::{ExactEvaluator, FrameSampler, NoiseModel, NoisyCircuit};
+use clapton_noise::{ExactEvaluator, FrameSampler, NoiseModel, NoisyCircuit, TermCache};
 use clapton_pauli::PauliSum;
 use clapton_sim::DeviceEvaluator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A noisy-energy backend specialized to one fixed circuit.
 ///
@@ -23,7 +23,7 @@ use std::sync::Arc;
 /// This is the batch fast path of the Clapton hot loop: the GA evaluates
 /// thousands of transformed Hamiltonians against the *same* `θ = 0` circuit,
 /// so rebuilding the noisy circuit per genome is pure overhead.
-pub trait PreparedEnergy: Send + Sync {
+pub trait PreparedEnergy: fmt::Debug + Send + Sync {
     /// The noisy energy of `h` (already on the circuit's register) for the
     /// prepared circuit.
     fn energy(&self, h: &PauliSum) -> f64;
@@ -130,6 +130,7 @@ impl EnergyBackend for SampledBackend {
             .expect("frame sampler requires a Clifford circuit");
         Some(Box::new(PreparedSampled {
             noisy,
+            terms: TermCache::new(),
             circuit_hash: circuit_hash(circuit),
             shots: self.shots,
             seed: self.seed,
@@ -142,11 +143,15 @@ impl EnergyBackend for SampledBackend {
 }
 
 /// [`SampledBackend`] with the noisy circuit and the circuit half of the
-/// per-candidate seed hash computed once. The final per-Hamiltonian seed is
+/// per-candidate seed hash computed once, plus a [`TermCache`] so each
+/// distinct Pauli term's preparation (noiseless back-propagation +
+/// basis-prep ops) is derived once across the whole population batch.
+/// Cache hits consume no randomness and the final per-Hamiltonian seed is
 /// identical to the unprepared path, so sampled losses replay exactly.
 #[derive(Debug)]
 struct PreparedSampled {
     noisy: NoisyCircuit,
+    terms: TermCache,
     circuit_hash: u64,
     shots: usize,
     seed: u64,
@@ -155,7 +160,7 @@ struct PreparedSampled {
 impl PreparedEnergy for PreparedSampled {
     fn energy(&self, h: &PauliSum) -> f64 {
         let mut rng = StdRng::seed_from_u64(self.seed ^ hamiltonian_hash(self.circuit_hash, h));
-        FrameSampler::new(&self.noisy).energy(h, self.shots, &mut rng)
+        FrameSampler::new(&self.noisy).energy_cached(h, self.shots, &mut rng, &self.terms)
     }
 }
 
@@ -241,6 +246,13 @@ pub struct LossFunction<'a> {
     exec: &'a ExecutableAnsatz,
     zero_circuit: Circuit,
     backend: Arc<dyn EnergyBackend>,
+    /// The backend specialized to the fixed `θ = 0` circuit, built lazily
+    /// and shared for the lifetime of this loss object — every population
+    /// batch, pooled chunk, and GA round reuses one preparation (and, for
+    /// the sampled backend, one term-prep cache). Clones of an
+    /// already-prepared loss share the same preparation (`OnceLock::clone`
+    /// copies the initialized value); results are bit-identical either way.
+    prepared_zero: OnceLock<Option<Arc<dyn PreparedEnergy>>>,
 }
 
 impl<'a> LossFunction<'a> {
@@ -259,6 +271,7 @@ impl<'a> LossFunction<'a> {
             exec,
             zero_circuit: exec.circuit_at_zero(),
             backend,
+            prepared_zero: OnceLock::new(),
         }
     }
 
@@ -278,17 +291,24 @@ impl<'a> LossFunction<'a> {
         self.loss_n_for_circuit(&self.zero_circuit, h_logical)
     }
 
-    /// Specializes the backend to the fixed `θ = 0` circuit for repeated
-    /// `LN` evaluations (the population-batch fast path).
+    /// The backend specialized to the fixed `θ = 0` circuit for repeated
+    /// `LN` evaluations (the population-batch fast path), prepared at most
+    /// once per loss object and reused across batches, pooled chunks, and
+    /// GA rounds.
     ///
     /// `None` when the backend has nothing to hoist; results through the
     /// prepared path are bit-identical to [`LossFunction::loss_n`].
-    pub fn prepare_zero(&self) -> Option<Box<dyn PreparedEnergy>> {
-        self.backend
-            .prepare(&self.zero_circuit, self.exec.noise_model())
+    pub fn prepared_zero(&self) -> Option<&dyn PreparedEnergy> {
+        self.prepared_zero
+            .get_or_init(|| {
+                self.backend
+                    .prepare(&self.zero_circuit, self.exec.noise_model())
+                    .map(Arc::from)
+            })
+            .as_deref()
     }
 
-    /// `LN` through a prepared backend (see [`LossFunction::prepare_zero`]).
+    /// `LN` through a prepared backend (see [`LossFunction::prepared_zero`]).
     ///
     /// Skips the logical → compact Hamiltonian copy when the executable's
     /// mapping is the identity (the untranspiled case) — the mapped sum would

@@ -5,6 +5,7 @@ use clapton_circuits::{Circuit, Gate};
 use clapton_pauli::{Pauli, PauliString};
 use clapton_stabilizer::CliffordGate;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Error returned when a circuit contains non-Clifford rotations and can
 /// therefore not be turned into a [`NoisyCircuit`].
@@ -57,12 +58,26 @@ pub enum NoisyOp {
 /// assert_eq!(noisy.readout(1), 2e-2);
 /// # Ok::<(), clapton_noise::NotCliffordError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct NoisyCircuit {
     num_qubits: usize,
     ops: Vec<NoisyOp>,
     readout: Vec<f64>,
     p1: Vec<f64>,
+    /// Lazily-memoized content fingerprint (see [`NoisyCircuit::fingerprint`]).
+    fingerprint: OnceLock<u64>,
+}
+
+/// Equality is over circuit contents only — the memoized fingerprint cell is
+/// an implementation detail and must not distinguish otherwise-equal
+/// circuits.
+impl PartialEq for NoisyCircuit {
+    fn eq(&self, other: &NoisyCircuit) -> bool {
+        self.num_qubits == other.num_qubits
+            && self.ops == other.ops
+            && self.readout == other.readout
+            && self.p1 == other.p1
+    }
 }
 
 impl NoisyCircuit {
@@ -116,6 +131,49 @@ impl NoisyCircuit {
                 .map(|q| model.readout(q))
                 .collect(),
             p1: (0..circuit.num_qubits()).map(|q| model.p1(q)).collect(),
+            fingerprint: OnceLock::new(),
+        })
+    }
+
+    /// A cheap deterministic content fingerprint, computed once and
+    /// memoized — used to pin term-preparation caches to the circuit they
+    /// were derived from (see [`crate::TermCache`]). Distinct gate kinds on
+    /// the same qubits hash differently.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix = |v: u64| {
+                acc ^= v;
+                acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+            };
+            mix(self.num_qubits as u64);
+            for op in &self.ops {
+                match *op {
+                    NoisyOp::Clifford(g) => {
+                        mix(1);
+                        mix(gate_code(g));
+                        for q in g.qubits() {
+                            mix(q as u64 + 1);
+                        }
+                    }
+                    NoisyOp::Depol1(q, p) => {
+                        mix(2);
+                        mix(q as u64 + 1);
+                        mix(p.to_bits());
+                    }
+                    NoisyOp::Depol2(a, b, p) => {
+                        mix(3);
+                        mix(a as u64 + 1);
+                        mix(b as u64 + 1);
+                        mix(p.to_bits());
+                    }
+                }
+            }
+            for q in 0..self.num_qubits {
+                mix(self.readout[q].to_bits());
+                mix(self.p1[q].to_bits());
+            }
+            acc
         })
     }
 
@@ -166,9 +224,53 @@ impl NoisyCircuit {
     }
 }
 
+/// A distinct code per [`CliffordGate`] variant for fingerprinting (qubit
+/// indices alone cannot tell `H(0)` from `S(0)`).
+fn gate_code(g: CliffordGate) -> u64 {
+    use CliffordGate::*;
+    match g {
+        H(_) => 1,
+        S(_) => 2,
+        Sdg(_) => 3,
+        X(_) => 4,
+        Y(_) => 5,
+        Z(_) => 6,
+        SqrtX(_) => 7,
+        SqrtXdg(_) => 8,
+        SqrtY(_) => 9,
+        SqrtYdg(_) => 10,
+        Cx(..) => 11,
+        Cz(..) => 12,
+        Swap(..) => 13,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_gate_kinds_and_memoizes() {
+        let model = NoiseModel::noiseless(2);
+        let build = |g: Gate| {
+            let mut c = Circuit::new(2);
+            c.push(g);
+            NoisyCircuit::from_circuit(&c, &model).unwrap()
+        };
+        // Same qubits, different gates ⇒ different fingerprints.
+        let h = build(Gate::H(0));
+        let s = build(Gate::S(0));
+        assert_ne!(h.fingerprint(), s.fingerprint());
+        assert_ne!(
+            build(Gate::Cx(0, 1)).fingerprint(),
+            build(Gate::Swap(0, 1)).fingerprint()
+        );
+        // Equal circuits agree, and memoization is stable.
+        assert_eq!(h.fingerprint(), build(Gate::H(0)).fingerprint());
+        assert_eq!(h.fingerprint(), h.fingerprint());
+        // Equality ignores whether the fingerprint has been computed.
+        assert_eq!(h, build(Gate::H(0)));
+    }
 
     #[test]
     fn noise_attaches_after_each_gate() {

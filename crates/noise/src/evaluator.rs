@@ -2,8 +2,13 @@
 //! Pauli-frame Monte Carlo.
 
 use crate::{NoisyCircuit, NoisyOp};
-use clapton_pauli::{Pauli, PauliString, PauliSum};
+use clapton_pauli::{
+    uniform_pauli_pair_planes, uniform_pauli_planes, BernoulliWords, FrameBatch, Pauli,
+    PauliString, PauliSum,
+};
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Exact noisy expectation values via Heisenberg back-propagation.
 ///
@@ -128,13 +133,26 @@ impl<'a> ExactEvaluator<'a> {
 }
 
 /// Pauli-frame Monte Carlo sampler — the faithful stim-style estimator the
-/// paper used for `LN`.
+/// paper used for `LN`, running 64 shots per pass.
 ///
 /// Per shot, Pauli errors are sampled at each channel and propagated forward
 /// as a frame; the measured outcome of the (stabilizer) observable is its
 /// deterministic noiseless value (`±1`, or a fair coin when the noiseless
 /// expectation vanishes) times the frame's commutation sign and the sampled
 /// readout flips.
+///
+/// The propagation is **bit-parallel**: frames travel through the circuit as
+/// a [`FrameBatch`] (64 shots transposed into one `u64` x/z word pair per
+/// qubit), so Clifford conjugation, depolarizing-error injection
+/// ([`BernoulliWords`] buffered geometric masks plus word-level rejection
+/// for the uniform Pauli kick), commutation-sign extraction and readout
+/// flips are all word-level boolean algebra instead of per-shot
+/// `get`/`mul`/`set` calls. Shot counts are rounded up to whole 64-shot
+/// words internally, but the estimate averages over exactly `shots`
+/// outcomes (the trailing word is masked), and results are deterministic
+/// for a fixed RNG seed. [`FrameSampler::expectation_scalar`] keeps the
+/// one-frame-per-shot reference implementation; the two paths sample the
+/// same noise distribution (not the same RNG stream).
 ///
 /// # Example
 ///
@@ -166,7 +184,52 @@ impl<'a> FrameSampler<'a> {
         FrameSampler { circuit }
     }
 
-    /// Estimates the noisy expectation of one term from `shots` samples.
+    /// Precomputes everything about one term that is shot-independent: the
+    /// noiseless back-propagated expectation, the measurement-basis prep
+    /// ops, and the post-prep `Z` observable. One [`TermPrep`] serves any
+    /// number of shots, [`FrameSampler::expectation_prepared`] calls, and —
+    /// through a [`TermCache`] — population batches.
+    pub fn prepare(&self, term: &PauliString) -> TermPrep {
+        let n = self.circuit.num_qubits();
+        let support: Vec<usize> = term.support().collect();
+        let mut z_obs = PauliString::identity(n);
+        for &q in &support {
+            z_obs.set(q, Pauli::Z);
+        }
+        let prep_ops = self.circuit.basis_prep_ops(term);
+        // Sampler templates (one per stochastic op, in op order, then one
+        // per readout site): building one costs a transcendental
+        // (`ln_1p().recip()`), so it is done here — once per term, cached
+        // by TermCache — and cloned per expectation call (only the gap
+        // state is per-call).
+        let channels = self
+            .circuit
+            .ops()
+            .iter()
+            .chain(prep_ops.iter())
+            .filter_map(|op| match *op {
+                NoisyOp::Depol1(_, p) | NoisyOp::Depol2(_, _, p) => Some(BernoulliWords::new(p)),
+                NoisyOp::Clifford(_) => None,
+            })
+            .collect();
+        let readout = support
+            .iter()
+            .map(|&q| BernoulliWords::new(self.circuit.readout(q)))
+            .collect();
+        TermPrep {
+            noiseless: ExactEvaluator::new(self.circuit).noiseless_expectation(term),
+            prep_ops,
+            z_obs,
+            support,
+            channels,
+            readout,
+            identity: term.is_identity(),
+            circuit: self.circuit.fingerprint(),
+        }
+    }
+
+    /// Estimates the noisy expectation of one term from `shots` samples
+    /// (bit-parallel, 64 shots per circuit pass).
     ///
     /// # Panics
     ///
@@ -177,23 +240,130 @@ impl<'a> FrameSampler<'a> {
         shots: usize,
         rng: &mut R,
     ) -> f64 {
+        self.expectation_prepared(&self.prepare(term), shots, rng)
+    }
+
+    /// [`FrameSampler::expectation`] with the term preparation hoisted out
+    /// (see [`FrameSampler::prepare`]).
+    ///
+    /// Propagates `⌈shots/64⌉` frame words through the circuit; the mean is
+    /// taken over exactly `shots` outcomes (the final partial word is
+    /// masked). Every stochastic channel owns a [`BernoulliWords`] sampler
+    /// whose geometric gap state carries across words, so the error
+    /// placements form one exact Bernoulli process over the shot sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`, or if `prep` was built against a different
+    /// circuit (validated via the memoized content fingerprint, so
+    /// cross-circuit misuse fails loudly instead of sampling wrong
+    /// physics).
+    pub fn expectation_prepared<R: Rng + ?Sized>(
+        &self,
+        prep: &TermPrep,
+        shots: usize,
+        rng: &mut R,
+    ) -> f64 {
         assert!(shots > 0, "need at least one shot");
-        if term.is_identity() {
+        assert_eq!(
+            prep.circuit,
+            self.circuit.fingerprint(),
+            "TermPrep was built against a different circuit"
+        );
+        if prep.identity {
+            return 1.0;
+        }
+        // Fresh gap state per call; the transcendental setup lives in the
+        // templates built once by `prepare`.
+        let mut channels = prep.channels.clone();
+        let mut readout = prep.readout.clone();
+        let mut batch = FrameBatch::new(self.circuit.num_qubits());
+        let mut acc: i64 = 0;
+        let mut remaining = shots;
+        while remaining > 0 {
+            batch.clear();
+            let mut channel = channels.iter_mut();
+            for op in self.circuit.ops().iter().chain(prep.prep_ops.iter()) {
+                match *op {
+                    NoisyOp::Clifford(g) => g.conjugate_frames(&mut batch),
+                    NoisyOp::Depol1(q, _) => {
+                        let mask = channel
+                            .next()
+                            .expect("channel list in op order")
+                            .next_mask(rng);
+                        if mask != 0 {
+                            let (x, z) = uniform_pauli_planes(mask, rng);
+                            batch.xor_x(q, x);
+                            batch.xor_z(q, z);
+                        }
+                    }
+                    NoisyOp::Depol2(a, b, _) => {
+                        let mask = channel
+                            .next()
+                            .expect("channel list in op order")
+                            .next_mask(rng);
+                        if mask != 0 {
+                            let (xa, za, xb, zb) = uniform_pauli_pair_planes(mask, rng);
+                            batch.xor_x(a, xa);
+                            batch.xor_z(a, za);
+                            batch.xor_x(b, xb);
+                            batch.xor_z(b, zb);
+                        }
+                    }
+                }
+            }
+            // Bit s set ⇔ shot s reads the negated base value: frame
+            // anticommutation, sampled readout flips, the deterministic
+            // base sign, and (if the expectation vanishes) a fair coin all
+            // compose by XOR.
+            let mut neg = batch.anticommutation_mask(&prep.z_obs);
+            for sampler in readout.iter_mut() {
+                neg ^= sampler.next_mask(rng);
+            }
+            if prep.noiseless < -0.5 {
+                neg = !neg;
+            } else if prep.noiseless.abs() <= 0.5 {
+                neg ^= rng.gen::<u64>();
+            }
+            let lanes = remaining.min(FrameBatch::LANES);
+            let live = if lanes == FrameBatch::LANES {
+                !0u64
+            } else {
+                (1u64 << lanes) - 1
+            };
+            acc += lanes as i64 - 2 * i64::from((neg & live).count_ones());
+            remaining -= lanes;
+        }
+        acc as f64 / shots as f64
+    }
+
+    /// The one-frame-per-shot reference implementation of
+    /// [`FrameSampler::expectation`]: same noise semantics, scalar
+    /// propagation. Kept for differential testing and as the baseline of
+    /// the batched-vs-scalar BENCH comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn expectation_scalar<R: Rng + ?Sized>(
+        &self,
+        term: &PauliString,
+        shots: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(shots > 0, "need at least one shot");
+        // Same shot-independent derivation as the batched path — the
+        // differential coverage is in the propagation, not the prep.
+        let prep = self.prepare(term);
+        if prep.identity {
             return 1.0;
         }
         let n = self.circuit.num_qubits();
-        let noiseless = ExactEvaluator::new(self.circuit).noiseless_expectation(term);
-        // Measured observable after basis prep: Z on the support.
-        let mut z_obs = PauliString::identity(n);
-        let support: Vec<usize> = term.support().collect();
-        for &q in &support {
-            z_obs.set(q, Pauli::Z);
-        }
-        let prep = self.circuit.basis_prep_ops(term);
+        let noiseless = prep.noiseless;
         let mut acc: i64 = 0;
         for _ in 0..shots {
             let mut frame = PauliString::identity(n);
-            for op in self.circuit.ops().iter().chain(prep.iter()) {
+            for op in self.circuit.ops().iter().chain(prep.prep_ops.iter()) {
                 match *op {
                     NoisyOp::Clifford(g) => {
                         g.conjugate(&mut frame);
@@ -229,12 +399,12 @@ impl<'a> FrameSampler<'a> {
             } else {
                 -1
             };
-            let mut outcome = if frame.commutes_with(&z_obs) {
+            let mut outcome = if frame.commutes_with(&prep.z_obs) {
                 base
             } else {
                 -base
             };
-            for &q in &support {
+            for &q in &prep.support {
                 if rng.gen::<f64>() < self.circuit.readout(q) {
                     outcome = -outcome;
                 }
@@ -251,10 +421,143 @@ impl<'a> FrameSampler<'a> {
         shots: usize,
         rng: &mut R,
     ) -> f64 {
+        self.energy_cached(hamiltonian, shots, rng, &TermCache::new())
+    }
+
+    /// [`FrameSampler::energy`] with per-term preparation served from (and
+    /// recorded into) `cache`, so the noiseless back-propagation and
+    /// basis-prep derivation are paid once per distinct term across calls —
+    /// e.g. across a whole GA population batch scored against one prepared
+    /// circuit.
+    ///
+    /// Cache lookups consume no randomness, so energies are bit-identical
+    /// whether the cache is cold, warm, or shared between threads.
+    pub fn energy_cached<R: Rng + ?Sized>(
+        &self,
+        hamiltonian: &PauliSum,
+        shots: usize,
+        rng: &mut R,
+        cache: &TermCache,
+    ) -> f64 {
+        cache.bind(self);
         hamiltonian
             .iter()
-            .map(|(c, p)| c * self.expectation(p, shots, rng))
+            .map(|(c, p)| {
+                c * self.expectation_prepared(&cache.prepared_unchecked(self, p), shots, rng)
+            })
             .sum()
+    }
+}
+
+/// Shot-independent preparation of one Pauli term against one
+/// [`NoisyCircuit`]: built by [`FrameSampler::prepare`], consumed by
+/// [`FrameSampler::expectation_prepared`].
+#[derive(Debug, Clone)]
+pub struct TermPrep {
+    /// Exact noiseless expectation `⟨0|C†PC|0⟩` (the deterministic
+    /// stabilizer measurement base: `±1`, or `0` for a fair coin).
+    noiseless: f64,
+    /// Measurement-basis rotation ops (with their noise slots).
+    prep_ops: Vec<NoisyOp>,
+    /// The measured observable after basis prep: `Z` on the support.
+    z_obs: PauliString,
+    /// Support qubits (readout-error sites).
+    support: Vec<usize>,
+    /// Mask-sampler templates, one per stochastic op of circuit + prep in
+    /// op order (`ln(1-p)` precomputed; gap state reset per clone).
+    channels: Vec<BernoulliWords>,
+    /// Mask-sampler templates for the readout flips, one per support site.
+    readout: Vec<BernoulliWords>,
+    /// Identity terms short-circuit to expectation `1`.
+    identity: bool,
+    /// Fingerprint of the circuit this preparation belongs to.
+    circuit: u64,
+}
+
+impl TermPrep {
+    /// The exact noiseless expectation of the prepared term.
+    pub fn noiseless(&self) -> f64 {
+        self.noiseless
+    }
+}
+
+/// A concurrent memo of [`TermPrep`]s keyed by Pauli term.
+///
+/// One cache serves one fixed [`NoisyCircuit`] (preparations embed
+/// circuit-dependent data); callers that score many Hamiltonians against
+/// the same prepared circuit — the GA's population batch path — attach one
+/// cache to the circuit and stop re-deriving per-term preparation on every
+/// energy call. The cache pins itself to the first circuit it sees (a
+/// content fingerprint) and panics if later used with a different one, so
+/// cross-circuit sharing fails loudly instead of returning wrong physics.
+#[derive(Debug, Default)]
+pub struct TermCache {
+    map: RwLock<HashMap<PauliString, Arc<TermPrep>>>,
+    /// Fingerprint of the circuit the cached preparations belong to.
+    circuit: OnceLock<u64>,
+}
+
+impl TermCache {
+    /// An empty cache.
+    pub fn new() -> TermCache {
+        TermCache::default()
+    }
+
+    /// Number of distinct terms prepared so far.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("term cache poisoned").len()
+    }
+
+    /// Whether no term has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memoized entries are capped: caches can now live as long as a whole
+    /// GA run (one per prepared loss object), and every distinct
+    /// transformed term inserts an entry, so an unbounded map would grow
+    /// with the number of distinct genomes visited. Past the cap, terms
+    /// outside the cache are prepared on the fly (correct, just not
+    /// memoized); the hot early terms stay resident.
+    const MAX_TERMS: usize = 1 << 14;
+
+    /// The preparation of `term` under `sampler`'s circuit, computed at
+    /// most once per distinct cached term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache already holds preparations for a different
+    /// circuit.
+    pub fn prepared(&self, sampler: &FrameSampler<'_>, term: &PauliString) -> Arc<TermPrep> {
+        self.bind(sampler);
+        self.prepared_unchecked(sampler, term)
+    }
+
+    /// Pins the cache to `sampler`'s circuit (first use) or asserts that it
+    /// is already pinned to it. The fingerprint is memoized inside
+    /// [`NoisyCircuit`], so after the circuit's first hash this is one
+    /// atomic load and a `u64` compare per call.
+    fn bind(&self, sampler: &FrameSampler<'_>) {
+        let fingerprint = sampler.circuit.fingerprint();
+        let bound = *self.circuit.get_or_init(|| fingerprint);
+        assert_eq!(
+            bound, fingerprint,
+            "TermCache is pinned to a different circuit (one cache per NoisyCircuit)"
+        );
+    }
+
+    /// [`TermCache::prepared`] without the circuit-fingerprint check; the
+    /// caller must have validated via [`TermCache::bind`].
+    fn prepared_unchecked(&self, sampler: &FrameSampler<'_>, term: &PauliString) -> Arc<TermPrep> {
+        if let Some(prep) = self.map.read().expect("term cache poisoned").get(term) {
+            return Arc::clone(prep);
+        }
+        let prep = Arc::new(sampler.prepare(term));
+        let mut map = self.map.write().expect("term cache poisoned");
+        if map.len() >= TermCache::MAX_TERMS && !map.contains_key(term) {
+            return prep;
+        }
+        Arc::clone(map.entry(term.clone()).or_insert(prep))
     }
 }
 

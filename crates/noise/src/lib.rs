@@ -23,12 +23,14 @@
 //!   back-propagation pass per term.
 //! * [`FrameSampler`] — faithful stim-style Pauli-frame Monte Carlo (what the
 //!   paper actually ran); its mean converges to the exact value, which the
-//!   tests pin down.
+//!   tests pin down. Frames propagate 64 shots at a time through a
+//!   bit-parallel [`clapton_pauli::FrameBatch`]; per-term preparation is
+//!   hoisted into [`TermPrep`] and shared across calls via [`TermCache`].
 
 mod circuit;
 mod evaluator;
 mod model;
 
 pub use circuit::{NoisyCircuit, NoisyOp, NotCliffordError};
-pub use evaluator::{ExactEvaluator, FrameSampler};
+pub use evaluator::{ExactEvaluator, FrameSampler, TermCache, TermPrep};
 pub use model::{GateDurations, NoiseModel};

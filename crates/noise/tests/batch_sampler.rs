@@ -1,0 +1,258 @@
+//! Property tests for the bit-parallel batched Pauli-frame sampler:
+//! fixed-seed reproducibility, statistical agreement with the exact
+//! back-propagation evaluator, exact handling of shot counts not divisible
+//! by 64, and >64-qubit registers.
+
+use clapton_circuits::{Circuit, Gate};
+use clapton_noise::{ExactEvaluator, FrameSampler, NoiseModel, NoisyCircuit, TermCache};
+use clapton_pauli::{PauliString, PauliSum};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn noisy(c: &Circuit, m: &NoiseModel) -> NoisyCircuit {
+    NoisyCircuit::from_circuit(c, m).expect("Clifford circuit")
+}
+
+/// A small entangling Clifford circuit under moderate noise.
+fn entangled_fixture(n: usize) -> NoisyCircuit {
+    let mut c = Circuit::new(n);
+    c.push(Gate::H(0));
+    for q in 0..n - 1 {
+        c.push(Gate::Cx(q, q + 1));
+    }
+    noisy(&c, &NoiseModel::uniform(n, 5e-3, 2e-2, 2e-2))
+}
+
+/// A random Clifford-grid circuit (the generator mirrors
+/// `noiseless_backprop_matches_stabilizer_state`).
+fn random_circuit(n: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..15 {
+        match rng.gen_range(0..4) {
+            0 => c.push(Gate::H(rng.gen_range(0..n))),
+            1 => c.push(Gate::S(rng.gen_range(0..n))),
+            2 => c.push(Gate::Ry(rng.gen_range(0..n), std::f64::consts::FRAC_PI_2)),
+            _ => {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                c.push(Gate::Cx(a, b));
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    /// (a) A fixed seed is bit-reproducible for any shot count, including
+    /// counts that do not fill the last 64-shot word.
+    #[test]
+    fn prop_fixed_seed_is_bit_reproducible(shots in 1usize..300, seed in 0u64..u64::MAX) {
+        let nc = entangled_fixture(3);
+        let sampler = FrameSampler::new(&nc);
+        let term: PauliString = "ZZI".parse().unwrap();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            sampler.expectation(&term, shots, &mut rng)
+        };
+        prop_assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    /// (c) The estimate averages over exactly `shots` outcomes: the
+    /// numerator is an integer of the same parity as the shot count, and
+    /// the mean stays in `[-1, 1]` — both fail if stray lanes of a partial
+    /// word leak into the sum.
+    #[test]
+    fn prop_partial_words_average_exactly_shots_outcomes(
+        shots in 1usize..300,
+        seed in 0u64..u64::MAX,
+    ) {
+        let nc = entangled_fixture(3);
+        let sampler = FrameSampler::new(&nc);
+        let term: PauliString = "ZZI".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean = sampler.expectation(&term, shots, &mut rng);
+        prop_assert!((-1.0..=1.0).contains(&mean), "mean {mean}");
+        let numerator = mean * shots as f64;
+        prop_assert!(
+            (numerator - numerator.round()).abs() < 1e-9,
+            "±1 outcomes must sum to an integer, got {numerator}"
+        );
+        let parity_matches = (numerator.round() as i64).rem_euclid(2) == (shots as i64).rem_euclid(2);
+        prop_assert!(parity_matches, "sum of {shots} ±1 outcomes has wrong parity");
+    }
+}
+
+/// (c) continued: with noiseless gates and no readout error every outcome
+/// is the deterministic stabilizer value, so any shot count — aligned or
+/// not — must return exactly ±1.
+#[test]
+fn deterministic_outcomes_are_exact_for_any_shot_count() {
+    let mut c = Circuit::new(2);
+    c.push(Gate::X(0));
+    let nc = noisy(&c, &NoiseModel::noiseless(2));
+    let sampler = FrameSampler::new(&nc);
+    let z: PauliString = "ZI".parse().unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for shots in [1, 2, 63, 64, 65, 100, 127, 128, 129, 1000] {
+        assert_eq!(
+            sampler.expectation(&z, shots, &mut rng),
+            -1.0,
+            "shots {shots}"
+        );
+    }
+}
+
+/// (b) Batched means converge to the exact back-propagated noisy
+/// expectation on random Clifford circuits under gate and readout noise.
+#[test]
+fn batched_means_match_exact_on_random_clifford_circuits() {
+    let mut rng = StdRng::seed_from_u64(71);
+    for round in 0..8 {
+        let n = rng.gen_range(2..6);
+        let c = random_circuit(n, &mut rng);
+        let model = NoiseModel::uniform(n, 5e-3, 2e-2, 2e-2);
+        let nc = noisy(&c, &model);
+        let exact = ExactEvaluator::new(&nc);
+        let sampler = FrameSampler::new(&nc);
+        for _ in 0..4 {
+            let term = PauliString::random_non_identity(n, &mut rng);
+            let e = exact.expectation(&term);
+            let s = sampler.expectation(&term, 20_000, &mut rng);
+            // 20k shots ⇒ σ ≤ 1/√20000 ≈ 0.007; 0.04 is > 5σ.
+            assert!(
+                (s - e).abs() < 0.04,
+                "round {round} circuit {c} term {term}: sampled {s} vs exact {e}"
+            );
+        }
+    }
+}
+
+/// The scalar reference path samples the same distribution as the batched
+/// kernel: both land on the exact value within shot noise.
+#[test]
+fn scalar_reference_and_batched_agree_statistically() {
+    let nc = entangled_fixture(3);
+    let sampler = FrameSampler::new(&nc);
+    let exact = ExactEvaluator::new(&nc);
+    let mut rng = StdRng::seed_from_u64(17);
+    for term in ["ZZI", "IZZ", "XXX"] {
+        let term: PauliString = term.parse().unwrap();
+        let e = exact.expectation(&term);
+        let batched = sampler.expectation(&term, 20_000, &mut rng);
+        let scalar = sampler.expectation_scalar(&term, 20_000, &mut rng);
+        assert!((batched - e).abs() < 0.04, "batched {batched} vs exact {e}");
+        assert!((scalar - e).abs() < 0.04, "scalar {scalar} vs exact {e}");
+    }
+}
+
+/// Registers beyond one storage word: the batch kernel indexes per-qubit
+/// planes, so a 70-qubit GHZ chain must work and converge like any other.
+#[test]
+fn batched_sampler_handles_more_than_64_qubits() {
+    let n = 70;
+    let mut c = Circuit::new(n);
+    c.push(Gate::H(0));
+    for q in 0..n - 1 {
+        c.push(Gate::Cx(q, q + 1));
+    }
+    // Noiseless first: deterministic stabilizer outcomes, exact ±1.
+    let clean = noisy(&c, &NoiseModel::noiseless(n));
+    let mut term = PauliString::identity(n);
+    term.set(0, clapton_pauli::Pauli::Z);
+    term.set(n - 1, clapton_pauli::Pauli::Z);
+    let mut rng = StdRng::seed_from_u64(5);
+    assert_eq!(
+        FrameSampler::new(&clean).expectation(&term, 100, &mut rng),
+        1.0
+    );
+    // Under noise, the sampled mean tracks the exact damped value; the
+    // support straddles the 64-bit word boundary of the term's storage.
+    let model = NoiseModel::uniform(n, 1e-3, 5e-3, 1e-2);
+    let nc = noisy(&c, &model);
+    let e = ExactEvaluator::new(&nc).expectation(&term);
+    let s = FrameSampler::new(&nc).expectation(&term, 20_000, &mut rng);
+    assert!((s - e).abs() < 0.04, "sampled {s} vs exact {e}");
+}
+
+/// `energy_cached` replays `energy` bit-for-bit — cache hits must consume
+/// no randomness — while reusing one preparation per distinct term.
+#[test]
+fn cached_energy_is_bit_identical_and_reuses_preparation() {
+    let nc = entangled_fixture(3);
+    let sampler = FrameSampler::new(&nc);
+    let h = PauliSum::from_terms(
+        3,
+        vec![
+            (1.0, "ZZI".parse().unwrap()),
+            (-0.5, "IZZ".parse().unwrap()),
+            (0.25, "XXX".parse().unwrap()),
+        ],
+    );
+    let fresh = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        sampler.energy(&h, 256, &mut rng)
+    };
+    let cache = TermCache::new();
+    for seed in [1, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cached = sampler.energy_cached(&h, 256, &mut rng, &cache);
+        assert_eq!(cached.to_bits(), fresh(seed).to_bits(), "seed {seed}");
+    }
+    assert_eq!(
+        cache.len(),
+        h.num_terms(),
+        "one preparation per distinct term"
+    );
+}
+
+/// A cache is pinned to one circuit: reusing it with another circuit must
+/// fail loudly instead of silently serving the wrong preparations.
+#[test]
+#[should_panic(expected = "pinned to a different circuit")]
+fn term_cache_rejects_a_different_circuit() {
+    let a = entangled_fixture(3);
+    let mut c = Circuit::new(3);
+    c.push(Gate::X(0));
+    let b = noisy(&c, &NoiseModel::noiseless(3));
+    let cache = TermCache::new();
+    let term: PauliString = "ZZI".parse().unwrap();
+    cache.prepared(&FrameSampler::new(&a), &term);
+    cache.prepared(&FrameSampler::new(&b), &term);
+}
+
+/// The circuit fingerprint must distinguish gate kinds, not just qubit
+/// indices — an `H(0)` cache offered an `S(0)` circuit must still panic.
+#[test]
+#[should_panic(expected = "pinned to a different circuit")]
+fn term_cache_rejects_same_shape_different_gates() {
+    let model = NoiseModel::noiseless(1);
+    let build = |g: Gate| {
+        let mut c = Circuit::new(1);
+        c.push(g);
+        noisy(&c, &model)
+    };
+    let (a, b) = (build(Gate::H(0)), build(Gate::S(0)));
+    let cache = TermCache::new();
+    let term: PauliString = "Z".parse().unwrap();
+    cache.prepared(&FrameSampler::new(&a), &term);
+    cache.prepared(&FrameSampler::new(&b), &term);
+}
+
+/// A TermPrep carries its circuit fingerprint: handing it to a sampler
+/// over a different circuit must fail loudly.
+#[test]
+#[should_panic(expected = "built against a different circuit")]
+fn expectation_prepared_rejects_foreign_prep() {
+    let a = entangled_fixture(3);
+    let mut c = Circuit::new(3);
+    c.push(Gate::S(0));
+    let b = noisy(&c, &NoiseModel::noiseless(3));
+    let term: PauliString = "ZZI".parse().unwrap();
+    let prep = FrameSampler::new(&a).prepare(&term);
+    let mut rng = StdRng::seed_from_u64(2);
+    FrameSampler::new(&b).expectation_prepared(&prep, 64, &mut rng);
+}

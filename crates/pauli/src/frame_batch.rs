@@ -1,0 +1,439 @@
+//! Bit-parallel batches of Pauli error frames (64 frames per word).
+//!
+//! A Pauli-frame Monte Carlo simulator propagates one Pauli *error frame*
+//! per shot through a Clifford circuit. Done one shot at a time that is a
+//! scalar loop over per-qubit `get`/`mul`/`set` calls; stim's key insight is
+//! that `K` frames can share one pass when their bits are stored
+//! **transposed**: instead of one `(x, z)` bit pair per qubit per frame,
+//! [`FrameBatch`] keeps, for every qubit, one `u64` x-word and one `u64`
+//! z-word whose bit `s` belongs to shot `s`. Every frame operation then
+//! becomes word-level boolean algebra applied to all 64 shots at once:
+//!
+//! * Clifford conjugation is a fixed XOR/swap network on the two words of
+//!   the touched qubits (signs are irrelevant for error frames — only
+//!   commutation with the measured observable matters),
+//! * depolarizing-error injection XORs random masks into the words,
+//! * the measurement flip of every shot is the XOR, over the observable's
+//!   support, of the anticommuting bit planes ([`FrameBatch::anticommutation_mask`]).
+//!
+//! The random masks come from [`BernoulliWords`], a buffered geometric
+//! sampler: for a channel of probability `p` it draws the *gaps* between
+//! error shots (`⌊ln U / ln(1-p)⌋`), so a word of 64 shots costs `O(1 + 64p)`
+//! RNG draws instead of 64 — the regime that matters, since physical error
+//! rates are `10⁻⁴`–`10⁻²`. The gap state is carried across word boundaries,
+//! so a multi-word shot sequence is one exact Bernoulli process.
+
+use crate::{Pauli, PauliString};
+use rand::Rng;
+
+/// A batch of [`FrameBatch::LANES`] Pauli frames stored shot-major: for each
+/// qubit `q`, bit `s` of `x(q)`/`z(q)` is the symplectic `(x, z)` bit of
+/// shot `s`'s frame on that qubit.
+///
+/// The batch carries no phases: frames are error operators and only their
+/// commutation structure is observable.
+///
+/// # Example
+///
+/// ```
+/// use clapton_pauli::{FrameBatch, Pauli, PauliString};
+///
+/// let mut batch = FrameBatch::new(3);
+/// // Inject X on qubit 1 into shots 0 and 5.
+/// batch.xor_x(1, 0b100001);
+/// assert_eq!(batch.frame(0), PauliString::single(3, 1, Pauli::X));
+/// assert_eq!(batch.frame(1), PauliString::identity(3));
+/// // Shots 0 and 5 anticommute with Z on qubit 1.
+/// let obs = PauliString::single(3, 1, Pauli::Z);
+/// assert_eq!(batch.anticommutation_mask(&obs), 0b100001);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameBatch {
+    n: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
+}
+
+impl FrameBatch {
+    /// Shots per batch: one per bit of the per-qubit storage words.
+    pub const LANES: usize = 64;
+
+    /// A batch of identity frames on `n` qubits.
+    pub fn new(n: usize) -> FrameBatch {
+        FrameBatch {
+            n,
+            x: vec![0; n],
+            z: vec![0; n],
+        }
+    }
+
+    /// The register size.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Resets every frame to the identity.
+    pub fn clear(&mut self) {
+        self.x.fill(0);
+        self.z.fill(0);
+    }
+
+    /// The x bit-plane of `qubit` (bit `s` = shot `s`).
+    #[inline]
+    pub fn x(&self, qubit: usize) -> u64 {
+        self.x[qubit]
+    }
+
+    /// The z bit-plane of `qubit`.
+    #[inline]
+    pub fn z(&self, qubit: usize) -> u64 {
+        self.z[qubit]
+    }
+
+    /// XORs `mask` into the x plane of `qubit` (multiplies an `X` error into
+    /// every frame whose mask bit is set).
+    #[inline]
+    pub fn xor_x(&mut self, qubit: usize, mask: u64) {
+        self.x[qubit] ^= mask;
+    }
+
+    /// XORs `mask` into the z plane of `qubit`.
+    #[inline]
+    pub fn xor_z(&mut self, qubit: usize, mask: u64) {
+        self.z[qubit] ^= mask;
+    }
+
+    /// Swaps the x and z planes of `qubit` (the H / √Y symplectic action).
+    #[inline]
+    pub fn swap_xz(&mut self, qubit: usize) {
+        std::mem::swap(&mut self.x[qubit], &mut self.z[qubit]);
+    }
+
+    /// Swaps two qubits across all lanes (the SWAP gate).
+    #[inline]
+    pub fn swap_qubits(&mut self, a: usize, b: usize) {
+        self.x.swap(a, b);
+        self.z.swap(a, b);
+    }
+
+    /// Per-shot anticommutation with `obs`: bit `s` of the result is `1` iff
+    /// shot `s`'s frame anticommutes with `obs`. Cost is one or two XORs per
+    /// support qubit of `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` acts on a different number of qubits.
+    pub fn anticommutation_mask(&self, obs: &PauliString) -> u64 {
+        assert_eq!(self.n, obs.num_qubits(), "qubit count mismatch");
+        let mut acc = 0u64;
+        for q in obs.support() {
+            let (ox, oz) = obs.get(q).xz();
+            if oz {
+                acc ^= self.x[q];
+            }
+            if ox {
+                acc ^= self.z[q];
+            }
+        }
+        acc
+    }
+
+    /// Extracts shot `lane`'s frame as a [`PauliString`] (diagnostics/tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= FrameBatch::LANES`.
+    pub fn frame(&self, lane: usize) -> PauliString {
+        assert!(lane < FrameBatch::LANES, "lane {lane} out of range");
+        PauliString::from_sparse(
+            self.n,
+            (0..self.n).map(|q| {
+                let xb = (self.x[q] >> lane) & 1 == 1;
+                let zb = (self.z[q] >> lane) & 1 == 1;
+                (q, Pauli::from_xz(xb, zb))
+            }),
+        )
+    }
+}
+
+/// A buffered geometric sampler producing 64-shot Bernoulli masks: each bit
+/// of [`BernoulliWords::next_mask`] is set independently with probability
+/// `p`, and the geometric gap state is carried across words so consecutive
+/// masks form one exact Bernoulli process over the whole shot sequence.
+///
+/// `ln(1-p)` is precomputed once per channel; drawing a mask costs one RNG
+/// draw per *set* bit (plus at most one for the carried gap), which for
+/// physical error rates is orders of magnitude fewer draws than one per
+/// shot.
+#[derive(Debug, Clone)]
+pub struct BernoulliWords {
+    /// `1 / ln(1-p)` (negative); `p ∈ {0, 1}` short-circuit via the flags.
+    inv_ln_q: f64,
+    always: bool,
+    never: bool,
+    /// Shots to skip before the next error (`u64::MAX` ≈ never).
+    gap: u64,
+    primed: bool,
+}
+
+impl BernoulliWords {
+    /// A sampler for per-shot probability `p` (clamped to `[0, 1]`).
+    pub fn new(p: f64) -> BernoulliWords {
+        BernoulliWords {
+            // ln_1p keeps ln(1-p) finite and negative even when p is so
+            // small that `1.0 - p` rounds to 1.0 — a plain ln would return
+            // 0 there, flip the gap sign to -∞, and inject an error on
+            // *every* shot instead of (almost) never.
+            inv_ln_q: if p > 0.0 && p < 1.0 {
+                (-p).ln_1p().recip()
+            } else {
+                0.0
+            },
+            always: p >= 1.0,
+            // NaN probabilities count as "never" rather than poisoning gaps.
+            never: p <= 0.0 || p.is_nan(),
+            gap: 0,
+            primed: false,
+        }
+    }
+
+    /// Draws the geometric gap to the next error: `⌊ln U / ln(1-p)⌋`.
+    fn draw_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // 1-u ∈ (0, 1], so the ratio of two non-positive logs is ≥ 0.
+        let g = (-u).ln_1p() * self.inv_ln_q;
+        if g >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            g as u64
+        }
+    }
+
+    /// The Bernoulli mask of the next 64 shots.
+    pub fn next_mask<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        if self.never {
+            return 0;
+        }
+        if self.always {
+            return !0;
+        }
+        if !self.primed {
+            self.gap = self.draw_gap(rng);
+            self.primed = true;
+        }
+        let mut mask = 0u64;
+        while self.gap < FrameBatch::LANES as u64 {
+            mask |= 1 << self.gap;
+            // Two saturating steps: `1 + draw_gap()` itself overflows when
+            // the draw saturated at u64::MAX.
+            self.gap = self
+                .gap
+                .saturating_add(1)
+                .saturating_add(self.draw_gap(rng));
+        }
+        self.gap -= FrameBatch::LANES as u64;
+        mask
+    }
+}
+
+/// Uniform non-identity Pauli planes for every set bit of `mask`: returns
+/// `(x, z)` words where each masked bit pair is uniform over
+/// `{X=(1,0), Y=(1,1), Z=(0,1)}` (the single-qubit depolarizing kick).
+/// Bits outside `mask` are zero.
+///
+/// Uses word-level rejection: a draw gives each bit pair uniform over four
+/// combinations, and only the (exponentially shrinking) set of bits that
+/// drew identity is redrawn.
+pub fn uniform_pauli_planes<R: Rng + ?Sized>(mask: u64, rng: &mut R) -> (u64, u64) {
+    let (mut x, mut z) = (rng.gen::<u64>(), rng.gen::<u64>());
+    let mut identity = mask & !(x | z);
+    while identity != 0 {
+        x |= rng.gen::<u64>() & identity;
+        z |= rng.gen::<u64>() & identity;
+        identity = mask & !(x | z);
+    }
+    (x & mask, z & mask)
+}
+
+/// Uniform non-identity *two-qubit* Pauli planes for every set bit of
+/// `mask`: returns `(xa, za, xb, zb)` words where each masked 4-bit column
+/// is uniform over the 15 non-identity two-qubit Paulis (the two-qubit
+/// depolarizing kick). Bits outside `mask` are zero.
+pub fn uniform_pauli_pair_planes<R: Rng + ?Sized>(mask: u64, rng: &mut R) -> (u64, u64, u64, u64) {
+    let (mut xa, mut za) = (rng.gen::<u64>(), rng.gen::<u64>());
+    let (mut xb, mut zb) = (rng.gen::<u64>(), rng.gen::<u64>());
+    let mut identity = mask & !(xa | za | xb | zb);
+    while identity != 0 {
+        xa |= rng.gen::<u64>() & identity;
+        za |= rng.gen::<u64>() & identity;
+        xb |= rng.gen::<u64>() & identity;
+        zb |= rng.gen::<u64>() & identity;
+        identity = mask & !(xa | za | xb | zb);
+    }
+    (xa & mask, za & mask, xb & mask, zb & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_batch_is_all_identity() {
+        let batch = FrameBatch::new(5);
+        for lane in 0..FrameBatch::LANES {
+            assert!(batch.frame(lane).is_identity());
+        }
+    }
+
+    #[test]
+    fn injection_and_extraction_round_trip() {
+        let mut batch = FrameBatch::new(4);
+        batch.xor_x(0, 0b01);
+        batch.xor_z(0, 0b10);
+        batch.xor_x(3, 0b10);
+        batch.xor_z(3, 0b10);
+        assert_eq!(batch.frame(0), "XIII".parse().unwrap());
+        assert_eq!(batch.frame(1), "ZIIY".parse().unwrap());
+        assert_eq!(batch.frame(2), PauliString::identity(4));
+        batch.clear();
+        assert_eq!(batch.frame(0), PauliString::identity(4));
+    }
+
+    #[test]
+    fn anticommutation_mask_matches_per_lane_check() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [1usize, 3, 70] {
+            let mut batch = FrameBatch::new(n);
+            for q in 0..n {
+                batch.xor_x(q, rng.gen());
+                batch.xor_z(q, rng.gen());
+            }
+            for _ in 0..5 {
+                let obs = PauliString::random(n, &mut rng);
+                let mask = batch.anticommutation_mask(&obs);
+                for lane in [0usize, 1, 17, 63] {
+                    let expected = !batch.frame(lane).commutes_with(&obs);
+                    assert_eq!((mask >> lane) & 1 == 1, expected, "lane {lane} n {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_qubits_and_planes() {
+        let mut batch = FrameBatch::new(2);
+        batch.xor_x(0, 0b1);
+        batch.swap_qubits(0, 1);
+        assert_eq!(batch.frame(0), "IX".parse().unwrap());
+        batch.swap_xz(1);
+        assert_eq!(batch.frame(0), "IZ".parse().unwrap());
+    }
+
+    #[test]
+    fn bernoulli_words_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(BernoulliWords::new(0.0).next_mask(&mut rng), 0);
+        assert_eq!(BernoulliWords::new(-1.0).next_mask(&mut rng), 0);
+        assert_eq!(BernoulliWords::new(1.0).next_mask(&mut rng), !0);
+        assert_eq!(BernoulliWords::new(2.0).next_mask(&mut rng), !0);
+    }
+
+    #[test]
+    fn bernoulli_words_match_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &p in &[1e-3, 0.05, 0.3, 0.9] {
+            let mut sampler = BernoulliWords::new(p);
+            let words = 4000usize;
+            let ones: u32 = (0..words)
+                .map(|_| sampler.next_mask(&mut rng).count_ones())
+                .sum();
+            let rate = ones as f64 / (words * 64) as f64;
+            let sigma = (p * (1.0 - p) / (words * 64) as f64).sqrt();
+            assert!((rate - p).abs() < 6.0 * sigma + 1e-6, "p {p}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_words_survive_extreme_probabilities() {
+        // Regression: p below f64's 1-p resolution must behave as "almost
+        // never" (a plain ln(1.0-p) = 0 inverted the gap to -∞, which set
+        // EVERY bit), and gap draws that saturate at u64::MAX must not
+        // overflow the `1 + gap` advance.
+        let mut rng = StdRng::seed_from_u64(3);
+        for &p in &[1e-300, f64::MIN_POSITIVE, 1e-25, 1e-18] {
+            let mut sampler = BernoulliWords::new(p);
+            for _ in 0..256 {
+                assert_eq!(sampler.next_mask(&mut rng), 0, "p = {p:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_words_is_deterministic() {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut s = BernoulliWords::new(0.02);
+            (0..32).map(|_| s.next_mask(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn uniform_pauli_planes_cover_xyz_only() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4]; // I, X, Y, Z
+        for _ in 0..500 {
+            let (x, z) = uniform_pauli_planes(!0, &mut rng);
+            for b in 0..64 {
+                let idx = (((x >> b) & 1) + 2 * ((z >> b) & 1)) as usize;
+                counts[idx] += 1;
+            }
+        }
+        assert_eq!(counts[0], 0, "identity must never be injected");
+        let total: usize = counts.iter().sum();
+        for &c in &counts[1..] {
+            let rate = c as f64 / total as f64;
+            assert!((rate - 1.0 / 3.0).abs() < 0.01, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_pauli_planes_respect_mask() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mask = 0xF0F0_0000_1234_0001;
+        let (x, z) = uniform_pauli_planes(mask, &mut rng);
+        assert_eq!(x & !mask, 0);
+        assert_eq!(z & !mask, 0);
+        assert_eq!(mask & !(x | z), 0, "every masked bit got a non-identity");
+        let (xa, za, xb, zb) = uniform_pauli_pair_planes(mask, &mut rng);
+        for w in [xa, za, xb, zb] {
+            assert_eq!(w & !mask, 0);
+        }
+        assert_eq!(mask & !(xa | za | xb | zb), 0);
+    }
+
+    #[test]
+    fn uniform_pauli_pair_planes_are_uniform_over_fifteen() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0usize; 16];
+        for _ in 0..800 {
+            let (xa, za, xb, zb) = uniform_pauli_pair_planes(!0, &mut rng);
+            for b in 0..64 {
+                let idx = (((xa >> b) & 1)
+                    + 2 * ((za >> b) & 1)
+                    + 4 * ((xb >> b) & 1)
+                    + 8 * ((zb >> b) & 1)) as usize;
+                counts[idx] += 1;
+            }
+        }
+        assert_eq!(counts[0], 0);
+        let total: usize = counts.iter().sum();
+        for &c in &counts[1..] {
+            let rate = c as f64 / total as f64;
+            assert!((rate - 1.0 / 15.0).abs() < 0.01, "counts {counts:?}");
+        }
+    }
+}

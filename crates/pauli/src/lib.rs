@@ -10,7 +10,10 @@
 //!   (`x` and `z` masks), with phase-exact products, commutation checks and
 //!   support queries,
 //! * [`PauliSum`] — a real-weighted sum of Pauli strings, the representation of
-//!   every VQE Hamiltonian in the paper (`H = Σ_i c_i P_i`, §3.2).
+//!   every VQE Hamiltonian in the paper (`H = Σ_i c_i P_i`, §3.2),
+//! * [`FrameBatch`] — 64 Pauli error frames stored shot-major (one `u64`
+//!   x/z word pair per qubit), the bit-parallel substrate of the stim-style
+//!   frame sampler, with [`BernoulliWords`] buffered-geometric error masks.
 //!
 //! The representation follows the symplectic convention used by stim and
 //! Qiskit: a qubit with `(x, z)` bits `(0,0), (1,0), (1,1), (0,1)` carries
@@ -42,11 +45,15 @@
 //! # }
 //! ```
 
+mod frame_batch;
 mod phase;
 mod single;
 mod string;
 mod sum;
 
+pub use frame_batch::{
+    uniform_pauli_pair_planes, uniform_pauli_planes, BernoulliWords, FrameBatch,
+};
 pub use phase::Phase;
 pub use single::Pauli;
 pub use string::{PauliParseError, PauliString};

@@ -251,17 +251,23 @@ impl PauliString {
     }
 
     /// Expectation value `⟨b|P|b⟩` for the computational basis state whose
-    /// bit `k` is `(bits >> k) & 1`. Returns `0.0` unless `P` is Z-type, and
-    /// otherwise `±1` depending on the parity of flipped qubits in the
-    /// support.
+    /// qubit `k` is `(bits[k / 64] >> (k % 64)) & 1` (little-endian words,
+    /// matching [`PauliString::z_words`]). Returns `0.0` unless `P` is
+    /// Z-type, and otherwise `±1` depending on the parity of flipped qubits
+    /// in the support.
     ///
-    /// Only the first `min(n, 64)` qubits of `bits` are meaningful; qubits
-    /// beyond bit 63 are treated as `0`.
-    pub fn expectation_basis_state(&self, bits: u64) -> f64 {
+    /// Missing trailing words of `bits` are treated as `0`, so a
+    /// single-`u64` slice works for any register of at most 64 qubits;
+    /// extra words are ignored.
+    pub fn expectation_basis_state(&self, bits: &[u64]) -> f64 {
         if !self.is_z_type() {
             return 0.0;
         }
-        let parity = (self.z[0] & bits).count_ones() & 1;
+        let parity = self
+            .z
+            .iter()
+            .zip(bits)
+            .fold(0u32, |acc, (&z, &b)| acc ^ ((z & b).count_ones() & 1));
         if parity == 0 {
             1.0
         } else {
@@ -493,10 +499,34 @@ mod tests {
         assert_eq!(ps("ZIZ").expectation_all_zeros(), 1.0);
         assert_eq!(ps("XII").expectation_all_zeros(), 0.0);
         // ⟨10|Z0 Z1|10⟩ with bit 0 set: one flipped qubit in support → -1.
-        assert_eq!(ps("ZZ").expectation_basis_state(0b01), -1.0);
-        assert_eq!(ps("ZZ").expectation_basis_state(0b11), 1.0);
-        assert_eq!(ps("ZI").expectation_basis_state(0b10), 1.0);
-        assert_eq!(ps("XZ").expectation_basis_state(0b00), 0.0);
+        assert_eq!(ps("ZZ").expectation_basis_state(&[0b01]), -1.0);
+        assert_eq!(ps("ZZ").expectation_basis_state(&[0b11]), 1.0);
+        assert_eq!(ps("ZI").expectation_basis_state(&[0b10]), 1.0);
+        assert_eq!(ps("XZ").expectation_basis_state(&[0b00]), 0.0);
+        // An empty slice is the all-zeros state.
+        assert_eq!(ps("ZZ").expectation_basis_state(&[]), 1.0);
+    }
+
+    #[test]
+    fn basis_state_expectation_beyond_64_qubits() {
+        // Regression: the parity must read every bit word, not just the
+        // first — a flipped qubit ≥ 64 in the support must show up.
+        let mut p = PauliString::identity(130);
+        p.set(3, Pauli::Z);
+        p.set(70, Pauli::Z);
+        p.set(129, Pauli::Z);
+        let mut bits = [0u64; 3];
+        bits[70 / 64] |= 1 << (70 % 64);
+        assert_eq!(p.expectation_basis_state(&bits), -1.0);
+        // Flip a second support qubit in another word: parity is even again.
+        bits[129 / 64] |= 1 << (129 % 64);
+        assert_eq!(p.expectation_basis_state(&bits), 1.0);
+        // Flips outside the support never matter, in any word.
+        bits[1] |= 1 << (100 % 64);
+        assert_eq!(p.expectation_basis_state(&bits), 1.0);
+        // X anywhere still zeroes the diagonal element.
+        p.set(65, Pauli::X);
+        assert_eq!(p.expectation_basis_state(&bits), 0.0);
     }
 
     #[test]

@@ -154,9 +154,10 @@ impl PauliSum {
             .sum()
     }
 
-    /// Expectation value on a computational basis state (see
+    /// Expectation value on a computational basis state given as
+    /// little-endian bit words (see
     /// [`PauliString::expectation_basis_state`]).
-    pub fn expectation_basis_state(&self, bits: u64) -> f64 {
+    pub fn expectation_basis_state(&self, bits: &[u64]) -> f64 {
         self.terms
             .iter()
             .map(|t| t.coefficient * t.pauli.expectation_basis_state(bits))
@@ -297,8 +298,20 @@ mod tests {
     fn basis_state_expectation() {
         let h = PauliSum::from_terms(2, vec![(1.0, ps("ZI")), (1.0, ps("IZ")), (1.0, ps("ZZ"))]);
         // |01⟩ (qubit 1 excited): Z0=+1, Z1=-1, Z0Z1=-1.
-        assert_eq!(h.expectation_basis_state(0b10), -1.0);
-        assert_eq!(h.expectation_basis_state(0b00), 3.0);
+        assert_eq!(h.expectation_basis_state(&[0b10]), -1.0);
+        assert_eq!(h.expectation_basis_state(&[0b00]), 3.0);
+    }
+
+    #[test]
+    fn basis_state_expectation_beyond_64_qubits() {
+        let n = 100;
+        let single = |q: usize| PauliString::single(n, q, crate::Pauli::Z);
+        let h = PauliSum::from_terms(n, vec![(1.0, single(2)), (1.0, single(90))]);
+        let mut bits = [0u64; 2];
+        bits[90 / 64] |= 1 << (90 % 64);
+        // Qubit 90 excited: its Z term reads -1, qubit 2's reads +1.
+        assert_eq!(h.expectation_basis_state(&bits), 0.0);
+        assert_eq!(h.expectation_basis_state(&[]), 2.0);
     }
 
     #[test]

@@ -304,7 +304,7 @@ mod tests {
         let h = PauliSum::from_terms(n, terms);
         let e0 = ground_energy(&h);
         for bits in 0..(1u64 << n) {
-            assert!(e0 <= h.expectation_basis_state(bits) + 1e-9);
+            assert!(e0 <= h.expectation_basis_state(&[bits]) + 1e-9);
         }
         // And it must be within the 1-norm ball.
         assert!(e0 >= -h.one_norm() - 1e-9);

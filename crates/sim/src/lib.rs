@@ -20,7 +20,9 @@
 //!   obtained "by diagonalizing the Hamiltonian", §5.2.1).
 //!
 //! Qubit convention: qubit `k` is bit `k` of the basis-state index
-//! (little-endian), matching `PauliString::expectation_basis_state`.
+//! (little-endian), matching the first bit word of
+//! `PauliString::expectation_basis_state` (the dense simulators are bounded
+//! far below 64 qubits; the Pauli layer itself takes multi-word bit slices).
 
 mod complex;
 mod density;

@@ -189,11 +189,22 @@ fn default_output_path() -> std::path::PathBuf {
     }
 }
 
-fn append_json_record(group: &str, id: &str, median: Duration, best: Duration, samples: usize) {
-    use std::io::Write as _;
-    let path = std::env::var("BENCH_OUTPUT")
+/// The results file every record is appended to: the `BENCH_OUTPUT`
+/// environment variable, or `BENCH_results.json` at the repository root.
+///
+/// Public so benches that measure outside `Bencher::iter` (interleaved
+/// comparisons, derived metrics) land rows in the same file.
+pub fn output_path() -> std::path::PathBuf {
+    std::env::var("BENCH_OUTPUT")
         .map(std::path::PathBuf::from)
-        .unwrap_or_else(|_| default_output_path());
+        .unwrap_or_else(|_| default_output_path())
+}
+
+/// Appends one raw JSONL line to [`output_path`], creating parent
+/// directories as needed.
+pub fn append_line(line: &str) {
+    use std::io::Write as _;
+    let path = output_path();
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
@@ -202,13 +213,19 @@ fn append_json_record(group: &str, id: &str, median: Duration, best: Duration, s
         .append(true)
         .open(&path)
     {
-        let _ = writeln!(
-            file,
-            "{{\"group\":\"{group}\",\"id\":\"{id}\",\"median_ns\":{},\"best_ns\":{},\"samples\":{samples}}}",
-            median.as_nanos(),
-            best.as_nanos()
-        );
+        let _ = writeln!(file, "{line}");
     }
+}
+
+/// Appends one record in the standard row format.
+pub fn append_record(group: &str, id: &str, median_ns: u128, best_ns: u128, samples: usize) {
+    append_line(&format!(
+        "{{\"group\":\"{group}\",\"id\":\"{id}\",\"median_ns\":{median_ns},\"best_ns\":{best_ns},\"samples\":{samples}}}"
+    ));
+}
+
+fn append_json_record(group: &str, id: &str, median: Duration, best: Duration, samples: usize) {
+    append_record(group, id, median.as_nanos(), best.as_nanos(), samples);
 }
 
 /// Declares a group of benchmark functions.
