@@ -17,6 +17,7 @@ use clapton_core::{
 };
 use clapton_models::{ising, xxz};
 use clapton_noise::{ExactEvaluator, FrameSampler, NoiseModel, NoisyCircuit};
+use clapton_pauli::{Pauli, PauliString, PauliSum};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,17 @@ fn noisy_zero_circuit(n: usize) -> NoisyCircuit {
     let ansatz = HardwareEfficientAnsatz::new(n);
     let model = NoiseModel::uniform(n, 3e-4, 8e-3, 2e-2);
     NoisyCircuit::from_circuit(&ansatz.circuit_at_zero(), &model).expect("Clifford at zero")
+}
+
+/// XXZ chain plus transverse Z fields: `4n - 3` terms, so `n = 20` gives a
+/// 77-term Hamiltonian — past the 64-lane word boundary of the batched
+/// exact path (the `M ≥ 64` regime of molecule-scale problems).
+fn xxz_field(n: usize) -> PauliSum {
+    let mut h = xxz(n, 1.0);
+    for q in 0..n {
+        h.push(0.5, PauliString::single(n, q, Pauli::Z));
+    }
+    h
 }
 
 fn bench_exact_energy(c: &mut Criterion) {
@@ -40,6 +52,60 @@ fn bench_exact_energy(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_exact_batched(c: &mut Criterion) {
+    // The bit-parallel batched exact path (64 terms per circuit walk) on
+    // Hamiltonians past the 64-lane boundary.
+    let mut group = c.benchmark_group("ln_exact_batched");
+    for n in [20usize, 40] {
+        let h = xxz_field(n);
+        let nc = noisy_zero_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let eval = ExactEvaluator::new(&nc);
+            b.iter(|| eval.energy_batched(black_box(&h)));
+        });
+    }
+    group.finish();
+}
+
+/// Measures the batched-vs-scalar *exact* back-propagation speedup directly
+/// and appends it to the BENCH results file — same counterbalanced ABBA
+/// interleaving as the sampled-path speedup, so row-order clock drift can't
+/// manufacture (or hide) the headline ratio.
+fn emit_exact_speedup(_c: &mut Criterion) {
+    for n in [20usize, 40] {
+        let h = xxz_field(n);
+        let nc = noisy_zero_circuit(n);
+        let eval = ExactEvaluator::new(&nc);
+        // One timed sample = REPS full-Hamiltonian energies (single calls
+        // are microseconds — too close to timer noise on a shared box).
+        const REPS: usize = 24;
+        let mut run_batched = || {
+            for _ in 0..REPS {
+                black_box(eval.energy_batched(black_box(&h)));
+            }
+        };
+        let mut run_scalar = || {
+            for _ in 0..REPS {
+                black_box(eval.energy_scalar(black_box(&h)));
+            }
+        };
+        let (batched_samples, scalar_samples) =
+            counterbalanced_samples(12, &mut run_batched, &mut run_scalar);
+        let (batched, scalar) = (
+            median(batched_samples) / REPS as u128,
+            median(scalar_samples) / REPS as u128,
+        );
+        let speedup = scalar as f64 / batched.max(1) as f64;
+        println!(
+            "ln_exact_speedup/{n}: {speedup:.1}x (scalar {scalar} ns / batched {batched} ns, {} terms)",
+            h.num_terms()
+        );
+        criterion::append_line(&format!(
+            "{{\"group\":\"ln_exact_speedup\",\"id\":\"{n}\",\"batched_ns\":{batched},\"scalar_ns\":{scalar},\"speedup_x\":{speedup:.2}}}"
+        ));
+    }
 }
 
 fn bench_sampled_energy(c: &mut Criterion) {
@@ -84,40 +150,50 @@ fn median(mut samples: Vec<u128>) -> u128 {
     samples[samples.len() / 2]
 }
 
-/// Times two contenders with ABBA-interleaved samples, so slow clock drift
-/// across the bench run (very visible on small containers) cancels instead
-/// of systematically penalizing whichever row runs later. Emits one row per
-/// contender in the standard format.
+/// The shared counterbalanced interleaving behind every head-to-head
+/// measurement: one warmup call each, then `rounds` rounds alternating
+/// ABBA / BAAB, so slow clock drift across the bench run (very visible on
+/// small containers) cancels instead of systematically penalizing either
+/// contender, and neither systematically owns the sequence boundaries.
+/// Returns the raw nanosecond samples `(a, b)`.
+fn counterbalanced_samples(
+    rounds: usize,
+    run_a: &mut dyn FnMut(),
+    run_b: &mut dyn FnMut(),
+) -> (Vec<u128>, Vec<u128>) {
+    let mut samples_a = Vec::with_capacity(2 * rounds);
+    let mut samples_b = Vec::with_capacity(2 * rounds);
+    run_a();
+    run_b();
+    fn time(f: &mut dyn FnMut()) -> u128 {
+        let t0 = std::time::Instant::now();
+        f();
+        t0.elapsed().as_nanos()
+    }
+    for round in 0..rounds {
+        if round % 2 == 0 {
+            samples_a.push(time(run_a));
+            samples_b.push(time(run_b));
+            samples_b.push(time(run_b));
+            samples_a.push(time(run_a));
+        } else {
+            samples_b.push(time(run_b));
+            samples_a.push(time(run_a));
+            samples_a.push(time(run_a));
+            samples_b.push(time(run_b));
+        }
+    }
+    (samples_a, samples_b)
+}
+
+/// Times two contenders with [`counterbalanced_samples`] and emits one row
+/// per contender in the standard format.
 fn bench_head_to_head(
     group: &str,
     (id_a, mut run_a): (&str, impl FnMut()),
     (id_b, mut run_b): (&str, impl FnMut()),
 ) {
-    const ROUNDS: usize = 12;
-    let mut samples_a = Vec::with_capacity(2 * ROUNDS);
-    let mut samples_b = Vec::with_capacity(2 * ROUNDS);
-    run_a();
-    run_b();
-    let time = |f: &mut dyn FnMut()| {
-        let t0 = std::time::Instant::now();
-        f();
-        t0.elapsed().as_nanos()
-    };
-    for round in 0..ROUNDS {
-        // Counterbalanced: ABBA on even rounds, BAAB on odd rounds, so
-        // neither contender systematically owns the sequence boundaries.
-        if round % 2 == 0 {
-            samples_a.push(time(&mut run_a));
-            samples_b.push(time(&mut run_b));
-            samples_b.push(time(&mut run_b));
-            samples_a.push(time(&mut run_a));
-        } else {
-            samples_b.push(time(&mut run_b));
-            samples_a.push(time(&mut run_a));
-            samples_a.push(time(&mut run_a));
-            samples_b.push(time(&mut run_b));
-        }
-    }
+    let (samples_a, samples_b) = counterbalanced_samples(12, &mut run_a, &mut run_b);
     for (id, mut samples) in [(id_a, samples_a), (id_b, samples_b)] {
         samples.sort_unstable();
         let (median, best) = (samples[samples.len() / 2], samples[0]);
@@ -134,42 +210,30 @@ fn bench_head_to_head(
 /// Measures the batched-vs-scalar sampled-path speedup directly and appends
 /// it to the BENCH results file, so a regression of the word-level kernel
 /// shows up as a number, not as two rows someone has to divide. Samples are
-/// ABBA-interleaved for the same reason as [`bench_head_to_head`]: a ratio
-/// of two back-to-back blocks would bake row-order clock drift into the
-/// headline metric.
+/// interleaved via [`counterbalanced_samples`] for the same reason as
+/// [`bench_head_to_head`]: a ratio of two back-to-back blocks would bake
+/// row-order clock drift into the headline metric.
 fn emit_sampled_speedup(_c: &mut Criterion) {
     for n in [10usize, 20] {
         let h = ising(n, 0.25);
         let nc = noisy_zero_circuit(n);
         let sampler = FrameSampler::new(&nc);
-        let mut rng = StdRng::seed_from_u64(5);
-        let run_batched = |rng: &mut StdRng| {
-            black_box(sampler.energy(black_box(&h), 256, rng));
+        // One RNG stream shared by both contenders (cell-wrapped so each
+        // closure can borrow it in turn).
+        let rng = std::cell::RefCell::new(StdRng::seed_from_u64(5));
+        let mut run_batched = || {
+            black_box(sampler.energy(black_box(&h), 256, &mut *rng.borrow_mut()));
         };
-        let run_scalar = |rng: &mut StdRng| {
+        let mut run_scalar = || {
+            let rng = &mut *rng.borrow_mut();
             let e: f64 = black_box(&h)
                 .iter()
                 .map(|(coeff, p)| coeff * sampler.expectation_scalar(p, 256, rng))
                 .sum();
             black_box(e);
         };
-        run_batched(&mut rng);
-        run_scalar(&mut rng);
-        let (mut batched_samples, mut scalar_samples) = (Vec::new(), Vec::new());
-        for _ in 0..5 {
-            let t0 = std::time::Instant::now();
-            run_batched(&mut rng);
-            batched_samples.push(t0.elapsed().as_nanos());
-            let t0 = std::time::Instant::now();
-            run_scalar(&mut rng);
-            scalar_samples.push(t0.elapsed().as_nanos());
-            let t0 = std::time::Instant::now();
-            run_scalar(&mut rng);
-            scalar_samples.push(t0.elapsed().as_nanos());
-            let t0 = std::time::Instant::now();
-            run_batched(&mut rng);
-            batched_samples.push(t0.elapsed().as_nanos());
-        }
+        let (batched_samples, scalar_samples) =
+            counterbalanced_samples(5, &mut run_batched, &mut run_scalar);
         let (batched, scalar) = (median(batched_samples), median(scalar_samples));
         let speedup = scalar as f64 / batched.max(1) as f64;
         println!(
@@ -295,7 +359,8 @@ fn bench_population_batch(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_exact_energy, bench_sampled_energy, bench_sampled_energy_scalar,
+    targets = bench_exact_energy, bench_exact_batched, emit_exact_speedup,
+        bench_sampled_energy, bench_sampled_energy_scalar,
         emit_sampled_speedup, bench_dense_hamiltonian, bench_population_batch
 }
 criterion_main!(benches);

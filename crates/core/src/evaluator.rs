@@ -9,7 +9,10 @@
 //! Both are pure and `Sync`, so the engine's parallel batch path and
 //! genome → loss cache apply transparently.
 
-use crate::{transform_hamiltonian, EvaluatorKind, ExecutableAnsatz, LossFunction};
+use crate::{
+    transform_hamiltonian, transform_hamiltonian_into, EvaluatorKind, ExecutableAnsatz,
+    LossFunction,
+};
 use clapton_circuits::TransformationAnsatz;
 use clapton_eval::LossEvaluator;
 use clapton_pauli::PauliSum;
@@ -106,6 +109,13 @@ impl<'a> TransformLoss<'a> {
         transform_hamiltonian(self.h, &self.ansatz.gates(&self.masked(gamma)))
     }
 
+    /// [`TransformLoss::transformed`] into a caller-owned scratch sum: the
+    /// batch path reuses one `Ĥ` buffer across a whole population, so the
+    /// per-genome transform performs no term-string allocation.
+    pub fn transformed_into(&self, gamma: &[u8], out: &mut PauliSum) {
+        transform_hamiltonian_into(self.h, &self.ansatz.gates(&self.masked(gamma)), out);
+    }
+
     /// The underlying loss function (for `LN`/`L0` decompositions).
     pub fn loss(&self) -> &LossFunction<'a> {
         &self.loss
@@ -121,19 +131,24 @@ impl LossEvaluator for TransformLoss<'_> {
     /// loss object for the fixed `θ = 0` circuit (noise attachment and, for
     /// the sampled backend, the per-term prep cache hoisted out of the
     /// per-genome loop and shared across batches/rounds/pooled chunks),
-    /// then every genome pays only its own transformation and energy.
+    /// then every genome pays only its own transformation and energy — with
+    /// one transformed-Hamiltonian scratch buffer reused across the whole
+    /// batch, so the per-genome transform allocates no term strings.
     /// Bit-identical to genome-at-a-time [`LossEvaluator::evaluate`] — the
     /// losses are the same arithmetic, minus the reconstruction overhead.
     fn evaluate_population(&self, genomes: &[Vec<u8>]) -> Vec<f64> {
         match self.loss.prepared_zero() {
-            Some(prepared) => genomes
-                .iter()
-                .map(|gamma| {
-                    let transformed = self.transformed(gamma);
-                    self.loss.loss_n_prepared(prepared, &transformed)
-                        + self.loss.loss_0(&transformed)
-                })
-                .collect(),
+            Some(prepared) => {
+                let mut transformed = PauliSum::new(self.h.num_qubits());
+                genomes
+                    .iter()
+                    .map(|gamma| {
+                        self.transformed_into(gamma, &mut transformed);
+                        self.loss.loss_n_prepared(prepared, &transformed)
+                            + self.loss.loss_0(&transformed)
+                    })
+                    .collect()
+            }
             None => genomes.iter().map(|gamma| self.evaluate(gamma)).collect(),
         }
     }
@@ -287,6 +302,20 @@ mod tests {
         let pool = Arc::new(WorkerPool::with_workers(2));
         let pooled = PooledEvaluator::new(&loss, pool);
         assert_eq!(pooled.evaluate_population(&genomes), sequential);
+    }
+
+    #[test]
+    fn transformed_into_matches_transformed() {
+        let h = ising(4, 0.5);
+        let model = NoiseModel::uniform(4, 1e-3, 1e-2, 1e-2);
+        let exec = ExecutableAnsatz::untranspiled(4, &model);
+        let ansatz = TransformationAnsatz::new(4);
+        let loss = TransformLoss::new(&h, &exec, &ansatz, EvaluatorKind::Exact);
+        let mut scratch = clapton_pauli::PauliSum::new(4);
+        for gamma in random_genomes(12, ansatz.num_genes(), 21) {
+            loss.transformed_into(&gamma, &mut scratch);
+            assert_eq!(scratch, loss.transformed(&gamma));
+        }
     }
 
     #[test]

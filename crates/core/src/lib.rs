@@ -46,4 +46,4 @@ pub use loss::{
     SampledBackend,
 };
 pub use metrics::{geometric_mean, normalized_energy, relative_improvement};
-pub use transform::{transform_hamiltonian, Transformation};
+pub use transform::{transform_hamiltonian, transform_hamiltonian_into, Transformation};

@@ -26,8 +26,22 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.coefficient_of(&"X".parse().unwrap()), Some(2.0));
 /// ```
 pub fn transform_hamiltonian(h: &PauliSum, gates: &[CliffordGate]) -> PauliSum {
+    let mut out = PauliSum::new(h.num_qubits());
+    transform_hamiltonian_into(h, gates, &mut out);
+    out
+}
+
+/// [`transform_hamiltonian`] writing into `out`, reusing its term storage.
+///
+/// The GA scores thousands of genomes against one Hamiltonian, and every
+/// score starts with this transform; routing the per-term conjugation
+/// through [`CliffordMap::conjugate_into`] into a caller-owned sum means
+/// that after the first call, the per-genome transform allocates no term
+/// strings at all (the transformed problem always has exactly `M` terms on
+/// the same register — the structure is closed, Eq. 6).
+pub fn transform_hamiltonian_into(h: &PauliSum, gates: &[CliffordGate], out: &mut PauliSum) {
     let map = CliffordMap::anticonjugation(h.num_qubits(), gates);
-    h.map_terms(|p| map.conjugate(p))
+    h.map_terms_into(|p, image| map.conjugate_into(p, image), out);
 }
 
 /// A found Clapton transformation: the genome, the Clifford circuit

@@ -66,6 +66,9 @@ pub struct NoisyCircuit {
     p1: Vec<f64>,
     /// Lazily-memoized content fingerprint (see [`NoisyCircuit::fingerprint`]).
     fingerprint: OnceLock<u64>,
+    /// Lazily-memoized back-propagation op list (see
+    /// [`NoisyCircuit::reversed_inverted_ops`]).
+    reversed: OnceLock<Vec<NoisyOp>>,
 }
 
 /// Equality is over circuit contents only — the memoized fingerprint cell is
@@ -132,6 +135,29 @@ impl NoisyCircuit {
                 .collect(),
             p1: (0..circuit.num_qubits()).map(|q| model.p1(q)).collect(),
             fingerprint: OnceLock::new(),
+            reversed: OnceLock::new(),
+        })
+    }
+
+    /// The instruction stream reversed with every Clifford gate replaced by
+    /// its inverse — the walk order of Heisenberg back-propagation
+    /// (`O ← g† O g` for each gate, last gate first; stochastic channels
+    /// keep their place and parameters).
+    ///
+    /// Built once and memoized: the exact evaluator re-walks this list once
+    /// per term (scalar path) or once per 64-term batch, for every genome
+    /// of every GA round, so paying `CliffordGate::inverse` per gate per
+    /// term would be pure waste.
+    pub fn reversed_inverted_ops(&self) -> &[NoisyOp] {
+        self.reversed.get_or_init(|| {
+            self.ops
+                .iter()
+                .rev()
+                .map(|op| match *op {
+                    NoisyOp::Clifford(g) => NoisyOp::Clifford(g.inverse()),
+                    other => other,
+                })
+                .collect()
         })
     }
 
@@ -270,6 +296,32 @@ mod tests {
         assert_eq!(h.fingerprint(), h.fingerprint());
         // Equality ignores whether the fingerprint has been computed.
         assert_eq!(h, build(Gate::H(0)));
+    }
+
+    #[test]
+    fn reversed_inverted_ops_reverse_and_invert() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::S(1));
+        c.push(Gate::Cx(0, 1));
+        let model = NoiseModel::uniform(2, 1e-3, 1e-2, 0.0);
+        let nc = NoisyCircuit::from_circuit(&c, &model).unwrap();
+        assert_eq!(
+            nc.reversed_inverted_ops(),
+            &[
+                NoisyOp::Depol2(0, 1, 1e-2),
+                NoisyOp::Clifford(CliffordGate::Cx(0, 1)),
+                NoisyOp::Depol1(1, 1e-3),
+                NoisyOp::Clifford(CliffordGate::Sdg(1)),
+                NoisyOp::Depol1(0, 1e-3),
+                NoisyOp::Clifford(CliffordGate::H(0)),
+            ]
+        );
+        // Memoized: the second call hands back the same slice.
+        assert_eq!(
+            nc.reversed_inverted_ops().as_ptr(),
+            nc.reversed_inverted_ops().as_ptr()
+        );
     }
 
     #[test]

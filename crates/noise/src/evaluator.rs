@@ -4,7 +4,7 @@
 use crate::{NoisyCircuit, NoisyOp};
 use clapton_pauli::{
     uniform_pauli_pair_planes, uniform_pauli_planes, BernoulliWords, FrameBatch, Pauli,
-    PauliString, PauliSum,
+    PauliString, PauliSum, TermBatch,
 };
 use rand::Rng;
 use std::collections::HashMap;
@@ -26,6 +26,14 @@ use std::sync::{Arc, OnceLock, RwLock};
 /// per term. This is a strict improvement over the paper's shot sampling
 /// (stim) for the same noise semantics; see [`FrameSampler`] for the faithful
 /// sampled variant whose mean converges to these values.
+///
+/// Whole-Hamiltonian energies are **bit-parallel**: [`ExactEvaluator::energy`]
+/// back-propagates 64 terms per circuit walk through a signed
+/// [`TermBatch`] (the term-major sibling of the sampler's [`FrameBatch`]),
+/// falling back to the scalar walk below
+/// [`ExactEvaluator::BATCH_MIN_TERMS`] terms. Batched and scalar energies
+/// are bit-identical; [`ExactEvaluator::energy_scalar`] keeps the
+/// term-at-a-time reference.
 ///
 /// # Example
 ///
@@ -74,21 +82,180 @@ impl<'a> ExactEvaluator<'a> {
         self.back_propagate(term, false)
     }
 
+    /// Minimum Hamiltonian size at which [`ExactEvaluator::energy`] routes
+    /// through the bit-parallel batched pass. Below this the lane-packing
+    /// and per-chunk plane work outweigh the shared-walk win; energies are
+    /// bit-identical either way, so the threshold is purely a performance
+    /// knob.
+    pub const BATCH_MIN_TERMS: usize = 8;
+
     /// Noisy energy of a full Hamiltonian: `Σ_i c_i ⟨P_i⟩_noisy` (the `LN`
     /// building block, Eq. 9).
+    ///
+    /// Hamiltonians with at least [`ExactEvaluator::BATCH_MIN_TERMS`] terms
+    /// take the bit-parallel batched pass ([`ExactEvaluator::energy_batched`]:
+    /// one circuit walk per 64 terms); smaller ones take the scalar walk
+    /// ([`ExactEvaluator::energy_scalar`]). The two paths are bit-identical.
     pub fn energy(&self, hamiltonian: &PauliSum) -> f64 {
+        if hamiltonian.num_terms() >= ExactEvaluator::BATCH_MIN_TERMS {
+            self.energy_batched(hamiltonian)
+        } else {
+            self.energy_scalar(hamiltonian)
+        }
+    }
+
+    /// Noiseless energy of a full Hamiltonian, with the same batched/scalar
+    /// dispatch as [`ExactEvaluator::energy`].
+    pub fn noiseless_energy(&self, hamiltonian: &PauliSum) -> f64 {
+        if hamiltonian.num_terms() >= ExactEvaluator::BATCH_MIN_TERMS {
+            self.noiseless_energy_batched(hamiltonian)
+        } else {
+            self.noiseless_energy_scalar(hamiltonian)
+        }
+    }
+
+    /// The term-at-a-time reference implementation of
+    /// [`ExactEvaluator::energy`]: one full reverse circuit walk per term.
+    /// Kept as the differential-test oracle and the baseline of the
+    /// `ln_exact_speedup` BENCH comparison.
+    pub fn energy_scalar(&self, hamiltonian: &PauliSum) -> f64 {
         hamiltonian
             .iter()
             .map(|(c, p)| c * self.expectation(p))
             .sum()
     }
 
-    /// Noiseless energy of a full Hamiltonian.
-    pub fn noiseless_energy(&self, hamiltonian: &PauliSum) -> f64 {
+    /// The term-at-a-time reference implementation of
+    /// [`ExactEvaluator::noiseless_energy`].
+    pub fn noiseless_energy_scalar(&self, hamiltonian: &PauliSum) -> f64 {
         hamiltonian
             .iter()
             .map(|(c, p)| c * self.noiseless_expectation(p))
             .sum()
+    }
+
+    /// Bit-parallel noisy energy: back-propagates the Hamiltonian in
+    /// `⌈M/64⌉` reverse circuit walks instead of `M` (see the shared batch
+    /// pass below). Bit-identical to [`ExactEvaluator::energy_scalar`].
+    pub fn energy_batched(&self, hamiltonian: &PauliSum) -> f64 {
+        self.energy_batch_pass(hamiltonian, true)
+    }
+
+    /// Bit-parallel noiseless energy (all damping dropped). Bit-identical
+    /// to [`ExactEvaluator::noiseless_energy_scalar`].
+    pub fn noiseless_energy_batched(&self, hamiltonian: &PauliSum) -> f64 {
+        self.energy_batch_pass(hamiltonian, false)
+    }
+
+    /// The shared walk behind the batched energies: packs up to 64 term
+    /// observables into a [`TermBatch`] (transposed planes + sign plane)
+    /// and conjugates all lanes through the circuit at once.
+    ///
+    /// Per chunk of ≤64 terms:
+    ///
+    /// 1. **Per-lane init** — the scalar walk starts each term at the Z
+    ///    string on its support (collecting readout factors `1-2p_k`) and
+    ///    then back-propagates the term's private `basis_prep_ops`; by
+    ///    construction that prep segment exactly rebuilds the original term
+    ///    with sign `+1` (`H` maps `Z → X`, `H·S` maps `Z → Y`, both
+    ///    sign-free), while its interleaved depolarizing slots always damp
+    ///    (the observable never leaves the slot's qubit). So the lane loads
+    ///    the term itself, and the prep damping reduces to a closed-form
+    ///    product — applied in the scalar walk's exact multiply order
+    ///    (readout over ascending support, then prep slots over descending
+    ///    support, two per `Y` and one per `X`) so the factor rounds
+    ///    bit-identically.
+    /// 2. **One shared reverse walk** — the memoized
+    ///    [`NoisyCircuit::reversed_inverted_ops`] list is traversed once:
+    ///    Clifford gates act on all 64 lanes by word-level signed
+    ///    conjugation (`CliffordGate::conjugate_terms`); depolarizing
+    ///    channels compute a 64-lane support mask (`x|z` plane words) and
+    ///    damp exactly the supported lanes (see [`damp_lanes`]), in op
+    ///    order, so each lane's factor multiplies in the same sequence as
+    ///    the scalar walk.
+    /// 3. **Readout** — lanes with any surviving x-plane bit are traceless
+    ///    on `|0…0⟩` and contribute `0`; the rest contribute
+    ///    `±factor` by their sign bit. Contributions accumulate in term
+    ///    order, so the total is bit-identical to the scalar sum.
+    fn energy_batch_pass(&self, hamiltonian: &PauliSum, with_noise: bool) -> f64 {
+        let n = self.circuit.num_qubits();
+        let mut total = 0.0;
+        let mut batch = TermBatch::new(n);
+        let mut factors = [1.0f64; TermBatch::LANES];
+        for chunk in hamiltonian.terms().chunks(TermBatch::LANES) {
+            batch.clear();
+            let mut identity_lanes = 0u64;
+            for (lane, term) in chunk.iter().enumerate() {
+                if term.pauli.is_identity() {
+                    identity_lanes |= 1 << lane;
+                    continue;
+                }
+                let mut factor = 1.0;
+                if with_noise {
+                    for q in term.pauli.support() {
+                        factor *= 1.0 - 2.0 * self.circuit.readout(q);
+                    }
+                    // Prep-slot damping in the scalar walk's order: support
+                    // descending (the prep list is walked reversed), two
+                    // slots per Y (S† and H each carry one), one per X,
+                    // none per Z — and no slot at all when the gate error
+                    // vanishes (basis_prep_ops omits it).
+                    let (xw, zw) = (term.pauli.x_words(), term.pauli.z_words());
+                    for w in (0..xw.len()).rev() {
+                        let mut bits = xw[w];
+                        while bits != 0 {
+                            let b = 63 - bits.leading_zeros();
+                            bits &= !(1u64 << b);
+                            let q = w * 64 + b as usize;
+                            let p = self.circuit.gate_p1(q);
+                            if p > 0.0 {
+                                let damp = 1.0 - 4.0 * p / 3.0;
+                                factor *= damp;
+                                if (zw[w] >> b) & 1 == 1 {
+                                    factor *= damp; // Y: second slot
+                                }
+                            }
+                        }
+                    }
+                }
+                factors[lane] = factor;
+                batch.set_lane(lane, &term.pauli, false);
+            }
+            // The shared circuit walk, once for all lanes of the chunk.
+            for op in self.circuit.reversed_inverted_ops() {
+                match *op {
+                    NoisyOp::Clifford(g) => g.conjugate_terms(&mut batch),
+                    NoisyOp::Depol1(q, p) => {
+                        if with_noise {
+                            let supported = batch.support_mask(q);
+                            damp_lanes(&mut factors, supported, 1.0 - 4.0 * p / 3.0);
+                        }
+                    }
+                    NoisyOp::Depol2(a, b, p) => {
+                        if with_noise {
+                            let supported = batch.support_mask(a) | batch.support_mask(b);
+                            damp_lanes(&mut factors, supported, 1.0 - 16.0 * p / 15.0);
+                        }
+                    }
+                }
+            }
+            let traceless = batch.any_x_mask();
+            let signs = batch.sign_mask();
+            for (lane, term) in chunk.iter().enumerate() {
+                let bit = 1u64 << lane;
+                let value = if identity_lanes & bit != 0 {
+                    1.0
+                } else if traceless & bit != 0 {
+                    0.0
+                } else if signs & bit != 0 {
+                    -factors[lane]
+                } else {
+                    factors[lane]
+                };
+                total += term.coefficient * value;
+            }
+        }
+        total
     }
 
     fn back_propagate(&self, term: &PauliString, with_noise: bool) -> f64 {
@@ -105,11 +272,17 @@ impl<'a> ExactEvaluator<'a> {
         }
         let mut sign = 1.0;
         let prep = self.circuit.basis_prep_ops(term);
-        for op in prep.iter().rev().chain(self.circuit.ops().iter().rev()) {
-            match *op {
+        // The prep ops are reversed-and-inverted inline (per-term, tiny);
+        // the circuit's list is built once and memoized.
+        let prep_rev = prep.iter().rev().map(|op| match *op {
+            NoisyOp::Clifford(g) => NoisyOp::Clifford(g.inverse()),
+            other => other,
+        });
+        for op in prep_rev.chain(self.circuit.reversed_inverted_ops().iter().copied()) {
+            match op {
                 NoisyOp::Clifford(g) => {
-                    // O ← g† O g.
-                    if g.inverse().conjugate(&mut obs) {
+                    // O ← g† O g (g already inverted).
+                    if g.conjugate(&mut obs) {
                         sign = -sign;
                     }
                 }
@@ -558,6 +731,33 @@ impl TermCache {
             return prep;
         }
         Arc::clone(map.entry(term.clone()).or_insert(prep))
+    }
+}
+
+/// Multiplies `damp` into every factor whose `supported` bit is set.
+///
+/// Sparse masks take a set-bit loop; dense masks take a branch-free select
+/// loop (`× damp` or `× 1.0` per lane) the compiler can vectorize — for
+/// finite factors `f × 1.0` is bit-exact `f` (IEEE 754), so both shapes
+/// multiply each supported lane by exactly the same sequence the scalar
+/// walk would, preserving batch-vs-scalar bit-identity.
+#[inline]
+fn damp_lanes(factors: &mut [f64; TermBatch::LANES], supported: u64, damp: f64) {
+    if supported.count_ones() < 16 {
+        let mut mask = supported;
+        while mask != 0 {
+            factors[mask.trailing_zeros() as usize] *= damp;
+            mask &= mask - 1;
+        }
+    } else {
+        for (lane, factor) in factors.iter_mut().enumerate() {
+            let d = if (supported >> lane) & 1 == 1 {
+                damp
+            } else {
+                1.0
+            };
+            *factor *= d;
+        }
     }
 }
 

@@ -19,8 +19,11 @@
 //! * [`ExactEvaluator`] — closed form. For stochastic Pauli channels acting
 //!   on a Clifford circuit the Heisenberg-picture observable just picks up a
 //!   scalar damping factor per channel (`1-4p/3`, `1-16p/15`, `1-2p_k`), so
-//!   the noisy expectation is exact with **zero sampling error** in one
-//!   back-propagation pass per term.
+//!   the noisy expectation is exact with **zero sampling error**. Full
+//!   Hamiltonian energies back-propagate bit-parallel: 64 terms share one
+//!   reverse circuit walk through a signed [`clapton_pauli::TermBatch`]
+//!   (transposed planes + sign plane), bit-identical to the retained
+//!   term-at-a-time scalar reference.
 //! * [`FrameSampler`] — faithful stim-style Pauli-frame Monte Carlo (what the
 //!   paper actually ran); its mean converges to the exact value, which the
 //!   tests pin down. Frames propagate 64 shots at a time through a

@@ -13,7 +13,10 @@
 //!   every VQE Hamiltonian in the paper (`H = Σ_i c_i P_i`, §3.2),
 //! * [`FrameBatch`] — 64 Pauli error frames stored shot-major (one `u64`
 //!   x/z word pair per qubit), the bit-parallel substrate of the stim-style
-//!   frame sampler, with [`BernoulliWords`] buffered-geometric error masks.
+//!   frame sampler, with [`BernoulliWords`] buffered-geometric error masks,
+//! * [`TermBatch`] — the signed sibling of [`FrameBatch`]: 64 Hamiltonian-term
+//!   observables stored term-major plus a sign bit-plane, the substrate of
+//!   the bit-parallel *exact* back-propagation path.
 //!
 //! The representation follows the symplectic convention used by stim and
 //! Qiskit: a qubit with `(x, z)` bits `(0,0), (1,0), (1,1), (0,1)` carries
@@ -50,6 +53,7 @@ mod phase;
 mod single;
 mod string;
 mod sum;
+mod term_batch;
 
 pub use frame_batch::{
     uniform_pauli_pair_planes, uniform_pauli_planes, BernoulliWords, FrameBatch,
@@ -58,6 +62,7 @@ pub use phase::Phase;
 pub use single::Pauli;
 pub use string::{PauliParseError, PauliString};
 pub use sum::{PauliSum, Term};
+pub use term_batch::TermBatch;
 
 /// Number of bits per storage word in [`PauliString`].
 pub(crate) const WORD_BITS: usize = 64;

@@ -143,6 +143,14 @@ impl PauliString {
         &self.z
     }
 
+    /// Resets every qubit to the identity, keeping the register size (and
+    /// the storage allocation — the in-place counterpart of
+    /// [`PauliString::identity`] for scratch buffers).
+    pub fn clear(&mut self) {
+        self.x.fill(0);
+        self.z.fill(0);
+    }
+
     /// Whether this is the identity string.
     #[inline]
     pub fn is_identity(&self) -> bool {
@@ -527,6 +535,19 @@ mod tests {
         // X anywhere still zeroes the diagonal element.
         p.set(65, Pauli::X);
         assert_eq!(p.expectation_basis_state(&bits), 0.0);
+    }
+
+    #[test]
+    fn clear_resets_to_identity_in_place() {
+        let mut p = ps("XYZI");
+        p.clear();
+        assert!(p.is_identity());
+        assert_eq!(p.num_qubits(), 4);
+        // Works across word boundaries too.
+        let mut wide = PauliString::identity(130);
+        wide.set(129, Pauli::Y);
+        wide.clear();
+        assert!(wide.is_identity());
     }
 
     #[test]

@@ -192,6 +192,32 @@ impl PauliSum {
         }
     }
 
+    /// [`PauliSum::map_terms`] writing into `out`, reusing its term storage:
+    /// `f` receives each source string and a pre-sized scratch destination
+    /// to fill, and returns the sign to absorb into the coefficient. After
+    /// the first call with a given shape, re-mapping performs no heap
+    /// allocation — the hot path of the per-genome Hamiltonian transform.
+    pub fn map_terms_into<F>(&self, mut f: F, out: &mut PauliSum)
+    where
+        F: FnMut(&PauliString, &mut PauliString) -> f64,
+    {
+        out.num_qubits = self.num_qubits;
+        out.terms.truncate(self.terms.len());
+        while out.terms.len() < self.terms.len() {
+            out.terms.push(Term {
+                coefficient: 0.0,
+                pauli: PauliString::identity(self.num_qubits),
+            });
+        }
+        for (src, dst) in self.terms.iter().zip(out.terms.iter_mut()) {
+            if dst.pauli.num_qubits() != self.num_qubits {
+                dst.pauli = PauliString::identity(self.num_qubits);
+            }
+            let sign = f(&src.pauli, &mut dst.pauli);
+            dst.coefficient = sign * src.coefficient;
+        }
+    }
+
     /// Scales every coefficient by `factor`.
     pub fn scale(&mut self, factor: f64) {
         for t in &mut self.terms {
@@ -327,6 +353,47 @@ mod tests {
         });
         assert_eq!(t.coefficient_of(&ps("Z")), Some(-2.0));
         assert_eq!(t.coefficient_of(&ps("X")), Some(3.0));
+    }
+
+    #[test]
+    fn map_terms_into_matches_map_terms_and_reuses_storage() {
+        let h = PauliSum::from_terms(2, vec![(2.0, ps("XY")), (3.0, ps("ZI")), (-1.0, ps("II"))]);
+        let flip = |p: &PauliString| -> (f64, PauliString) {
+            if p.get(0) == Pauli::X {
+                (-1.0, ps("ZZ"))
+            } else {
+                (1.0, p.clone())
+            }
+        };
+        let expected = h.map_terms(flip);
+        // Start from a differently-shaped buffer: wrong register, wrong
+        // term count — map_terms_into must rebuild it.
+        let mut out = PauliSum::from_terms(3, vec![(9.0, ps("XXX"))]);
+        h.map_terms_into(
+            |src, dst| {
+                let (sign, image) = flip(src);
+                dst.clear();
+                for q in image.support() {
+                    dst.set(q, image.get(q));
+                }
+                sign
+            },
+            &mut out,
+        );
+        assert_eq!(out, expected);
+        // A second pass over a now-matching buffer agrees too.
+        h.map_terms_into(
+            |src, dst| {
+                let (sign, image) = flip(src);
+                dst.clear();
+                for q in image.support() {
+                    dst.set(q, image.get(q));
+                }
+                sign
+            },
+            &mut out,
+        );
+        assert_eq!(out, expected);
     }
 
     #[test]

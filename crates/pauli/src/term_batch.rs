@@ -1,0 +1,272 @@
+//! Bit-parallel batches of *signed* Pauli observables (64 terms per word).
+//!
+//! [`crate::FrameBatch`] made the sampled noise path bit-parallel by storing
+//! 64 error frames transposed; error frames carry no phases, so its gate
+//! action is sign-free. The **exact** noisy-loss path (Heisenberg
+//! back-propagation of every Hamiltonian term) needs the same transposition
+//! trick *with signs*: conjugating an observable through a Clifford gate can
+//! flip its sign, and that sign multiplies the term's energy contribution.
+//!
+//! [`TermBatch`] therefore packs 64 Hamiltonian-term observables term-major —
+//! for every qubit one `u64` x-word and one `u64` z-word whose bit `ℓ`
+//! belongs to lane (term) `ℓ` — **plus one `u64` sign bit-plane** whose bit
+//! `ℓ` records whether lane `ℓ` has accumulated a `-1` so far. Clifford
+//! conjugation of all 64 observables is then a handful of word operations
+//! per gate, with the Aaronson–Gottesman sign rules evaluated as word-level
+//! boolean formulas on the same planes (see
+//! `CliffordGate::conjugate_terms` in `clapton-stabilizer`).
+
+use crate::{Pauli, PauliString};
+
+/// A batch of [`TermBatch::LANES`] signed Pauli observables stored
+/// term-major: for each qubit `q`, bit `ℓ` of `x(q)`/`z(q)` is the
+/// symplectic `(x, z)` bit of lane `ℓ`'s observable on that qubit, and bit
+/// `ℓ` of [`TermBatch::sign_mask`] is set iff lane `ℓ` currently carries an
+/// overall factor `-1`.
+///
+/// # Example
+///
+/// ```
+/// use clapton_pauli::{Pauli, PauliString, TermBatch};
+///
+/// let mut batch = TermBatch::new(3);
+/// batch.set_lane(0, &"XIZ".parse().unwrap(), false);
+/// batch.set_lane(5, &"IYI".parse().unwrap(), true);
+/// assert_eq!(batch.lane(0), (false, "XIZ".parse().unwrap()));
+/// assert_eq!(batch.lane(5), (true, "IYI".parse().unwrap()));
+/// assert_eq!(batch.lane(1), (false, PauliString::identity(3)));
+/// // Lanes 0 and 5 touch qubits {0, 2} and {1}: per-qubit support masks.
+/// assert_eq!(batch.support_mask(0), 0b000001);
+/// assert_eq!(batch.support_mask(1), 0b100000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermBatch {
+    n: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
+    sign: u64,
+}
+
+impl TermBatch {
+    /// Terms per batch: one per bit of the per-qubit storage words.
+    pub const LANES: usize = 64;
+
+    /// A batch of positive identity observables on `n` qubits.
+    pub fn new(n: usize) -> TermBatch {
+        TermBatch {
+            n,
+            x: vec![0; n],
+            z: vec![0; n],
+            sign: 0,
+        }
+    }
+
+    /// The register size.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Resets every lane to the positive identity.
+    pub fn clear(&mut self) {
+        self.x.fill(0);
+        self.z.fill(0);
+        self.sign = 0;
+    }
+
+    /// The x bit-plane of `qubit` (bit `ℓ` = lane `ℓ`).
+    #[inline]
+    pub fn x(&self, qubit: usize) -> u64 {
+        self.x[qubit]
+    }
+
+    /// The z bit-plane of `qubit`.
+    #[inline]
+    pub fn z(&self, qubit: usize) -> u64 {
+        self.z[qubit]
+    }
+
+    /// XORs `mask` into the x plane of `qubit`.
+    #[inline]
+    pub fn xor_x(&mut self, qubit: usize, mask: u64) {
+        self.x[qubit] ^= mask;
+    }
+
+    /// XORs `mask` into the z plane of `qubit`.
+    #[inline]
+    pub fn xor_z(&mut self, qubit: usize, mask: u64) {
+        self.z[qubit] ^= mask;
+    }
+
+    /// Swaps the x and z planes of `qubit` (the H / √Y / √Y† symplectic
+    /// action).
+    #[inline]
+    pub fn swap_xz(&mut self, qubit: usize) {
+        std::mem::swap(&mut self.x[qubit], &mut self.z[qubit]);
+    }
+
+    /// Swaps two qubits across all lanes (the SWAP gate).
+    #[inline]
+    pub fn swap_qubits(&mut self, a: usize, b: usize) {
+        self.x.swap(a, b);
+        self.z.swap(a, b);
+    }
+
+    /// The sign bit-plane: bit `ℓ` set iff lane `ℓ` carries a factor `-1`.
+    #[inline]
+    pub fn sign_mask(&self) -> u64 {
+        self.sign
+    }
+
+    /// Flips the sign of every lane whose `mask` bit is set (how gate sign
+    /// rules are applied word-parallel).
+    #[inline]
+    pub fn xor_sign(&mut self, mask: u64) {
+        self.sign ^= mask;
+    }
+
+    /// Per-lane support of `qubit`: bit `ℓ` set iff lane `ℓ`'s observable
+    /// acts non-trivially there. One OR — this is what makes depolarizing
+    /// damping decisions word-parallel.
+    #[inline]
+    pub fn support_mask(&self, qubit: usize) -> u64 {
+        self.x[qubit] | self.z[qubit]
+    }
+
+    /// Lanes whose observable has any x bit left anywhere on the register —
+    /// i.e. is *not* Z-type, so its `⟨0…0| · |0…0⟩` expectation vanishes.
+    pub fn any_x_mask(&self) -> u64 {
+        self.x.iter().fold(0, |acc, &w| acc | w)
+    }
+
+    /// Loads `p` (with sign `-1` iff `negative`) into `lane`.
+    ///
+    /// The lane must currently be the positive identity (e.g. right after
+    /// [`TermBatch::new`] or [`TermBatch::clear`]); cost is `O(weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= TermBatch::LANES`, if `p` acts on a different
+    /// number of qubits, or (debug builds) if the lane is not empty.
+    pub fn set_lane(&mut self, lane: usize, p: &PauliString, negative: bool) {
+        assert!(lane < TermBatch::LANES, "lane {lane} out of range");
+        assert_eq!(self.n, p.num_qubits(), "qubit count mismatch");
+        debug_assert_eq!(
+            self.lane(lane),
+            (false, PauliString::identity(self.n)),
+            "lane {lane} must be cleared before set_lane"
+        );
+        let bit = 1u64 << lane;
+        for q in p.support() {
+            let (x, z) = p.get(q).xz();
+            if x {
+                self.x[q] |= bit;
+            }
+            if z {
+                self.z[q] |= bit;
+            }
+        }
+        if negative {
+            self.sign |= bit;
+        }
+    }
+
+    /// Extracts lane `lane` as `(negative, observable)` (diagnostics/tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= TermBatch::LANES`.
+    pub fn lane(&self, lane: usize) -> (bool, PauliString) {
+        assert!(lane < TermBatch::LANES, "lane {lane} out of range");
+        let p = PauliString::from_sparse(
+            self.n,
+            (0..self.n).map(|q| {
+                let xb = (self.x[q] >> lane) & 1 == 1;
+                let zb = (self.z[q] >> lane) & 1 == 1;
+                (q, Pauli::from_xz(xb, zb))
+            }),
+        );
+        ((self.sign >> lane) & 1 == 1, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn new_batch_is_all_positive_identity() {
+        let batch = TermBatch::new(4);
+        for lane in 0..TermBatch::LANES {
+            assert_eq!(batch.lane(lane), (false, PauliString::identity(4)));
+        }
+        assert_eq!(batch.sign_mask(), 0);
+        assert_eq!(batch.any_x_mask(), 0);
+    }
+
+    #[test]
+    fn set_lane_round_trips() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for n in [1usize, 5, 70] {
+            let mut batch = TermBatch::new(n);
+            let terms: Vec<(bool, PauliString)> = (0..TermBatch::LANES)
+                .map(|_| (rng.gen(), PauliString::random(n, &mut rng)))
+                .collect();
+            for (lane, (neg, p)) in terms.iter().enumerate() {
+                batch.set_lane(lane, p, *neg);
+            }
+            for (lane, (neg, p)) in terms.iter().enumerate() {
+                assert_eq!(batch.lane(lane), (*neg, p.clone()), "lane {lane} n {n}");
+            }
+            batch.clear();
+            assert_eq!(batch.lane(17), (false, PauliString::identity(n)));
+            assert_eq!(batch.sign_mask(), 0);
+        }
+    }
+
+    #[test]
+    fn support_and_x_masks_match_per_lane_queries() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let n = 6;
+        let mut batch = TermBatch::new(n);
+        let terms: Vec<PauliString> = (0..TermBatch::LANES)
+            .map(|_| PauliString::random(n, &mut rng))
+            .collect();
+        for (lane, p) in terms.iter().enumerate() {
+            batch.set_lane(lane, p, false);
+        }
+        for q in 0..n {
+            let mask = batch.support_mask(q);
+            for (lane, p) in terms.iter().enumerate() {
+                assert_eq!((mask >> lane) & 1 == 1, p.acts_on(q), "q {q} lane {lane}");
+            }
+        }
+        let any_x = batch.any_x_mask();
+        for (lane, p) in terms.iter().enumerate() {
+            assert_eq!((any_x >> lane) & 1 == 1, !p.is_z_type(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn plane_operations_match_frame_batch_semantics() {
+        let mut batch = TermBatch::new(2);
+        batch.xor_x(0, 0b1);
+        batch.swap_qubits(0, 1);
+        assert_eq!(batch.lane(0).1, "IX".parse().unwrap());
+        batch.swap_xz(1);
+        assert_eq!(batch.lane(0).1, "IZ".parse().unwrap());
+        batch.xor_sign(0b1);
+        assert_eq!(batch.lane(0), (true, "IZ".parse().unwrap()));
+        batch.xor_sign(0b1);
+        assert!(!batch.lane(0).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit count mismatch")]
+    fn set_lane_rejects_wrong_register() {
+        let mut batch = TermBatch::new(3);
+        batch.set_lane(0, &"XX".parse().unwrap(), false);
+    }
+}

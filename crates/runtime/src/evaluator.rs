@@ -13,7 +13,9 @@ use std::sync::Arc;
 /// every other batch, GA round, and scheduler job in the process. Chunks are
 /// sized so idle workers can steal meaningful work while each chunk is still
 /// wide enough to amortize the wrapped evaluator's per-batch setup (e.g. the
-/// prepared-backend hoist of `TransformLoss`).
+/// prepared-backend hoist of `TransformLoss`, whose exact backend then runs
+/// the bit-parallel batched back-propagation — 64 Hamiltonian terms per
+/// circuit walk — inside every chunk).
 ///
 /// Results are written into per-chunk output slots, so the batch is
 /// bit-identical to sequential evaluation no matter which worker executes

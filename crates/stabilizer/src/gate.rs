@@ -1,6 +1,6 @@
 //! Clifford gates and their exact Heisenberg conjugation rules.
 
-use clapton_pauli::{FrameBatch, Pauli, PauliString};
+use clapton_pauli::{FrameBatch, Pauli, PauliString, TermBatch};
 use std::fmt;
 
 /// A single- or two-qubit Clifford gate.
@@ -251,6 +251,89 @@ impl CliffordGate {
             Swap(a, b) => frames.swap_qubits(a, b),
         }
     }
+
+    /// Conjugates all 64 signed observables of a [`TermBatch`] at once:
+    /// `P_ℓ → g P_ℓ g†` for every lane `ℓ`, with the Aaronson–Gottesman
+    /// sign rules evaluated as word-level boolean formulas on the
+    /// transposed bit planes and XORed into the batch's sign plane.
+    ///
+    /// This is the sign-carrying generalization of
+    /// [`CliffordGate::conjugate_frames`]: lane `ℓ` ends up exactly where
+    /// scalar [`CliffordGate::conjugate`] would put that lane's observable,
+    /// *including* the sign flip (differentially tested lane-by-lane for
+    /// every gate variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate qubit is out of range for the batch.
+    pub fn conjugate_terms(&self, terms: &mut TermBatch) {
+        use CliffordGate::*;
+        match *self {
+            // H: X ↔ Z, Y → -Y — flip iff x ∧ z.
+            H(q) => {
+                terms.xor_sign(terms.x(q) & terms.z(q));
+                terms.swap_xz(q);
+            }
+            // S: X → Y, Y → -X — flip iff x ∧ z; (x, z) → (x, z ⊕ x).
+            S(q) => {
+                terms.xor_sign(terms.x(q) & terms.z(q));
+                let x = terms.x(q);
+                terms.xor_z(q, x);
+            }
+            // S†: X → -Y, Y → X — flip iff x ∧ ¬z.
+            Sdg(q) => {
+                terms.xor_sign(terms.x(q) & !terms.z(q));
+                let x = terms.x(q);
+                terms.xor_z(q, x);
+            }
+            // Pauli gates: flip anticommuting lanes, planes untouched.
+            X(q) => terms.xor_sign(terms.z(q)),
+            Y(q) => terms.xor_sign(terms.x(q) ^ terms.z(q)),
+            Z(q) => terms.xor_sign(terms.x(q)),
+            // √X: Z → -Y, Y → Z — flip iff ¬x ∧ z; (x, z) → (x ⊕ z, z).
+            SqrtX(q) => {
+                terms.xor_sign(!terms.x(q) & terms.z(q));
+                let z = terms.z(q);
+                terms.xor_x(q, z);
+            }
+            // √X†: Z → Y, Y → -Z — flip iff x ∧ z.
+            SqrtXdg(q) => {
+                terms.xor_sign(terms.x(q) & terms.z(q));
+                let z = terms.z(q);
+                terms.xor_x(q, z);
+            }
+            // √Y: X → -Z, Z → X — flip iff x ∧ ¬z; planes swap.
+            SqrtY(q) => {
+                terms.xor_sign(terms.x(q) & !terms.z(q));
+                terms.swap_xz(q);
+            }
+            // √Y†: X → Z, Z → -X — flip iff ¬x ∧ z.
+            SqrtYdg(q) => {
+                terms.xor_sign(!terms.x(q) & terms.z(q));
+                terms.swap_xz(q);
+            }
+            // CX: x_t ⊕= x_c, z_c ⊕= z_t (Eq. 3); sign rule: flip iff
+            // x_c ∧ z_t ∧ ¬(x_t ⊕ z_c).
+            Cx(c, t) => {
+                let (xc, zc) = (terms.x(c), terms.z(c));
+                let (xt, zt) = (terms.x(t), terms.z(t));
+                terms.xor_sign(xc & zt & !(xt ^ zc));
+                terms.xor_x(t, xc);
+                terms.xor_z(c, zt);
+            }
+            // CZ: z_a ⊕= x_b, z_b ⊕= x_a; sign rule (the H·CX·H
+            // composition's three flips collapse to): flip iff
+            // x_a ∧ x_b ∧ (z_a ⊕ z_b) — e.g. X⊗Y → -(Y⊗X).
+            Cz(a, b) => {
+                let (xa, za) = (terms.x(a), terms.z(a));
+                let (xb, zb) = (terms.x(b), terms.z(b));
+                terms.xor_sign(xa & xb & (za ^ zb));
+                terms.xor_z(a, xb);
+                terms.xor_z(b, xa);
+            }
+            Swap(a, b) => terms.swap_qubits(a, b),
+        }
+    }
 }
 
 impl fmt::Display for CliffordGate {
@@ -490,6 +573,50 @@ mod tests {
                 let mut scalar = frame;
                 g.conjugate(&mut scalar);
                 assert_eq!(batch.frame(lane), scalar, "{g} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_batched_conjugation_matches_scalar_per_lane() {
+        // Every lane of conjugate_terms must land exactly where scalar
+        // conjugation sends that lane's observable — image AND sign — for
+        // every gate variant, including lanes that start negative.
+        use clapton_pauli::TermBatch;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let gates = [
+            CliffordGate::H(0),
+            CliffordGate::S(0),
+            CliffordGate::Sdg(1),
+            CliffordGate::X(0),
+            CliffordGate::Y(1),
+            CliffordGate::Z(0),
+            CliffordGate::SqrtX(1),
+            CliffordGate::SqrtXdg(0),
+            CliffordGate::SqrtY(1),
+            CliffordGate::SqrtYdg(0),
+            CliffordGate::Cx(0, 1),
+            CliffordGate::Cx(1, 0),
+            CliffordGate::Cz(0, 1),
+            CliffordGate::Cz(1, 0),
+            CliffordGate::Swap(0, 1),
+        ];
+        let mut rng = StdRng::seed_from_u64(47);
+        for g in gates {
+            let mut batch = TermBatch::new(3);
+            for q in 0..3 {
+                batch.xor_x(q, rng.gen());
+                batch.xor_z(q, rng.gen());
+            }
+            batch.xor_sign(rng.gen());
+            let before: Vec<(bool, PauliString)> =
+                (0..TermBatch::LANES).map(|l| batch.lane(l)).collect();
+            g.conjugate_terms(&mut batch);
+            for (lane, (neg, obs)) in before.into_iter().enumerate() {
+                let mut scalar = obs;
+                let flipped = g.conjugate(&mut scalar);
+                assert_eq!(batch.lane(lane), (neg ^ flipped, scalar), "{g} lane {lane}");
             }
         }
     }

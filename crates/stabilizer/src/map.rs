@@ -104,12 +104,29 @@ impl CliffordMap {
     ///
     /// Panics if `p` acts on a different number of qubits.
     pub fn conjugate(&self, p: &PauliString) -> (f64, PauliString) {
+        let mut out = PauliString::identity(self.n);
+        let sign = self.conjugate_into(p, &mut out);
+        (sign, out)
+    }
+
+    /// Allocation-free [`CliffordMap::conjugate`]: writes the image into
+    /// `out` (any prior contents are overwritten) and returns the sign.
+    /// This is the hot call of the per-genome Hamiltonian transform — one
+    /// invocation per term per genome — so the image buffer is caller-owned
+    /// and reused instead of freshly allocated every time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `out` act on a different number of qubits than the
+    /// map.
+    pub fn conjugate_into(&self, p: &PauliString, out: &mut PauliString) -> f64 {
         assert_eq!(p.num_qubits(), self.n, "qubit count mismatch");
+        assert_eq!(out.num_qubits(), self.n, "output qubit count mismatch");
+        out.clear();
         // Decompose P = i^{Σ x_j z_j} · Π_j X_j^{x_j} · Π_j Z_j^{z_j} and map
         // each generator to its image row; phases accumulate exactly.
         let mut phase = Phase::ONE;
         let mut y_count: u8 = 0;
-        let mut out = PauliString::identity(self.n);
         for q in p.support() {
             let (x, z) = p.get(q).xz();
             if x && z {
@@ -137,10 +154,9 @@ impl CliffordMap {
         // The image of a Hermitian Pauli under Clifford conjugation is a
         // signed Hermitian Pauli; the Y factors of the image contribute the
         // compensating i's inside `mul_assign_right`, so `total` is real.
-        let sign = total
+        total
             .as_sign()
-            .expect("Clifford image of Hermitian Pauli must be Hermitian");
-        (sign, out)
+            .expect("Clifford image of Hermitian Pauli must be Hermitian")
     }
 
     /// Composes two maps: `(self ∘ other)(P) = self(other(P))`.
@@ -402,6 +418,22 @@ mod tests {
                 assert_eq!(back, p);
                 assert_eq!(s1 * s2, 1.0);
             }
+        }
+    }
+
+    #[test]
+    fn conjugate_into_reuses_buffer_and_matches_conjugate() {
+        // The allocation-free path must overwrite whatever the scratch
+        // buffer held and agree with the allocating path exactly.
+        let mut rng = StdRng::seed_from_u64(61);
+        let n = 5;
+        let gates = random_circuit(n, 25, &mut rng);
+        let map = CliffordMap::anticonjugation(n, &gates);
+        let mut scratch = PauliString::random(n, &mut rng); // stale contents
+        for _ in 0..20 {
+            let p = PauliString::random(n, &mut rng);
+            let sign = map.conjugate_into(&p, &mut scratch);
+            assert_eq!(map.conjugate(&p), (sign, scratch.clone()));
         }
     }
 
