@@ -1,6 +1,7 @@
 //! End-to-end pipeline benchmarks: one Clapton loss evaluation (transform +
-//! `LN` + `L0`) and one full quick optimization — the per-candidate and
-//! per-run costs behind Figure 9.
+//! `LN` + `L0`), one full quick optimization — the per-candidate and
+//! per-run costs behind Figure 9 — and the dispatch overhead of the
+//! `JobSpec`/`ClaptonService` front door.
 
 use clapton_circuits::TransformationAnsatz;
 use clapton_core::{
@@ -9,6 +10,10 @@ use clapton_core::{
 };
 use clapton_models::{ising, molecular, Molecule};
 use clapton_noise::NoiseModel;
+use clapton_service::{
+    ClaptonService, EngineSpec, JobSpec, MethodSpec, NoiseSpec, ProblemSpec, SuiteProblem,
+    UniformNoise,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -51,9 +56,99 @@ fn bench_full_quick_run(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pins the cost of the declarative front door: parsing a spec from JSON
+/// plus `validate()` (the pure dispatch work every submission pays) against
+/// the direct `run_clapton` call it routes to, and the full
+/// `ClaptonService::run` of the same job. The headline
+/// `dispatch_overhead_pct` row asserts the front door stays off the hot
+/// path — parse + validate is microseconds against a run of hundreds of
+/// milliseconds.
+fn emit_service_dispatch_overhead(_c: &mut Criterion) {
+    let n = 6;
+    let (p1, p2, readout) = (3e-4, 8e-3, 2e-2);
+    let h = ising(n, 0.25);
+    let model = NoiseModel::uniform(n, p1, p2, readout);
+    let exec = ExecutableAnsatz::untranspiled(n, &model);
+    let mut spec = JobSpec::new(ProblemSpec::Suite(SuiteProblem {
+        name: "ising(J=0.25)".to_string(),
+        qubits: n,
+    }));
+    spec.noise = NoiseSpec::Uniform(UniformNoise {
+        p1,
+        p2,
+        readout,
+        t1: None,
+    });
+    spec.methods = vec![MethodSpec::Clapton];
+    spec.engine = EngineSpec::Quick;
+    spec.seed = 1;
+    let spec_json = serde_json::to_string(&spec).expect("spec serializes");
+    let service = ClaptonService::new();
+
+    fn median_ns(samples: &mut [u128]) -> u128 {
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+    fn time(f: &mut dyn FnMut()) -> u128 {
+        let t0 = std::time::Instant::now();
+        f();
+        t0.elapsed().as_nanos()
+    }
+
+    // Pure dispatch: parse + validate, amortized over many reps per sample.
+    const PARSE_REPS: u128 = 200;
+    let mut parse_samples: Vec<u128> = (0..12)
+        .map(|_| {
+            time(&mut || {
+                for _ in 0..PARSE_REPS {
+                    let parsed: JobSpec =
+                        serde_json::from_str(black_box(&spec_json)).expect("parses");
+                    black_box(parsed.validate().expect("validates"));
+                }
+            }) / PARSE_REPS
+        })
+        .collect();
+
+    // Direct engine call vs the same job through the service, interleaved
+    // so clock drift cannot manufacture an overhead.
+    let mut direct_samples = Vec::new();
+    let mut service_samples = Vec::new();
+    black_box(run_clapton(&h, &exec, &ClaptonConfig::quick(1)));
+    black_box(service.run(spec.clone()).expect("job converges"));
+    for round in 0..4 {
+        let run_direct = &mut || {
+            black_box(run_clapton(black_box(&h), &exec, &ClaptonConfig::quick(1)));
+        };
+        let run_service = &mut || {
+            let parsed: JobSpec = serde_json::from_str(&spec_json).expect("parses");
+            black_box(service.run(parsed).expect("job converges"));
+        };
+        if round % 2 == 0 {
+            direct_samples.push(time(run_direct));
+            service_samples.push(time(run_service));
+        } else {
+            service_samples.push(time(run_service));
+            direct_samples.push(time(run_direct));
+        }
+    }
+    let parse_validate = median_ns(&mut parse_samples);
+    let direct = median_ns(&mut direct_samples);
+    let through_service = median_ns(&mut service_samples);
+    let overhead_pct = 100.0 * parse_validate as f64 / direct.max(1) as f64;
+    println!(
+        "service_dispatch_overhead: parse+validate {parse_validate} ns, direct {direct} ns, \
+         via service {through_service} ns ({overhead_pct:.4}% dispatch overhead)"
+    );
+    criterion::append_line(&format!(
+        "{{\"group\":\"service_dispatch_overhead\",\"id\":\"ising6_quick\",\
+         \"parse_validate_ns\":{parse_validate},\"direct_ns\":{direct},\
+         \"service_ns\":{through_service},\"dispatch_overhead_pct\":{overhead_pct:.4}}}"
+    ));
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_loss_evaluation, bench_full_quick_run
+    targets = bench_loss_evaluation, bench_full_quick_run, emit_service_dispatch_overhead
 }
 criterion_main!(benches);

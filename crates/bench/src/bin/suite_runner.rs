@@ -12,15 +12,32 @@
 //! suite-runner [--quick|--full] [--seed N] [--qubits N] [--workers N]
 //!              [--registry DIR] [--run NAME] [--halt-after-rounds N]
 //!              [--quiet] [--list]
+//!              [--specs FILE] [--emit-specs FILE]
 //! ```
 //!
-//! Artifacts per run directory: `manifest.json` (suite + seed + profile),
-//! `<job>.checkpoint.json` (per in-flight job), `<job>.result.json` (final,
-//! deterministic), `suite_summary.json` and `bench_rows.json` (wall-clock,
-//! BENCH-row format).
+//! Two suite sources:
+//!
+//! * **Built-in** (default): the paper's hard-coded benchmark suite,
+//!   parameterized by `--qubits`/`--seed`/effort. Artifacts per run
+//!   directory: `manifest.json`, `<job>.checkpoint.json`,
+//!   `<job>.result.json` (deterministic), `suite_summary.json` and
+//!   `bench_rows.json`.
+//! * **Spec file** (`--specs FILE`): a JSON array of `JobSpec`s — any jobs,
+//!   not just the hard-coded suite — executed through the `ClaptonService`
+//!   front door. Note the `--halt-after-rounds N` scope difference: the
+//!   built-in mode counts `N` rounds *summed over the whole suite* (one
+//!   shared budget), while spec mode gives *each job* its own `N`-round
+//!   budget per invocation (each spec's `budget` field is set to `N`). Each job gets its own subdirectory under the run directory
+//!   holding its `spec.json`, round checkpoints, and final `report.json`;
+//!   re-running the same command resumes suspended jobs and skips finished
+//!   ones, byte-identical to an uninterrupted run. `--emit-specs FILE`
+//!   writes the built-in suite as such a spec file (the two modes produce
+//!   the same searches).
 
-use clapton_bench::{run_suite, Options, SuiteConfig, SuiteOutcome};
+use clapton_bench::{run_spec_suite, run_suite, Options, SuiteConfig, SuiteOutcome};
+use clapton_error::ClaptonError;
 use clapton_runtime::{EventKind, RunEvent, RunRegistry, WorkerPool};
+use clapton_service::JobSpec;
 use serde::Serialize;
 use std::process::ExitCode;
 use std::sync::mpsc;
@@ -56,6 +73,8 @@ struct Args {
     halt_after_rounds: Option<u64>,
     quiet: bool,
     list: bool,
+    specs: Option<String>,
+    emit_specs: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +89,8 @@ fn parse_args() -> Result<Args, String> {
         halt_after_rounds: None,
         quiet: false,
         list: false,
+        specs: None,
+        emit_specs: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -109,6 +130,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quiet" => args.quiet = true,
             "--list" => args.list = true,
+            "--specs" => args.specs = Some(value(&mut i, "--specs")?),
+            "--emit-specs" => args.emit_specs = Some(value(&mut i, "--emit-specs")?),
             other => {
                 return Err(format!(
                     "unknown argument {other} (see the module docs for usage)"
@@ -173,6 +196,19 @@ fn main() -> ExitCode {
         qubits: args.qubits,
         halt_after_rounds: args.halt_after_rounds,
     };
+    if let Some(path) = &args.emit_specs {
+        let specs = config.specs();
+        let json = serde_json::to_string_pretty(&specs).expect("specs serialize");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("suite-runner: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "suite-runner: wrote {} job specs to {path} (run them with --specs {path})",
+            specs.len()
+        );
+        return ExitCode::SUCCESS;
+    }
     let run_name = args.run_name.clone().unwrap_or_else(|| {
         format!(
             "{}-n{}-seed{}",
@@ -196,27 +232,11 @@ fn main() -> ExitCode {
         dir.path().display()
     );
     let pool = Arc::new(WorkerPool::with_workers(args.workers));
+    if let Some(path) = &args.specs {
+        return run_specs_mode(&dir, path, &args, pool);
+    }
     // Stream progress events on a printer thread while the suite runs.
-    let (tx, rx) = mpsc::channel::<RunEvent>();
-    let quiet = args.quiet;
-    let printer = std::thread::spawn(move || {
-        for event in rx {
-            if quiet {
-                continue;
-            }
-            match event.kind {
-                EventKind::Started => println!("[{}] started", event.job),
-                EventKind::Round(round, best) => {
-                    println!("[{}] round {round}: best {best:.6}", event.job)
-                }
-                EventKind::Checkpointed(_) => {}
-                EventKind::Finished(outcome) => println!("[{}] {outcome}", event.job),
-                EventKind::Suspended(rounds) => {
-                    println!("[{}] suspended after {rounds} rounds", event.job)
-                }
-            }
-        }
-    });
+    let (tx, printer) = spawn_printer(args.quiet);
     let started = std::time::Instant::now();
     let outcome = run_suite(&dir, &config, pool, Some(tx));
     printer.join().expect("printer thread");
@@ -247,6 +267,100 @@ fn main() -> ExitCode {
         }
     );
     ExitCode::SUCCESS
+}
+
+/// Streams [`RunEvent`]s to stdout on a dedicated thread (shared by the
+/// built-in and spec-file modes); the returned sender feeds it, and joining
+/// the handle after the run drains it.
+fn spawn_printer(quiet: bool) -> (mpsc::Sender<RunEvent>, std::thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel::<RunEvent>();
+    let printer = std::thread::spawn(move || {
+        for event in rx {
+            if quiet {
+                continue;
+            }
+            match event.kind {
+                EventKind::Started => println!("[{}] started", event.job),
+                EventKind::Round(round, best) => {
+                    println!("[{}] round {round}: best {best:.6}", event.job)
+                }
+                EventKind::Checkpointed(_) => {}
+                EventKind::Finished(outcome) => println!("[{}] {outcome}", event.job),
+                EventKind::Suspended(rounds) => {
+                    println!("[{}] suspended after {rounds} rounds", event.job)
+                }
+            }
+        }
+    });
+    (tx, printer)
+}
+
+/// The `--specs FILE` mode: run an arbitrary `JobSpec` list through the
+/// `ClaptonService` front door, with per-job artifact subdirectories under
+/// the run directory.
+fn run_specs_mode(
+    dir: &clapton_runtime::RunDirectory,
+    path: &str,
+    args: &Args,
+    pool: Arc<WorkerPool>,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("suite-runner: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let specs: Vec<JobSpec> = match serde_json::from_str(&text) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("suite-runner: {path} is not a JSON array of job specs: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("suite-runner: {} job specs from {path}", specs.len());
+    let (tx, printer) = spawn_printer(args.quiet);
+    let started = std::time::Instant::now();
+    let outcome = run_spec_suite(dir.path(), specs, pool, Some(tx), args.halt_after_rounds);
+    printer.join().expect("printer thread");
+    let outcomes = match outcome {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("suite-runner: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut completed = 0usize;
+    let mut suspended = 0usize;
+    let mut failed = 0usize;
+    for (name, result) in &outcomes {
+        match result {
+            Ok(_) => completed += 1,
+            Err(ClaptonError::Suspended { rounds }) => {
+                suspended += 1;
+                println!("[{name}] checkpointed at round {rounds}");
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("[{name}] failed: {e}");
+            }
+        }
+    }
+    println!(
+        "suite-runner: {completed} of {} jobs complete in {:.2?}{}",
+        outcomes.len(),
+        started.elapsed(),
+        if suspended > 0 {
+            format!(" — {suspended} suspended; re-run the same command to resume")
+        } else {
+            String::new()
+        }
+    );
+    if failed > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Writes the wall-clock summary and the BENCH-format rows for this

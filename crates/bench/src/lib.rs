@@ -16,7 +16,9 @@
 
 pub mod suite_run;
 
-pub use suite_run::{run_suite, JobOutcome, SuiteConfig, SuiteOutcome, SuiteRecord};
+pub use suite_run::{
+    run_spec_suite, run_suite, JobOutcome, SuiteConfig, SuiteOutcome, SuiteRecord,
+};
 
 use clapton_core::{
     relative_improvement, run_cafqa, run_clapton, run_ncafqa, CafqaResult, ClaptonConfig,

@@ -18,16 +18,22 @@ use crate::Options;
 use clapton_core::{
     run_clapton_resumable, ClaptonConfig, EngineState, EvaluatorKind, ExecutableAnsatz,
 };
+use clapton_error::ClaptonError;
 use clapton_models::benchmark_suite;
 use clapton_noise::NoiseModel;
 use clapton_pauli::PauliSum;
 use clapton_runtime::{
-    artifact_slug, EventKind, JobContext, JobScheduler, JobSpec, RunDirectory, RunEvent,
-    RunManifest, WorkerPool,
+    artifact_slug, EventKind, JobContext, JobScheduler, RunDirectory, RunEvent, RunManifest,
+    ScheduledJob, WorkerPool,
+};
+use clapton_service::{
+    ClaptonService, EngineSpec, JobSpec, MethodSpec, NoiseSpec, ProblemSpec, Report, SuiteProblem,
+    UniformNoise,
 };
 use clapton_sim::ground_energy;
 use serde::{Deserialize, Serialize};
 use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
@@ -60,6 +66,34 @@ impl SuiteConfig {
             1 => "default",
             _ => "full",
         }
+    }
+
+    /// The declarative form of the hard-coded suite: one [`JobSpec`] per
+    /// benchmark, carrying the same noise, engine, and derived per-job seed
+    /// the legacy path hard-wires. `suite-runner --emit-specs` writes this
+    /// list; `--specs` consumes it (or any hand-edited variant).
+    pub fn specs(&self) -> Vec<JobSpec> {
+        let (p1, p2, readout) = SUITE_NOISE;
+        benchmark_suite(self.qubits)
+            .iter()
+            .enumerate()
+            .map(|(index, bench)| {
+                let mut spec = JobSpec::new(ProblemSpec::Suite(SuiteProblem {
+                    name: bench.name.clone(),
+                    qubits: self.qubits,
+                }));
+                spec.noise = NoiseSpec::Uniform(UniformNoise {
+                    p1,
+                    p2,
+                    readout,
+                    t1: None,
+                });
+                spec.methods = vec![MethodSpec::Clapton];
+                spec.engine = EngineSpec::from_config(self.options.engine());
+                spec.seed = job_seed(self.options.seed, index);
+                spec
+            })
+            .collect()
     }
 
     /// The manifest this configuration stamps onto its run directory.
@@ -190,7 +224,7 @@ pub fn run_suite(
         .halt_after_rounds
         .map(|rounds| Arc::new(AtomicI64::new(rounds as i64)));
     let scheduler = JobScheduler::new(pool);
-    let jobs: Vec<JobSpec<'_, io::Result<JobOutcome>>> = suite
+    let jobs: Vec<ScheduledJob<'_, io::Result<JobOutcome>>> = suite
         .iter()
         .enumerate()
         .map(|(index, bench)| {
@@ -199,7 +233,7 @@ pub fn run_suite(
             let name = bench.name.clone();
             let hamiltonian = &bench.hamiltonian;
             let seed = job_seed(config.options.seed, index);
-            JobSpec::new(bench.name.clone(), move |ctx: &JobContext| {
+            ScheduledJob::new(bench.name.clone(), move |ctx: &JobContext| {
                 let config = ClaptonConfig {
                     engine,
                     evaluator: EvaluatorKind::Exact,
@@ -322,4 +356,44 @@ fn run_one_job(
             })
         }
     }
+}
+
+/// One entry of a spec-driven suite outcome: the job's display name and
+/// its result — a [`Report`] on completion, [`ClaptonError::Suspended`]
+/// when the round budget halted it.
+pub type SpecJobOutcome = (String, Result<Report, ClaptonError>);
+
+/// Runs a suite described by a list of [`JobSpec`]s through the
+/// [`ClaptonService`] front door: each job gets its own artifact directory
+/// under `root` (spec + per-round checkpoints + final `report.json`), and
+/// re-running the same spec list resumes suspended jobs and answers
+/// completed ones from their persisted reports — byte-identical to an
+/// uninterrupted run.
+///
+/// `halt_after_rounds` overrides every job's round budget for this
+/// invocation (the spec-file analogue of the legacy `--halt-after-rounds`).
+///
+/// Returns `(display name, per-job result)` in spec order; a suspended job
+/// comes back as [`ClaptonError::Suspended`].
+///
+/// # Errors
+///
+/// The first invalid spec (nothing runs), or an artifact-directory
+/// conflict.
+pub fn run_spec_suite(
+    root: impl Into<PathBuf>,
+    mut specs: Vec<JobSpec>,
+    pool: Arc<WorkerPool>,
+    events: Option<Sender<RunEvent>>,
+    halt_after_rounds: Option<u64>,
+) -> Result<Vec<SpecJobOutcome>, ClaptonError> {
+    if let Some(budget) = halt_after_rounds {
+        for spec in &mut specs {
+            spec.budget = Some(budget);
+        }
+    }
+    let names: Vec<String> = specs.iter().map(JobSpec::display_name).collect();
+    let service = ClaptonService::with_pool(pool).with_artifacts(root)?;
+    let results = service.run_all(specs, events)?;
+    Ok(names.into_iter().zip(results).collect())
 }

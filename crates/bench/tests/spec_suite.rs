@@ -1,0 +1,129 @@
+//! The spec-driven suite path: `SuiteConfig::specs()` round-trips through
+//! JSON, runs end-to-end via `run_spec_suite`, and interrupted runs resume
+//! to byte-identical `report.json` artifacts.
+
+use clapton_bench::{run_spec_suite, Options, SuiteConfig};
+use clapton_error::ClaptonError;
+use clapton_runtime::WorkerPool;
+use clapton_service::JobSpec;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clapton-spec-suite-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_config() -> SuiteConfig {
+    SuiteConfig {
+        options: Options { effort: 0, seed: 7 },
+        qubits: 4,
+        halt_after_rounds: None,
+    }
+}
+
+/// A small slice of the suite keeps the test fast while still exercising
+/// concurrent jobs.
+fn test_specs() -> Vec<JobSpec> {
+    let mut specs = quick_config().specs();
+    specs.truncate(3);
+    // Spec-file round trip: what the CLI writes with --emit-specs is what
+    // --specs reads back.
+    let json = serde_json::to_string_pretty(&specs).unwrap();
+    let reparsed: Vec<JobSpec> = serde_json::from_str(&json).unwrap();
+    assert_eq!(reparsed, specs);
+    specs
+}
+
+fn report_files(root: &Path) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(root).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_dir() {
+            let report = entry.path().join("report.json");
+            assert!(report.is_file(), "missing {}", report.display());
+            out.push((
+                entry.file_name().to_string_lossy().into_owned(),
+                fs::read_to_string(report).unwrap(),
+            ));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn spec_suite_resumes_byte_identically_after_interruption() {
+    let pool = Arc::new(WorkerPool::with_workers(2));
+
+    // Reference: the spec suite run uninterrupted.
+    let reference_root = scratch("reference");
+    let outcomes =
+        run_spec_suite(&reference_root, test_specs(), Arc::clone(&pool), None, None).unwrap();
+    assert_eq!(outcomes.len(), 3);
+    for (name, result) in &outcomes {
+        let report = result.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(&report.name, name);
+        assert!(report.clapton.is_some(), "{name}: suite jobs run Clapton");
+    }
+
+    // Interrupted: a 2-round budget per invocation, re-run until complete
+    // (the deterministic stand-in for `kill -9` + retry).
+    let resumed_root = scratch("resumed");
+    let mut rounds_of_resume = 0usize;
+    loop {
+        rounds_of_resume += 1;
+        assert!(rounds_of_resume <= 64, "suite did not converge");
+        let outcomes = run_spec_suite(
+            &resumed_root,
+            test_specs(),
+            Arc::clone(&pool),
+            None,
+            Some(2),
+        )
+        .unwrap();
+        let all_done = outcomes.iter().all(|(_, r)| r.is_ok());
+        let any_hard_failure = outcomes
+            .iter()
+            .any(|(_, r)| matches!(r, Err(e) if !matches!(e, ClaptonError::Suspended { .. })));
+        assert!(!any_hard_failure, "only suspension is acceptable");
+        if all_done {
+            break;
+        }
+    }
+    assert!(rounds_of_resume > 1, "the 2-round budget must interrupt");
+
+    // The final artifacts are byte-identical.
+    let reference = report_files(&reference_root);
+    let resumed = report_files(&resumed_root);
+    assert_eq!(reference.len(), resumed.len());
+    for ((name_a, bytes_a), (name_b, bytes_b)) in reference.iter().zip(&resumed) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(bytes_a, bytes_b, "{name_a}: reports differ");
+    }
+
+    fs::remove_dir_all(&reference_root).unwrap();
+    fs::remove_dir_all(&resumed_root).unwrap();
+}
+
+#[test]
+fn full_suite_specs_cover_the_benchmark_suite_and_validate() {
+    let config = SuiteConfig {
+        options: Options { effort: 0, seed: 0 },
+        qubits: 10,
+        halt_after_rounds: None,
+    };
+    let specs = config.specs();
+    assert_eq!(specs.len(), 12, "the paper's full 12-instance suite");
+    let mut seeds = Vec::new();
+    for spec in &specs {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.display_name()));
+        seeds.push(spec.seed);
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), 12, "per-job seeds are decorrelated");
+}

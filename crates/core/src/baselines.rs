@@ -3,9 +3,10 @@
 use crate::{CafqaLoss, EvaluatorKind, ExecutableAnsatz};
 use clapton_ga::{MultiGa, MultiGaConfig};
 use clapton_pauli::PauliSum;
+use serde::{Deserialize, Serialize};
 
 /// Result of a CAFQA or nCAFQA initialization search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CafqaResult {
     /// The winning quarter-turn indices (one per ansatz parameter, `4N`).
     pub theta_indices: Vec<u8>,

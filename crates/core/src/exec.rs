@@ -3,6 +3,7 @@
 use clapton_circuits::{
     chain_layout, route_with_layout, Circuit, CouplingMap, HardwareEfficientAnsatz,
 };
+use clapton_error::ClaptonError;
 use clapton_noise::NoiseModel;
 use clapton_pauli::{PauliString, PauliSum};
 use std::collections::BTreeMap;
@@ -54,19 +55,21 @@ impl ExecutableAnsatz {
     ///
     /// # Errors
     ///
-    /// Returns an error if the device cannot host an `n`-qubit chain.
+    /// [`ClaptonError::Placement`] if the device cannot host an `n`-qubit
+    /// chain.
     pub fn on_device(
         n: usize,
         coupling: &CouplingMap,
         device_model: &NoiseModel,
-    ) -> Result<ExecutableAnsatz, String> {
+    ) -> Result<ExecutableAnsatz, ClaptonError> {
         assert_eq!(
             coupling.num_qubits(),
             device_model.num_qubits(),
             "coupling/model size mismatch"
         );
         let ansatz = HardwareEfficientAnsatz::new(n);
-        let layout = chain_layout(coupling, n)?;
+        let layout =
+            chain_layout(coupling, n).map_err(|detail| ClaptonError::Placement { detail })?;
         // Routing is confined to the induced subgraph of the chain qubits:
         // SWAPping the ring closure through off-chain spectator qubits would
         // silently grow the active register (and drag in uncalibrated
@@ -74,7 +77,9 @@ impl ExecutableAnsatz {
         let compact_of_phys: BTreeMap<usize, usize> =
             layout.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         if compact_of_phys.len() != n {
-            return Err("chain layout assigned duplicate physical qubits".to_string());
+            return Err(ClaptonError::Placement {
+                detail: "chain layout assigned duplicate physical qubits".to_string(),
+            });
         }
         let sub_edges: Vec<(usize, usize)> = coupling
             .edges()

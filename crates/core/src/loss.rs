@@ -201,7 +201,7 @@ impl PreparedEnergy for DeviceEvaluator {
 /// How the noisy loss term `LN` is evaluated — a serializable configuration
 /// tag resolving to an [`EnergyBackend`] trait object via
 /// [`EvaluatorKind::backend`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EvaluatorKind {
     /// Closed-form Clifford-noise expectation ([`ExactBackend`]).
     Exact,
@@ -223,6 +223,58 @@ impl EvaluatorKind {
             EvaluatorKind::Exact => Arc::new(ExactBackend),
             EvaluatorKind::Sampled { shots, seed } => Arc::new(SampledBackend { shots, seed }),
             EvaluatorKind::Dense => Arc::new(DenseBackend),
+        }
+    }
+}
+
+// Hand-written serde impls (the vendored derive has no struct-variant
+// support): `"Exact"` / `"Dense"` as unit strings, `Sampled` externally
+// tagged with a named map — `{"Sampled": {"shots": 256, "seed": 5}}`.
+impl serde::Serialize for EvaluatorKind {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::Value;
+        let value = match *self {
+            EvaluatorKind::Exact => Value::Str("Exact".to_string()),
+            EvaluatorKind::Dense => Value::Str("Dense".to_string()),
+            EvaluatorKind::Sampled { shots, seed } => Value::Map(vec![(
+                "Sampled".to_string(),
+                Value::Map(vec![
+                    ("shots".to_string(), serde::to_value(&shots)),
+                    ("seed".to_string(), serde::to_value(&seed)),
+                ]),
+            )]),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for EvaluatorKind {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        use serde::Value;
+        match deserializer.take_value()? {
+            Value::Str(s) => match s.as_str() {
+                "Exact" => Ok(EvaluatorKind::Exact),
+                "Dense" => Ok(EvaluatorKind::Dense),
+                other => Err(D::Error::custom(format!(
+                    "unknown evaluator {other:?} (expected Exact, Dense, or Sampled)"
+                ))),
+            },
+            Value::Map(mut m) if m.len() == 1 && m[0].0 == "Sampled" => {
+                let (_, content) = m.remove(0);
+                match content {
+                    Value::Map(mut fields) => Ok(EvaluatorKind::Sampled {
+                        shots: serde::take_field(&mut fields, "shots").map_err(D::Error::custom)?,
+                        seed: serde::take_field(&mut fields, "seed").map_err(D::Error::custom)?,
+                    }),
+                    other => Err(D::Error::custom(format!(
+                        "Sampled evaluator expects {{shots, seed}}, found {other:?}"
+                    ))),
+                }
+            }
+            other => Err(D::Error::custom(format!(
+                "expected evaluator kind, found {other:?}"
+            ))),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::Calibration;
 use clapton_circuits::CouplingMap;
+use clapton_error::{ClaptonError, SpecError};
 use clapton_noise::NoiseModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +113,45 @@ impl FakeBackend {
         ]
     }
 
+    /// Every name [`FakeBackend::by_name`] resolves — the backend registry
+    /// job specs address devices through.
+    pub fn registry_names() -> &'static [&'static str] {
+        &["nairobi", "toronto", "mumbai", "hanoi"]
+    }
+
+    /// Resolves a registry name to its backend. Accepts a `-hw:<seed>`
+    /// suffix selecting the perturbed [`FakeBackend::hardware_variant`]
+    /// (e.g. `"hanoi-hw:42"` — the §6.1.1 calibration/device discrepancy).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownProblem`]-style: an [`SpecError::UnknownBackend`]
+    /// listing the available names.
+    pub fn by_name(name: &str) -> Result<FakeBackend, SpecError> {
+        let unknown = || SpecError::UnknownBackend {
+            name: name.to_string(),
+            available: FakeBackend::registry_names()
+                .iter()
+                .map(|n| n.to_string())
+                .collect(),
+        };
+        let (base, hw_seed) = match name.split_once("-hw:") {
+            Some((base, seed)) => (base, Some(seed.parse::<u64>().map_err(|_| unknown())?)),
+            None => (name, None),
+        };
+        let backend = match base {
+            "nairobi" => FakeBackend::nairobi(),
+            "toronto" => FakeBackend::toronto(),
+            "mumbai" => FakeBackend::mumbai(),
+            "hanoi" => FakeBackend::hanoi(),
+            _ => return Err(unknown()),
+        };
+        Ok(match hw_seed {
+            Some(seed) => backend.hardware_variant(seed),
+            None => backend,
+        })
+    }
+
     /// Builds a backend from explicit parts (e.g. a deserialized snapshot).
     ///
     /// # Panics
@@ -216,11 +256,22 @@ impl FakeBackend {
     ///
     /// # Errors
     ///
-    /// Returns the JSON parse error message on malformed input.
-    pub fn from_json(json: &str) -> Result<FakeBackend, String> {
-        let record: BackendRecord = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    /// [`ClaptonError::Parse`] on malformed JSON and
+    /// [`SpecError::QubitMismatch`] (wrapped) when the snapshot's coupling
+    /// map and calibration disagree on the register size.
+    pub fn from_json(json: &str) -> Result<FakeBackend, ClaptonError> {
+        let record: BackendRecord =
+            serde_json::from_str(json).map_err(|e| ClaptonError::Parse {
+                what: "backend snapshot".to_string(),
+                detail: e.to_string(),
+            })?;
         if record.coupling.num_qubits() != record.calibration.num_qubits() {
-            return Err("coupling/calibration size mismatch".to_string());
+            return Err(SpecError::QubitMismatch {
+                context: format!("backend snapshot {:?}", record.name),
+                needed: record.coupling.num_qubits(),
+                provided: record.calibration.num_qubits(),
+            }
+            .into());
         }
         Ok(FakeBackend {
             name: record.name,
@@ -269,6 +320,41 @@ struct BackendRecord {
     name: String,
     coupling: CouplingMap,
     calibration: Calibration,
+}
+
+// Serde for the backend itself (the `BackendRecord` wire shape, so
+// `to_json`/`from_json` archives and inline spec snapshots are the same
+// format). Hand-written because deserialization must re-check the
+// coupling/calibration size invariant the private fields guarantee.
+impl serde::Serialize for FakeBackend {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        BackendRecord {
+            name: self.name.clone(),
+            coupling: self.coupling.clone(),
+            calibration: self.calibration.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for FakeBackend {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let record = BackendRecord::deserialize(deserializer)?;
+        if record.coupling.num_qubits() != record.calibration.num_qubits() {
+            return Err(D::Error::custom(format!(
+                "backend snapshot {:?}: coupling has {} qubits but calibration has {}",
+                record.name,
+                record.coupling.num_qubits(),
+                record.calibration.num_qubits()
+            )));
+        }
+        Ok(FakeBackend {
+            name: record.name,
+            coupling: record.coupling,
+            calibration: record.calibration,
+        })
+    }
 }
 
 /// The 27-qubit heavy-hex coupling map used by IBM Falcon devices
@@ -404,7 +490,29 @@ mod tests {
         let json = b.to_json();
         let back = FakeBackend::from_json(&json).unwrap();
         assert_eq!(back, b);
-        assert!(FakeBackend::from_json("{not json").is_err());
+        assert!(matches!(
+            FakeBackend::from_json("{not json"),
+            Err(ClaptonError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_resolves_names_and_hardware_variants() {
+        for &name in FakeBackend::registry_names() {
+            let b = FakeBackend::by_name(name).unwrap();
+            assert_eq!(b.name(), name);
+        }
+        let hw = FakeBackend::by_name("hanoi-hw:42").unwrap();
+        assert_eq!(hw, FakeBackend::hanoi().hardware_variant(42));
+        let err = FakeBackend::by_name("almaden").unwrap_err();
+        match err {
+            SpecError::UnknownBackend { name, available } => {
+                assert_eq!(name, "almaden");
+                assert_eq!(available.len(), 4);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        assert!(FakeBackend::by_name("hanoi-hw:notanumber").is_err());
     }
 
     #[test]

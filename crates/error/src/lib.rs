@@ -1,0 +1,221 @@
+//! The typed error hierarchy of the Clapton stack.
+//!
+//! Before the `JobSpec` front door, every entry point reported failures its
+//! own way: panics in [`Pipeline`]-style builders, `Result<_, String>` in
+//! `FakeBackend::from_json` and `ExecutableAnsatz::on_device`, `io::Error`
+//! with stringified payloads in the suite runner. This crate is the one
+//! vocabulary they all share now:
+//!
+//! * [`SpecError`] — a job *specification* is invalid (unknown registry
+//!   name, qubit mismatch, out-of-range probability, …). Produced by
+//!   `JobSpec::validate` and every registry lookup; always user-fixable by
+//!   editing the spec.
+//! * [`ClaptonError`] — anything that can go wrong *running* a job: an
+//!   invalid spec (wrapping [`SpecError`]), malformed serialized input,
+//!   ansatz placement failures, artifact I/O, or a job suspended on its
+//!   round budget.
+//!
+//! Both implement [`std::error::Error`], so they compose with `?`, `Box<dyn
+//! Error>`, and `anyhow`-style consumers without string plumbing.
+//!
+//! The crate sits at the bottom of the dependency graph (no dependencies),
+//! so device, core, and service layers can all speak it.
+
+use std::fmt;
+use std::io;
+
+/// Why a job specification was rejected before any work started.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec's `version` is newer than this build understands.
+    UnsupportedVersion {
+        /// The version the spec declared.
+        version: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
+    /// A problem name that no registry entry matches.
+    UnknownProblem {
+        /// The requested name.
+        name: String,
+        /// Every name the registry would have accepted.
+        available: Vec<String>,
+    },
+    /// A backend name that no registry entry matches.
+    UnknownBackend {
+        /// The requested name.
+        name: String,
+        /// Every name the registry would have accepted.
+        available: Vec<String>,
+    },
+    /// The problem does not fit on the requested backend.
+    QubitMismatch {
+        /// What was being placed (problem / calibration / noise vector).
+        context: String,
+        /// Qubits the problem needs.
+        needed: usize,
+        /// Qubits the target provides.
+        provided: usize,
+    },
+    /// A rate that must be a probability lies outside `[0, 1]`.
+    InvalidProbability {
+        /// Which field carried the value (e.g. `"noise.p2"`).
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A sampled evaluator with a zero shot budget (the estimate would be
+    /// undefined).
+    ZeroShots,
+    /// Any other structurally invalid field.
+    InvalidField {
+        /// Dotted path of the field (e.g. `"methods"`).
+        field: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnsupportedVersion { version, supported } => write!(
+                f,
+                "spec version {version} is newer than the supported version {supported}"
+            ),
+            SpecError::UnknownProblem { name, available } => write!(
+                f,
+                "unknown problem {name:?} (available: {})",
+                available.join(", ")
+            ),
+            SpecError::UnknownBackend { name, available } => write!(
+                f,
+                "unknown backend {name:?} (available: {})",
+                available.join(", ")
+            ),
+            SpecError::QubitMismatch {
+                context,
+                needed,
+                provided,
+            } => write!(
+                f,
+                "{context}: needs {needed} qubits but the target provides {provided}"
+            ),
+            SpecError::InvalidProbability { context, value } => {
+                write!(f, "{context} = {value} is not a probability in [0, 1]")
+            }
+            SpecError::ZeroShots => write!(f, "sampled evaluator needs a non-zero shot budget"),
+            SpecError::InvalidField { field, reason } => write!(f, "invalid {field}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Anything that can go wrong submitting or running a Clapton job.
+#[derive(Debug)]
+pub enum ClaptonError {
+    /// The job specification failed validation.
+    Spec(SpecError),
+    /// Serialized input (a spec file, a backend snapshot, a checkpoint) did
+    /// not parse.
+    Parse {
+        /// What was being parsed.
+        what: String,
+        /// The underlying parse failure.
+        detail: String,
+    },
+    /// The ansatz could not be placed on the device topology.
+    Placement {
+        /// The underlying layout/routing failure.
+        detail: String,
+    },
+    /// Artifact or spec-file I/O failed.
+    Io(io::Error),
+    /// The job suspended on its round budget before converging; resubmit the
+    /// same spec (with the same artifact directory) to continue from the
+    /// persisted checkpoint.
+    Suspended {
+        /// GA rounds completed so far.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for ClaptonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaptonError::Spec(e) => write!(f, "invalid job spec: {e}"),
+            ClaptonError::Parse { what, detail } => write!(f, "malformed {what}: {detail}"),
+            ClaptonError::Placement { detail } => write!(f, "ansatz placement failed: {detail}"),
+            ClaptonError::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            ClaptonError::Suspended { rounds } => write!(
+                f,
+                "job suspended after {rounds} rounds (budget exhausted); \
+                 resubmit to resume from the checkpoint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClaptonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClaptonError::Spec(e) => Some(e),
+            ClaptonError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for ClaptonError {
+    fn from(e: SpecError) -> ClaptonError {
+        ClaptonError::Spec(e)
+    }
+}
+
+impl From<io::Error> for ClaptonError {
+    fn from(e: io::Error) -> ClaptonError {
+        ClaptonError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SpecError::UnknownProblem {
+            name: "isig(J=0.25)".to_string(),
+            available: vec!["ising(J=0.25)".to_string(), "xxz(J=1.00)".to_string()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("isig"), "{msg}");
+        assert!(msg.contains("ising(J=0.25)"), "{msg}");
+
+        let e = SpecError::InvalidProbability {
+            context: "noise.p2".to_string(),
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("noise.p2 = 1.5"));
+    }
+
+    #[test]
+    fn clapton_error_wraps_and_sources() {
+        let spec = SpecError::ZeroShots;
+        let e: ClaptonError = spec.clone().into();
+        assert!(matches!(&e, ClaptonError::Spec(s) if *s == spec));
+        assert!(e.source().is_some());
+        let io: ClaptonError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(io.source().is_some());
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_boxable() {
+        fn takes_box(_: Box<dyn std::error::Error>) {}
+        takes_box(Box::new(SpecError::ZeroShots));
+        takes_box(Box::new(ClaptonError::Suspended { rounds: 3 }));
+    }
+}

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Hyper-parameters of the full Clapton optimization engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MultiGaConfig {
     /// Number of parallel GA instances (`s`).
     pub instances: usize,

@@ -16,4 +16,6 @@ mod suite;
 
 pub use molecular::{molecular, Molecule};
 pub use spin::{ising, xxz};
-pub use suite::{benchmark_suite, chemistry_suite, physics_suite, Benchmark};
+pub use suite::{
+    benchmark_by_name, benchmark_names, benchmark_suite, chemistry_suite, physics_suite, Benchmark,
+};

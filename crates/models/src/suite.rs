@@ -1,6 +1,7 @@
 //! The benchmark suite of the paper's evaluation (Figure 5).
 
 use crate::{ising, molecular, xxz, Molecule};
+use clapton_error::SpecError;
 use clapton_pauli::PauliSum;
 
 /// One named VQE benchmark problem.
@@ -60,6 +61,29 @@ pub fn benchmark_suite(n: usize) -> Vec<Benchmark> {
     out
 }
 
+/// Every problem name [`benchmark_by_name`] resolves at register size `n` —
+/// the registry table job specs address the suite through.
+pub fn benchmark_names(n: usize) -> Vec<String> {
+    benchmark_suite(n).into_iter().map(|b| b.name).collect()
+}
+
+/// Resolves a suite problem by its display name (e.g. `"ising(J=0.25)"` or
+/// `"LiH(l=4.5)"`) at register size `n`.
+///
+/// # Errors
+///
+/// [`SpecError::UnknownProblem`] listing every name available at `n` — so a
+/// typo in a job spec reports the full registry instead of a bare miss.
+pub fn benchmark_by_name(name: &str, n: usize) -> Result<Benchmark, SpecError> {
+    benchmark_suite(n)
+        .into_iter()
+        .find(|b| b.name == name)
+        .ok_or_else(|| SpecError::UnknownProblem {
+            name: name.to_string(),
+            available: benchmark_names(n),
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +110,28 @@ mod tests {
     fn full_suite_composition() {
         assert_eq!(benchmark_suite(10).len(), 12);
         assert_eq!(benchmark_suite(7).len(), 6);
+    }
+
+    #[test]
+    fn registry_resolves_every_listed_name() {
+        for n in [7, 10] {
+            for name in benchmark_names(n) {
+                let b = benchmark_by_name(&name, n).unwrap();
+                assert_eq!(b.name, name);
+                let physics = name.starts_with("ising(") || name.starts_with("xxz(");
+                assert_eq!(b.hamiltonian.num_qubits(), if physics { n } else { 10 });
+            }
+        }
+        let err = benchmark_by_name("isig(J=0.25)", 10).unwrap_err();
+        match err {
+            SpecError::UnknownProblem { name, available } => {
+                assert_eq!(name, "isig(J=0.25)");
+                assert_eq!(available.len(), 12);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        // Chemistry names only resolve at n == 10.
+        assert!(benchmark_by_name("H2O(l=1.0)", 7).is_err());
     }
 
     #[test]

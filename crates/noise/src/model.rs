@@ -125,24 +125,52 @@ impl NoiseModel {
         self.durations
     }
 
+    /// Rejects rates outside `[0, 1]` at the model boundary: a depolarizing
+    /// or readout rate beyond a probability silently corrupts the closed-form
+    /// damping math downstream (the `1 - 4p/3`-style factors go negative or
+    /// explode), so every setter funnels through this check.
+    fn checked_probability(name: &str, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "{name} = {p} not a probability");
+        p
+    }
+
     /// Sets a per-qubit single-qubit error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` (or `q` is out of range).
     pub fn set_p1(&mut self, q: usize, p: f64) {
-        self.p1[q] = p;
+        self.p1[q] = NoiseModel::checked_probability("p1", p);
     }
 
     /// Sets a per-edge two-qubit error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
     pub fn set_p2(&mut self, a: usize, b: usize, p: f64) {
-        self.p2.insert((a.min(b), a.max(b)), p);
+        self.p2.insert(
+            (a.min(b), a.max(b)),
+            NoiseModel::checked_probability("p2", p),
+        );
     }
 
     /// Sets the fallback two-qubit error rate for uncalibrated pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
     pub fn set_p2_default(&mut self, p: f64) {
-        self.p2_default = p;
+        self.p2_default = NoiseModel::checked_probability("p2_default", p);
     }
 
     /// Sets a per-qubit readout error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` (or `q` is out of range).
     pub fn set_readout(&mut self, q: usize, p: f64) {
-        self.readout[q] = p;
+        self.readout[q] = NoiseModel::checked_probability("readout", p);
     }
 
     /// Sets a per-qubit T1 time (seconds).
@@ -226,5 +254,44 @@ mod tests {
     #[should_panic(expected = "not a probability")]
     fn rejects_invalid_probability() {
         NoiseModel::uniform(2, 1.5, 0.0, 0.0);
+    }
+
+    // Regression: out-of-range rates used to pass straight through the
+    // setters into the damping math (e.g. p1 = 1.5 makes the depolarizing
+    // factor 1 - 2p go below -1, flipping expectation signs silently).
+    #[test]
+    #[should_panic(expected = "p1 = 1.5 not a probability")]
+    fn setter_rejects_out_of_range_p1() {
+        NoiseModel::noiseless(2).set_p1(0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p2 = -0.1 not a probability")]
+    fn setter_rejects_negative_p2() {
+        NoiseModel::noiseless(2).set_p2(0, 1, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "readout = NaN not a probability")]
+    fn setter_rejects_nan_readout() {
+        NoiseModel::noiseless(2).set_readout(1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "p2_default = 2 not a probability")]
+    fn setter_rejects_out_of_range_p2_default() {
+        NoiseModel::noiseless(2).set_p2_default(2.0);
+    }
+
+    #[test]
+    fn setters_accept_boundary_probabilities() {
+        let mut m = NoiseModel::noiseless(2);
+        m.set_p1(0, 0.0);
+        m.set_p1(1, 1.0);
+        m.set_p2(0, 1, 1.0);
+        m.set_readout(0, 1.0);
+        m.set_p2_default(0.0);
+        assert_eq!(m.p1(1), 1.0);
+        assert_eq!(m.p2(0, 1), 1.0);
     }
 }

@@ -31,4 +31,4 @@ mod scheduler;
 pub use checkpoint::{artifact_slug, RunDirectory, RunInfo, RunManifest, RunRegistry};
 pub use evaluator::PooledEvaluator;
 pub use pool::{PoolScope, WorkerPool};
-pub use scheduler::{EventKind, JobContext, JobScheduler, JobSpec, RunEvent};
+pub use scheduler::{EventKind, JobContext, JobScheduler, RunEvent, ScheduledJob};

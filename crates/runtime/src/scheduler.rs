@@ -65,18 +65,18 @@ impl JobContext {
 }
 
 /// One schedulable unit of work producing a `T`.
-pub struct JobSpec<'a, T> {
+pub struct ScheduledJob<'a, T> {
     name: String,
     run: Box<dyn FnOnce(&JobContext) -> T + Send + 'a>,
 }
 
-impl<'a, T> JobSpec<'a, T> {
+impl<'a, T> ScheduledJob<'a, T> {
     /// Packages a closure as a named job.
     pub fn new(
         name: impl Into<String>,
         run: impl FnOnce(&JobContext) -> T + Send + 'a,
-    ) -> JobSpec<'a, T> {
-        JobSpec {
+    ) -> ScheduledJob<'a, T> {
+        ScheduledJob {
             name: name.into(),
             run: Box::new(run),
         }
@@ -88,9 +88,11 @@ impl<'a, T> JobSpec<'a, T> {
     }
 }
 
-impl<T> std::fmt::Debug for JobSpec<'_, T> {
+impl<T> std::fmt::Debug for ScheduledJob<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobSpec").field("name", &self.name).finish()
+        f.debug_struct("ScheduledJob")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -105,12 +107,12 @@ impl<T> std::fmt::Debug for JobSpec<'_, T> {
 /// # Example
 ///
 /// ```
-/// use clapton_runtime::{JobScheduler, JobSpec, WorkerPool};
+/// use clapton_runtime::{JobScheduler, ScheduledJob, WorkerPool};
 /// use std::sync::Arc;
 ///
 /// let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(2)));
 /// let jobs = (0..4)
-///     .map(|i| JobSpec::new(format!("square-{i}"), move |_ctx| i * i))
+///     .map(|i| ScheduledJob::new(format!("square-{i}"), move |_ctx| i * i))
 ///     .collect();
 /// assert_eq!(scheduler.run_all(jobs, None), vec![0, 1, 4, 9]);
 /// ```
@@ -138,7 +140,7 @@ impl JobScheduler {
     /// Propagates the first job panic after every job has finished.
     pub fn run_all<'a, T: Send>(
         &self,
-        jobs: Vec<JobSpec<'a, T>>,
+        jobs: Vec<ScheduledJob<'a, T>>,
         events: Option<Sender<RunEvent>>,
     ) -> Vec<T> {
         let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
@@ -177,8 +179,8 @@ mod tests {
     #[test]
     fn results_come_back_in_job_order() {
         let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(2)));
-        let jobs: Vec<JobSpec<usize>> = (0..10)
-            .map(|i| JobSpec::new(format!("job-{i}"), move |_| i * 7))
+        let jobs: Vec<ScheduledJob<usize>> = (0..10)
+            .map(|i| ScheduledJob::new(format!("job-{i}"), move |_| i * 7))
             .collect();
         assert_eq!(
             scheduler.run_all(jobs, None),
@@ -190,10 +192,10 @@ mod tests {
     fn jobs_share_the_pool_for_nested_batches() {
         let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(1)));
         let touched = AtomicUsize::new(0);
-        let jobs: Vec<JobSpec<usize>> = (0..6)
+        let jobs: Vec<ScheduledJob<usize>> = (0..6)
             .map(|i| {
                 let touched = &touched;
-                JobSpec::new(format!("fanout-{i}"), move |ctx: &JobContext| {
+                ScheduledJob::new(format!("fanout-{i}"), move |ctx: &JobContext| {
                     ctx.pool().scope(|s| {
                         for _ in 0..16 {
                             s.spawn(|| {
@@ -214,9 +216,9 @@ mod tests {
     fn events_stream_start_and_custom_kinds() {
         let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(1)));
         let (tx, rx) = mpsc::channel();
-        let jobs: Vec<JobSpec<()>> = (0..3)
+        let jobs: Vec<ScheduledJob<()>> = (0..3)
             .map(|i| {
-                JobSpec::new(format!("j{i}"), move |ctx: &JobContext| {
+                ScheduledJob::new(format!("j{i}"), move |ctx: &JobContext| {
                     ctx.emit(EventKind::Round(1, 0.5));
                     ctx.emit(EventKind::Finished("ok".to_string()));
                 })

@@ -1,0 +1,435 @@
+//! [`ClaptonService`]: submit validated [`JobSpec`]s onto the shared
+//! runtime substrate.
+
+use crate::{JobSpec, MethodSpec, Report, ResolvedJob};
+use clapton_core::{run_cafqa, run_clapton_resumable, run_ncafqa};
+use clapton_error::{ClaptonError, SpecError};
+use clapton_ga::EngineState;
+use clapton_pauli::PauliSum;
+use clapton_runtime::{
+    artifact_slug, EventKind, JobContext, JobScheduler, RunDirectory, RunEvent, RunManifest,
+    RunRegistry, ScheduledJob, WorkerPool,
+};
+use clapton_sim::{ground_energy, DeviceEvaluator};
+use clapton_vqe::{run_vqe, VqeConfig};
+use std::io;
+use std::path::PathBuf;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Artifact names inside a job's run directory.
+const SPEC_ARTIFACT: &str = "spec.json";
+const CHECKPOINT_ARTIFACT: &str = "checkpoint.json";
+const REPORT_ARTIFACT: &str = "report.json";
+
+/// The artifact-directory name a job owns under the service's root.
+fn job_slug(job: &ResolvedJob) -> String {
+    artifact_slug(&format!("{}-seed{}", job.name, job.config.seed))
+}
+
+/// The service front door: one `submit` for every caller.
+///
+/// A service owns (or shares) a persistent [`WorkerPool`]; every submitted
+/// job runs through the [`JobScheduler`] on that pool, so concurrent jobs
+/// interleave their population batches fairly instead of queueing behind
+/// each other. With an artifact root attached
+/// ([`ClaptonService::with_artifacts`]), each job gets its own
+/// [`RunDirectory`] holding the submitted spec (`spec.json`), atomic
+/// per-round checkpoints, and the final `report.json` — making every run
+/// resumable and reproducible from its spec alone, and resubmissions of a
+/// completed spec answer from the persisted report.
+///
+/// # Example
+///
+/// ```
+/// use clapton_service::{ClaptonService, EngineSpec, JobSpec, ProblemSpec, SuiteProblem};
+///
+/// let mut spec = JobSpec::new(ProblemSpec::Suite(SuiteProblem {
+///     name: "ising(J=0.50)".into(),
+///     qubits: 4,
+/// }));
+/// spec.engine = EngineSpec::Quick;
+/// spec.seed = 7;
+/// let report = ClaptonService::new().run(spec).unwrap();
+/// assert!(report.clapton.is_some() && report.cafqa.is_some());
+/// ```
+#[derive(Debug)]
+pub struct ClaptonService {
+    pool: Arc<WorkerPool>,
+    artifacts: Option<RunRegistry>,
+}
+
+impl Default for ClaptonService {
+    fn default() -> ClaptonService {
+        ClaptonService::new()
+    }
+}
+
+impl ClaptonService {
+    /// A service with its own worker pool sized to the machine.
+    pub fn new() -> ClaptonService {
+        ClaptonService::with_pool(Arc::new(WorkerPool::new()))
+    }
+
+    /// A service sharing an existing pool (e.g. with a suite run or other
+    /// services in the same process).
+    pub fn with_pool(pool: Arc<WorkerPool>) -> ClaptonService {
+        ClaptonService {
+            pool,
+            artifacts: None,
+        }
+    }
+
+    /// Attaches a persistent artifact root: every job gets a run directory
+    /// under it, keyed by job name and seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the root cannot be created.
+    pub fn with_artifacts(
+        mut self,
+        root: impl Into<PathBuf>,
+    ) -> Result<ClaptonService, ClaptonError> {
+        self.artifacts = Some(RunRegistry::open(root)?);
+        Ok(self)
+    }
+
+    /// The shared worker pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Validates and runs one job synchronously on the calling thread (the
+    /// pool still executes the population batches).
+    ///
+    /// # Errors
+    ///
+    /// [`ClaptonError::Spec`] on an invalid spec, [`ClaptonError::Io`] on
+    /// artifact failures, [`ClaptonError::Suspended`] when a round budget
+    /// halted the search before convergence.
+    pub fn run(&self, spec: JobSpec) -> Result<Report, ClaptonError> {
+        let mut results = self.run_all(vec![spec], None)?;
+        results.pop().expect("one job submitted")
+    }
+
+    /// Validates and submits one job, returning a [`JobHandle`] streaming
+    /// [`RunEvent`]s while the job runs in the background.
+    ///
+    /// Validation (and the artifact-conflict check) happens synchronously —
+    /// a handle is only returned for a job that will actually execute.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaptonError::Spec`] on an invalid spec, [`ClaptonError::Io`] when
+    /// the artifact directory exists but belongs to a different spec.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ClaptonError> {
+        let job = spec.validate()?;
+        self.check_budget_checkpointable(&job)?;
+        let dir = self.prepare_dir(&job)?;
+        let name = job.name.clone();
+        let pool = Arc::clone(&self.pool);
+        let (event_tx, event_rx) = mpsc::channel();
+        let (result_tx, result_rx) = mpsc::channel();
+        let thread = std::thread::spawn(move || {
+            let scheduler = JobScheduler::new(pool);
+            let jobs = vec![ScheduledJob::new(job.name.clone(), |ctx: &JobContext| {
+                execute(&job, ctx, dir.as_ref())
+            })];
+            let mut results = scheduler.run_all(jobs, Some(event_tx));
+            let _ = result_tx.send(results.pop().expect("one job scheduled"));
+        });
+        Ok(JobHandle {
+            name,
+            events: event_rx,
+            result: result_rx,
+            thread,
+        })
+    }
+
+    /// Validates and runs a batch of jobs concurrently on the shared pool
+    /// with fair interleaving, streaming progress to `events`.
+    ///
+    /// Validation is all-or-nothing: if any spec is invalid, nothing runs.
+    /// Per-job execution failures (I/O, budget suspension) come back in the
+    /// per-job `Result`s, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// The first invalid spec, or an artifact-directory conflict.
+    pub fn run_all(
+        &self,
+        specs: Vec<JobSpec>,
+        events: Option<Sender<RunEvent>>,
+    ) -> Result<Vec<Result<Report, ClaptonError>>, ClaptonError> {
+        let jobs = specs
+            .into_iter()
+            .map(|spec| spec.validate().map_err(ClaptonError::from))
+            .collect::<Result<Vec<ResolvedJob>, ClaptonError>>()?;
+        for job in &jobs {
+            self.check_budget_checkpointable(job)?;
+        }
+        // Two jobs in one batch sharing an artifact directory would race on
+        // its checkpoint/report files (identical specs pass the resubmission
+        // check), so duplicates are rejected up front.
+        if self.artifacts.is_some() {
+            let mut slugs: Vec<String> = jobs.iter().map(job_slug).collect();
+            slugs.sort_unstable();
+            if let Some(dup) = slugs.windows(2).find(|w| w[0] == w[1]) {
+                return Err(SpecError::InvalidField {
+                    field: "specs".to_string(),
+                    reason: format!(
+                        "two jobs in this batch map to the same artifact directory {:?}; \
+                         give them distinct names or seeds",
+                        dup[0]
+                    ),
+                }
+                .into());
+            }
+        }
+        let dirs = jobs
+            .iter()
+            .map(|job| self.prepare_dir(job))
+            .collect::<Result<Vec<Option<RunDirectory>>, ClaptonError>>()?;
+        let scheduler = JobScheduler::new(Arc::clone(&self.pool));
+        let scheduled: Vec<ScheduledJob<'_, Result<Report, ClaptonError>>> = jobs
+            .iter()
+            .zip(&dirs)
+            .map(|(job, dir)| {
+                ScheduledJob::new(job.name.clone(), move |ctx: &JobContext| {
+                    execute(job, ctx, dir.as_ref())
+                })
+            })
+            .collect();
+        Ok(scheduler.run_all(scheduled, events))
+    }
+
+    /// A round budget only makes sense when there is somewhere to persist
+    /// the checkpoint: without an artifact root, a suspended search would be
+    /// dropped and every resubmission would restart from round 0 — an
+    /// infinite suspend loop, not a resume.
+    fn check_budget_checkpointable(&self, job: &ResolvedJob) -> Result<(), ClaptonError> {
+        if job.budget.is_some() && self.artifacts.is_none() {
+            return Err(SpecError::InvalidField {
+                field: "budget".to_string(),
+                reason: "a round budget needs an artifact root to checkpoint into; attach one \
+                         with ClaptonService::with_artifacts"
+                    .to_string(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Opens (or verifies) the job's run directory: the submitted spec is
+    /// persisted on first contact; a resubmission must match it exactly.
+    fn prepare_dir(&self, job: &ResolvedJob) -> Result<Option<RunDirectory>, ClaptonError> {
+        let Some(registry) = &self.artifacts else {
+            return Ok(None);
+        };
+        let slug = job_slug(job);
+        let dir = registry.run(&slug)?;
+        // The round budget is execution *policy*, not job identity: a run
+        // suspended under `--halt-after-rounds` may be finished by a
+        // resubmission with a different (or no) budget, so it is excluded
+        // from the conflict check.
+        let identity = |spec: &JobSpec| {
+            let mut spec = spec.clone();
+            spec.budget = None;
+            spec
+        };
+        match dir.read_json::<JobSpec>(SPEC_ARTIFACT)? {
+            Some(existing) if identity(&existing) != identity(&job.spec) => {
+                return Err(ClaptonError::Io(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "run directory {} was created from a different spec; refusing to mix \
+                         artifacts (submit under a different name or seed)",
+                        dir.path().display()
+                    ),
+                )));
+            }
+            Some(_) => {}
+            None => {
+                dir.write_json(SPEC_ARTIFACT, &job.spec)?;
+                dir.write_manifest(&RunManifest {
+                    jobs: vec![job.name.clone()],
+                    seed: job.config.seed,
+                    profile: format!("service-v{}", job.spec.version),
+                })?;
+            }
+        }
+        Ok(Some(dir))
+    }
+}
+
+/// A submitted background job: stream its events, then wait for the report.
+#[derive(Debug)]
+pub struct JobHandle {
+    name: String,
+    events: Receiver<RunEvent>,
+    result: Receiver<Result<Report, ClaptonError>>,
+    thread: JoinHandle<()>,
+}
+
+impl JobHandle {
+    /// The job's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The live event stream (disconnects when the job finishes).
+    pub fn events(&self) -> &Receiver<RunEvent> {
+        &self.events
+    }
+
+    /// Blocks until the job finishes and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the job failed with — including
+    /// [`ClaptonError::Suspended`] when a round budget halted it.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the job body.
+    pub fn wait(self) -> Result<Report, ClaptonError> {
+        match self.thread.join() {
+            Ok(()) => {}
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+        self.result.recv().expect("job thread sent its result")
+    }
+}
+
+/// Runs one resolved job on the scheduler-provided context — the shared
+/// execution body behind [`ClaptonService::run`], [`ClaptonService::submit`]
+/// and the spec-driven suite runner.
+///
+/// Replicates the legacy `Pipeline::run` evaluation order exactly (every
+/// search is deterministic given its seed, so a spec-driven run is
+/// bit-identical to the builder path it replaced).
+pub(crate) fn execute(
+    job: &ResolvedJob,
+    ctx: &JobContext,
+    dir: Option<&RunDirectory>,
+) -> Result<Report, ClaptonError> {
+    if let Some(dir) = dir {
+        if let Some(report) = dir.read_json::<Report>(REPORT_ARTIFACT)? {
+            ctx.emit(EventKind::Finished(
+                "already complete (answered from persisted report)".to_string(),
+            ));
+            return Ok(report);
+        }
+    }
+    let h = &job.hamiltonian;
+    let exec = &job.exec;
+    let config = &job.config;
+    let e0 = ground_energy(h);
+    let cafqa = job
+        .runs(&MethodSpec::Cafqa)
+        .then(|| run_cafqa(h, exec, &config.engine, config.seed));
+    let ncafqa = job
+        .runs(&MethodSpec::Ncafqa)
+        .then(|| run_ncafqa(h, exec, &config.engine, config.evaluator, config.seed));
+    let clapton = if job.runs(&MethodSpec::Clapton) {
+        let resume = match dir {
+            Some(dir) => dir.read_json::<EngineState>(CHECKPOINT_ARTIFACT)?,
+            None => None,
+        };
+        // The budget counts rounds per submission (matching the suite
+        // runner's `--halt-after-rounds` semantics): each resubmission gets
+        // a fresh allowance and continues from the persisted checkpoint.
+        let mut remaining = job.budget.map(|b| b as i64);
+        let mut checkpoint_error: Option<io::Error> = None;
+        let (state, result) =
+            run_clapton_resumable(h, exec, config, Some(ctx.pool()), resume, &mut |state| {
+                if let Some(dir) = dir {
+                    if let Err(e) = dir.write_json(CHECKPOINT_ARTIFACT, state) {
+                        checkpoint_error = Some(e);
+                        return false;
+                    }
+                    ctx.emit(EventKind::Checkpointed(state.rounds()));
+                }
+                if let Some(best) = &state.global_best {
+                    ctx.emit(EventKind::Round(state.rounds(), best.loss));
+                }
+                match &mut remaining {
+                    Some(r) => {
+                        *r -= 1;
+                        *r > 0
+                    }
+                    None => true,
+                }
+            });
+        if let Some(e) = checkpoint_error {
+            return Err(e.into());
+        }
+        match result {
+            Some(clapton) => Some(clapton),
+            None => {
+                ctx.emit(EventKind::Suspended(state.rounds()));
+                return Err(ClaptonError::Suspended {
+                    rounds: state.rounds(),
+                });
+            }
+        }
+    } else {
+        None
+    };
+    let device_energy = |h: &PauliSum, theta: &[f64]| {
+        DeviceEvaluator::run(&exec.circuit(theta), exec.noise_model())
+            .energy(&exec.map_hamiltonian(h))
+    };
+    let zeros = vec![0.0; exec.ansatz().num_parameters()];
+    let cafqa_initial_energy = cafqa.as_ref().map(|c| device_energy(h, &c.theta));
+    let ncafqa_initial_energy = ncafqa.as_ref().map(|c| device_energy(h, &c.theta));
+    let clapton_initial_energy = clapton
+        .as_ref()
+        .map(|c| device_energy(&c.transformation.transformed, &zeros));
+    let baseline = cafqa_initial_energy.or(ncafqa_initial_energy);
+    let eta_initial = match (baseline, clapton_initial_energy) {
+        (Some(base), Some(init)) => Some(clapton_core::relative_improvement(e0, base, init)),
+        _ => None,
+    };
+    let (clapton_vqe, cafqa_vqe, ncafqa_vqe) = match job.vqe_iterations() {
+        Some(iters) => {
+            let vqe_config = VqeConfig::new(iters);
+            (
+                clapton
+                    .as_ref()
+                    .map(|c| run_vqe(&c.transformation.transformed, exec, &zeros, &vqe_config)),
+                cafqa
+                    .as_ref()
+                    .map(|c| run_vqe(h, exec, &c.theta, &vqe_config)),
+                ncafqa
+                    .as_ref()
+                    .map(|c| run_vqe(h, exec, &c.theta, &vqe_config)),
+            )
+        }
+        None => (None, None, None),
+    };
+    let report = Report {
+        name: job.name.clone(),
+        e0,
+        cafqa,
+        ncafqa,
+        clapton,
+        cafqa_initial_energy,
+        ncafqa_initial_energy,
+        clapton_initial_energy,
+        eta_initial,
+        clapton_vqe,
+        cafqa_vqe,
+        ncafqa_vqe,
+    };
+    if let Some(dir) = dir {
+        dir.write_json(REPORT_ARTIFACT, &report)?;
+        dir.remove(CHECKPOINT_ARTIFACT)?;
+    }
+    ctx.emit(EventKind::Finished(match &report.clapton {
+        Some(c) => format!("clapton loss {:.6} in {} rounds", c.loss, c.rounds),
+        None => "complete".to_string(),
+    }));
+    Ok(report)
+}

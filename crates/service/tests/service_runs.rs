@@ -1,0 +1,215 @@
+//! End-to-end service behavior: background submission with streamed events,
+//! per-job artifact directories (spec + checkpoints + report), budget
+//! suspension, and bit-identical resume.
+
+use clapton_error::ClaptonError;
+use clapton_runtime::{EventKind, WorkerPool};
+use clapton_service::{
+    ClaptonService, EngineSpec, JobSpec, MethodSpec, NoiseSpec, ProblemSpec, Report, SuiteProblem,
+    UniformNoise,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("clapton-service-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_spec(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(ProblemSpec::Suite(SuiteProblem {
+        name: "ising(J=0.50)".to_string(),
+        qubits: 4,
+    }));
+    spec.engine = EngineSpec::Quick;
+    spec.noise = NoiseSpec::Uniform(UniformNoise {
+        p1: 1e-3,
+        p2: 1e-2,
+        readout: 2e-2,
+        t1: None,
+    });
+    spec.seed = seed;
+    spec
+}
+
+#[test]
+fn submit_streams_events_and_returns_the_report() {
+    let service = ClaptonService::with_pool(Arc::new(WorkerPool::with_workers(2)));
+    let handle = service.submit(quick_spec(7)).unwrap();
+    assert_eq!(handle.name(), "ising(J=0.50)");
+    let report = handle.wait().unwrap();
+    assert_eq!(report.name, "ising(J=0.50)");
+    assert!(report.cafqa.is_some() && report.clapton.is_some());
+    assert!(report.ncafqa.is_none(), "not requested");
+    // Clapton's initial point beats CAFQA's under noise on this model.
+    let clapton = report.clapton_initial_energy.unwrap();
+    let cafqa = report.cafqa_initial_energy.unwrap();
+    assert!(
+        clapton <= cafqa + 1e-9,
+        "clapton {clapton} vs cafqa {cafqa}"
+    );
+    assert!(report.eta_initial.unwrap() >= 0.9);
+    assert_eq!(report.best_energy(), Some(clapton.min(cafqa)));
+}
+
+#[test]
+fn submit_rejects_invalid_specs_synchronously() {
+    let service = ClaptonService::with_pool(Arc::new(WorkerPool::with_workers(1)));
+    let mut spec = quick_spec(1);
+    spec.methods = vec![];
+    match service.submit(spec) {
+        Err(ClaptonError::Spec(_)) => {}
+        other => panic!("expected spec rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_without_artifacts_is_rejected_not_looped() {
+    // Without an artifact root there is nowhere to persist the checkpoint a
+    // suspension leaves behind — resubmissions would restart from round 0
+    // forever, so the combination is refused up front.
+    let service = ClaptonService::with_pool(Arc::new(WorkerPool::with_workers(1)));
+    let mut spec = quick_spec(1);
+    spec.budget = Some(1);
+    for result in [
+        service.submit(spec.clone()).map(|_| ()),
+        service.run(spec).map(|_| ()),
+    ] {
+        match result {
+            Err(ClaptonError::Spec(e)) => {
+                assert!(e.to_string().contains("artifact root"), "{e}")
+            }
+            other => panic!("expected budget rejection, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn run_all_rejects_batch_duplicates_that_share_an_artifact_directory() {
+    let root = scratch("dup-batch");
+    let service = ClaptonService::with_pool(Arc::new(WorkerPool::with_workers(1)))
+        .with_artifacts(&root)
+        .unwrap();
+    let spec = quick_spec(4);
+    match service.run_all(vec![spec.clone(), spec], None) {
+        Err(ClaptonError::Spec(e)) => {
+            assert!(e.to_string().contains("same artifact directory"), "{e}")
+        }
+        other => panic!("expected duplicate rejection, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn artifacts_persist_spec_and_report_and_answer_resubmissions() {
+    let root = scratch("artifacts");
+    let pool = Arc::new(WorkerPool::with_workers(2));
+    let service = ClaptonService::with_pool(Arc::clone(&pool))
+        .with_artifacts(&root)
+        .unwrap();
+    let spec = quick_spec(11);
+    let report = service.run(spec.clone()).unwrap();
+    let dir = root.join("ising-J-0.50-seed11");
+    assert!(dir.join("spec.json").is_file(), "spec persisted");
+    assert!(dir.join("manifest.json").is_file(), "manifest persisted");
+    assert!(dir.join("report.json").is_file(), "report persisted");
+    assert!(
+        !dir.join("checkpoint.json").exists(),
+        "checkpoint cleaned up"
+    );
+    // The persisted spec is the submitted spec, byte-reproducibly.
+    let persisted: JobSpec =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("spec.json")).unwrap()).unwrap();
+    assert_eq!(persisted, spec);
+    // Resubmitting the same spec answers from the persisted report.
+    let cached = service.run(spec.clone()).unwrap();
+    assert_eq!(cached, report);
+    // A different spec under the same name+seed is refused, not mixed in.
+    let mut conflicting = spec;
+    conflicting.noise = NoiseSpec::Noiseless;
+    match service.run(conflicting) {
+        Err(ClaptonError::Io(e)) => assert!(e.to_string().contains("different spec"), "{e}"),
+        other => panic!("expected artifact conflict, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn budget_suspends_and_resubmission_resumes_bit_identically() {
+    // Reference: the same job run to convergence with no artifacts.
+    let pool = Arc::new(WorkerPool::with_workers(2));
+    let reference = ClaptonService::with_pool(Arc::clone(&pool))
+        .run(quick_spec(9))
+        .unwrap();
+
+    let root = scratch("budget");
+    let service = ClaptonService::with_pool(pool)
+        .with_artifacts(&root)
+        .unwrap();
+    let mut spec = quick_spec(9);
+    spec.budget = Some(1);
+    let mut resumed: Option<Report> = None;
+    let mut suspensions = 0usize;
+    for _ in 0..64 {
+        match service.submit(spec.clone()).unwrap().wait() {
+            Ok(report) => {
+                resumed = Some(report);
+                break;
+            }
+            Err(ClaptonError::Suspended { rounds }) => {
+                suspensions += 1;
+                assert!(rounds >= suspensions, "rounds advance monotonically");
+                assert!(
+                    root.join("ising-J-0.50-seed9")
+                        .join("checkpoint.json")
+                        .is_file(),
+                    "suspension leaves a checkpoint"
+                );
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    let resumed = resumed.expect("budgeted run converges within 64 submissions");
+    assert!(
+        suspensions > 0,
+        "budget of 1 round must suspend at least once"
+    );
+    assert_eq!(
+        resumed, reference,
+        "one-round-at-a-time resume must be bit-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn run_all_interleaves_jobs_and_streams_events() {
+    let service = ClaptonService::with_pool(Arc::new(WorkerPool::with_workers(2)));
+    let specs: Vec<JobSpec> = [3u64, 5].iter().map(|&s| quick_spec(s)).collect();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let results = service.run_all(specs, Some(tx)).unwrap();
+    assert_eq!(results.len(), 2);
+    let reports: Vec<Report> = results.into_iter().map(|r| r.unwrap()).collect();
+    // Different seeds, same problem: both finish, independently seeded.
+    assert_eq!(reports[0].name, reports[1].name);
+    let events: Vec<_> = rx.try_iter().collect();
+    let started = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Started))
+        .count();
+    let finished = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Finished(_)))
+        .count();
+    assert_eq!(started, 2);
+    assert_eq!(finished, 2);
+    // Ncafqa rides the same front door.
+    let mut spec = quick_spec(2);
+    spec.methods = vec![MethodSpec::Ncafqa];
+    let report = service.run(spec).unwrap();
+    assert!(report.ncafqa.is_some());
+    assert!(report.clapton.is_none());
+    assert!(report.ncafqa_initial_energy.is_some());
+    assert!(report.eta_initial.is_none(), "no Clapton to compare");
+}

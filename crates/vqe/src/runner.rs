@@ -3,9 +3,10 @@
 use crate::{Spsa, SpsaConfig};
 use clapton_core::{DenseBackend, EnergyBackend, ExecutableAnsatz};
 use clapton_pauli::PauliSum;
+use serde::{Deserialize, Serialize};
 
 /// Configuration of a VQE run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VqeConfig {
     /// The SPSA settings (iterations included).
     pub spsa: SpsaConfig,
@@ -25,7 +26,7 @@ impl VqeConfig {
 }
 
 /// The convergence record of one VQE run (one line of Figure 6).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VqeTrace {
     /// Device energy of the starting point.
     pub initial_energy: f64,

@@ -2,10 +2,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// SPSA hyper-parameters with the standard Spall gain schedules
 /// `a_k = a / (k + 1 + A)^α`, `c_k = c / (k + 1)^γ`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SpsaConfig {
     /// Numerator of the step-size schedule.
     pub a: f64,

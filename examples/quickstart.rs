@@ -1,5 +1,10 @@
-//! Quickstart: run Clapton on a small transverse-field Ising problem and a
-//! uniform noise model, and inspect what the transformation buys.
+//! Quickstart (object tour): run Clapton on a small transverse-field Ising
+//! problem and a uniform noise model, and inspect what the transformation
+//! buys — hand-wiring each object along the way.
+//!
+//! For the recommended entry point — the same run submitted as one
+//! serializable `JobSpec` through `ClaptonService` — see
+//! `examples/service_submit.rs`.
 //!
 //! ```sh
 //! cargo run --release --example quickstart

@@ -1,0 +1,79 @@
+//! Spec-driven quickstart: submit a Clapton job through the declarative
+//! front door instead of hand-wiring backends, noise models, and engine
+//! configs (compare `examples/quickstart.rs`, which tours the underlying
+//! objects this spec compiles to).
+//!
+//! ```sh
+//! cargo run --release --example service_submit
+//! cargo run --release --example service_submit -- path/to/spec.json
+//! ```
+
+use clapton::runtime::EventKind;
+use clapton::service::{ClaptonService, JobSpec};
+
+/// The whole job as data: what used to take a page of setup code is one
+/// JSON document any entry point (builder, CLI, file, future daemon)
+/// understands. Every omitted field keeps its default.
+const SPEC: &str = r#"{
+    "name": "quickstart",
+    "problem": {"Suite": {"name": "ising(J=0.50)", "qubits": 6}},
+    "noise": {"Uniform": {"p1": 0.001, "p2": 0.01, "readout": 0.025, "t1": 0.0001}},
+    "methods": ["Cafqa", "Clapton"],
+    "engine": "Quick",
+    "seed": 42
+}"#;
+
+fn main() {
+    // 1. A job arrives as JSON — from this string, a file argument, or any
+    //    other transport.
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read spec file {path}: {e}")),
+        None => SPEC.to_string(),
+    };
+    let spec: JobSpec = serde_json::from_str(&text).expect("spec parses");
+    println!("submitting job {:?}:\n{text}", spec.display_name());
+
+    // 2. Validation is explicit and typed: a bad registry name, a qubit
+    //    mismatch, or an out-of-range rate comes back as a `SpecError`
+    //    telling you exactly what to fix — no panics mid-run.
+    if let Err(e) = spec.validate() {
+        eprintln!("invalid spec: {e}");
+        std::process::exit(2);
+    }
+
+    // 3. Submit onto the service's shared worker pool and stream progress
+    //    while the searches run.
+    let service = ClaptonService::new();
+    let handle = service.submit(spec).expect("validated above");
+    for event in handle.events() {
+        match event.kind {
+            EventKind::Started => println!("[{}] started", event.job),
+            EventKind::Round(round, best) => {
+                println!("[{}] round {round}: best loss {best:.6}", event.job)
+            }
+            EventKind::Finished(outcome) => println!("[{}] {outcome}", event.job),
+            _ => {}
+        }
+    }
+
+    // 4. One unified report across every requested method.
+    let report = handle.wait().expect("job converges");
+    println!("\nexact ground energy E0 = {:.6}", report.e0);
+    if let (Some(cafqa), Some(clapton)) =
+        (&report.cafqa_initial_energy, &report.clapton_initial_energy)
+    {
+        println!("CAFQA initial device energy   = {cafqa:+.6}");
+        println!("Clapton initial device energy = {clapton:+.6}");
+        println!(
+            "eta(initial)                  = {:.3}",
+            report.eta_initial.unwrap()
+        );
+    }
+    if let Some(clapton) = &report.clapton {
+        println!(
+            "Clapton: loss {:+.6} in {} rounds ({} unique evaluations, {} cache hits)",
+            clapton.loss, clapton.rounds, clapton.unique_evaluations, clapton.cache_hits
+        );
+    }
+}

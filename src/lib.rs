@@ -4,8 +4,10 @@
 //!
 //! The individual subsystems live in their own crates and are re-exported
 //! here: [`pauli`], [`stabilizer`], [`circuits`], [`noise`], [`sim`],
-//! [`ga`], [`models`], [`devices`], [`core`], [`vqe`]. The [`pipeline`]
-//! module adds a one-call end-to-end builder.
+//! [`ga`], [`models`], [`devices`], [`core`], [`vqe`], [`runtime`],
+//! [`error`], and [`service`] — the declarative `JobSpec`/`ClaptonService`
+//! front door every run goes through. The [`pipeline`] module adds a
+//! one-call end-to-end builder that compiles to a `JobSpec`.
 //!
 //! # Example
 //!
@@ -29,11 +31,13 @@ pub mod pipeline;
 pub use clapton_circuits as circuits;
 pub use clapton_core as core;
 pub use clapton_devices as devices;
+pub use clapton_error as error;
 pub use clapton_ga as ga;
 pub use clapton_models as models;
 pub use clapton_noise as noise;
 pub use clapton_pauli as pauli;
 pub use clapton_runtime as runtime;
+pub use clapton_service as service;
 pub use clapton_sim as sim;
 pub use clapton_stabilizer as stabilizer;
 pub use clapton_vqe as vqe;

@@ -2,21 +2,27 @@
 //! the reproduction (§1: "Clapton is built as an end-to-end
 //! application-to-device framework").
 //!
-//! [`Pipeline`] wires the full flow behind one builder: Hamiltonian →
-//! transpilation onto a backend → Clapton transformation search → (optional)
-//! VQE → device-model evaluation and metrics.
+//! [`Pipeline`] is now a thin *builder over [`JobSpec`]*: it collects the
+//! same knobs as before (Hamiltonian → backend/noise → engine → optional
+//! VQE), compiles them into the one serializable request type via
+//! [`Pipeline::to_spec`], and executes through [`ClaptonService`]. The
+//! builder surface and the [`Report`] shape are unchanged, and results are
+//! bit-identical to the pre-service pipeline; what changed is that every
+//! pipeline run is now *also* expressible as a JSON document — write
+//! `to_spec()` to disk and any other entry point (the suite-runner CLI, a
+//! future daemon) reproduces it exactly.
 
-use clapton_core::{
-    relative_improvement, run_cafqa, run_clapton_resumable, CafqaResult, ClaptonConfig,
-    ClaptonResult, ExecutableAnsatz,
-};
+use clapton_core::{CafqaResult, ClaptonConfig, ClaptonResult};
 use clapton_devices::FakeBackend;
 use clapton_ga::MultiGaConfig;
 use clapton_noise::NoiseModel;
 use clapton_pauli::PauliSum;
 use clapton_runtime::WorkerPool;
-use clapton_sim::{ground_energy, DeviceEvaluator};
-use clapton_vqe::{run_vqe, VqeConfig, VqeTrace};
+use clapton_service::{
+    BackendSpec, ClaptonService, EngineSpec, JobSpec, MethodSpec, NamedBackend, NoiseSpec,
+    ProblemSpec, TermsProblem, UniformNoise, VqeRefineSpec,
+};
+use clapton_vqe::VqeTrace;
 use std::sync::Arc;
 
 /// Builder for an end-to-end Clapton run.
@@ -44,8 +50,8 @@ pub struct Pipeline {
     /// searches — the engine settings live inside [`ClaptonConfig`].
     clapton: ClaptonConfig,
     vqe_iterations: Option<usize>,
-    /// Shared runtime pool for the Clapton search (None = legacy scoped
-    /// threads / serial execution per the engine config).
+    /// Shared runtime pool the service executes on (None = a pool private
+    /// to this run).
     pool: Option<Arc<WorkerPool>>,
 }
 
@@ -85,7 +91,7 @@ impl Pipeline {
 
     /// Runs the Clapton search on a shared persistent [`WorkerPool`] — the
     /// runtime substrate suite runs and concurrent pipelines share. Results
-    /// are bit-identical to the threaded/serial paths.
+    /// are bit-identical to the private-pool path.
     #[must_use]
     pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Pipeline {
         self.pool = Some(pool);
@@ -143,72 +149,88 @@ impl Pipeline {
         self
     }
 
-    /// Executes the pipeline.
+    /// Compiles the builder state into the serializable [`JobSpec`] the run
+    /// executes — the declarative form of this exact pipeline. Writing it to
+    /// JSON and submitting it through any entry point reproduces the run
+    /// bit-identically.
+    pub fn to_spec(&self) -> JobSpec {
+        let n = self.hamiltonian.num_qubits();
+        let problem = ProblemSpec::Terms(TermsProblem {
+            qubits: n,
+            terms: self
+                .hamiltonian
+                .iter()
+                .map(|(c, p)| (c, p.to_string()))
+                .collect(),
+        });
+        let (backend, noise) = match (&self.backend, &self.model) {
+            (Some(b), _) => {
+                // Registry devices compile to their name; anything else
+                // (hardware variants, archived snapshots) inlines the full
+                // snapshot so the spec stays self-contained.
+                let spec = match FakeBackend::by_name(b.name()) {
+                    Ok(registered) if &registered == b => BackendSpec::Named(NamedBackend {
+                        name: b.name().to_string(),
+                    }),
+                    _ => BackendSpec::Snapshot(b.clone()),
+                };
+                (spec, NoiseSpec::Backend)
+            }
+            (None, Some(model)) => (
+                BackendSpec::Logical,
+                NoiseSpec::Uniform(UniformNoise {
+                    p1: model.p1(0),
+                    p2: model.p2(0, 1),
+                    readout: model.readout(0),
+                    t1: None,
+                }),
+            ),
+            (None, None) => (BackendSpec::Logical, NoiseSpec::Noiseless),
+        };
+        let mut methods = vec![MethodSpec::Cafqa, MethodSpec::Clapton];
+        if let Some(iterations) = self.vqe_iterations {
+            methods.push(MethodSpec::VqeRefine(VqeRefineSpec { iterations }));
+        }
+        let engine = EngineSpec::from_config(self.clapton.engine);
+        let mut spec = JobSpec::new(problem);
+        spec.backend = backend;
+        spec.noise = noise;
+        spec.methods = methods;
+        spec.engine = engine;
+        spec.evaluator = self.clapton.evaluator;
+        spec.seed = self.clapton.seed;
+        spec.two_qubit_slots = self.clapton.two_qubit_slots;
+        spec
+    }
+
+    /// Executes the pipeline through [`ClaptonService`].
     ///
     /// # Panics
     ///
-    /// Panics if the problem does not fit the chosen backend, or if neither
-    /// a backend nor a noise model was configured and the register exceeds
-    /// the dense-simulation limit.
+    /// Panics if the compiled spec fails validation (the problem does not
+    /// fit the chosen backend) — the builder's historical contract.
     pub fn run(self) -> Report {
-        let n = self.hamiltonian.num_qubits();
-        let exec = match (&self.backend, &self.model) {
-            (Some(backend), _) => {
-                ExecutableAnsatz::on_device(n, backend.coupling_map(), &backend.noise_model())
-                    .expect("backend hosts the problem")
-            }
-            (None, Some(model)) => ExecutableAnsatz::untranspiled(n, model),
-            (None, None) => ExecutableAnsatz::untranspiled(n, &NoiseModel::noiseless(n)),
+        let service = match &self.pool {
+            Some(pool) => ClaptonService::with_pool(Arc::clone(pool)),
+            None => ClaptonService::new(),
         };
-        let e0 = ground_energy(&self.hamiltonian);
-        let cafqa = run_cafqa(
-            &self.hamiltonian,
-            &exec,
-            &self.clapton.engine,
-            self.clapton.seed,
-        );
-        let clapton = run_clapton_resumable(
-            &self.hamiltonian,
-            &exec,
-            &self.clapton,
-            self.pool.as_ref(),
-            None,
-            &mut |_| true,
-        )
-        .1
-        .expect("uninterrupted run converges");
-        let device_energy = |h: &PauliSum, theta: &[f64]| {
-            DeviceEvaluator::run(&exec.circuit(theta), exec.noise_model())
-                .energy(&exec.map_hamiltonian(h))
-        };
-        let zeros = vec![0.0; exec.ansatz().num_parameters()];
-        let cafqa_initial_energy = device_energy(&self.hamiltonian, &cafqa.theta);
-        let clapton_initial_energy = device_energy(&clapton.transformation.transformed, &zeros);
-        let eta_initial = relative_improvement(e0, cafqa_initial_energy, clapton_initial_energy);
-        let (clapton_vqe, cafqa_vqe) = match self.vqe_iterations {
-            Some(iters) => {
-                let config = VqeConfig::new(iters);
-                (
-                    Some(run_vqe(
-                        &clapton.transformation.transformed,
-                        &exec,
-                        &zeros,
-                        &config,
-                    )),
-                    Some(run_vqe(&self.hamiltonian, &exec, &cafqa.theta, &config)),
-                )
-            }
-            None => (None, None),
-        };
+        let spec = self.to_spec();
+        let report = service
+            .run(spec)
+            .unwrap_or_else(|e| panic!("pipeline job failed: {e}"));
         Report {
-            e0,
-            cafqa,
-            clapton,
-            cafqa_initial_energy,
-            clapton_initial_energy,
-            eta_initial,
-            clapton_vqe,
-            cafqa_vqe,
+            e0: report.e0,
+            cafqa: report.cafqa.expect("pipeline always runs CAFQA"),
+            clapton: report.clapton.expect("pipeline always runs Clapton"),
+            cafqa_initial_energy: report
+                .cafqa_initial_energy
+                .expect("pipeline always scores CAFQA"),
+            clapton_initial_energy: report
+                .clapton_initial_energy
+                .expect("pipeline always scores Clapton"),
+            eta_initial: report.eta_initial.expect("both methods present"),
+            clapton_vqe: report.clapton_vqe,
+            cafqa_vqe: report.cafqa_vqe,
         }
     }
 }
