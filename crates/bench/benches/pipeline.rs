@@ -146,9 +146,108 @@ fn emit_service_dispatch_overhead(_c: &mut Criterion) {
     ));
 }
 
+/// Pins the cost of putting the front door on a socket: the full loopback
+/// `POST /v1/jobs` → `202` round trip (HTTP parse, admission control,
+/// durable queue record, response) against the in-process
+/// `admit()` + `inspect()` the server wraps. The server runs
+/// admission-only (`dispatchers: 0`) so no job execution competes with the
+/// submissions being timed.
+fn emit_server_submit_overhead(_c: &mut Criterion) {
+    use clapton_server::client::Client;
+    use clapton_server::{AdmissionConfig, Server, ServerConfig};
+
+    fn spec_for(seed: u64) -> JobSpec {
+        let mut spec = JobSpec::new(ProblemSpec::Suite(SuiteProblem {
+            name: "ising(J=0.25)".to_string(),
+            qubits: 6,
+        }));
+        spec.noise = NoiseSpec::Uniform(UniformNoise {
+            p1: 3e-4,
+            p2: 8e-3,
+            readout: 2e-2,
+            t1: None,
+        });
+        spec.methods = vec![MethodSpec::Clapton];
+        spec.engine = EngineSpec::Quick;
+        spec.seed = seed;
+        spec
+    }
+    fn median_ns(samples: &mut [u128]) -> u128 {
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+
+    let root = std::env::temp_dir().join(format!("clapton-bench-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = ServerConfig {
+        dispatchers: 0,
+        pool_workers: 1,
+        admission: AdmissionConfig {
+            queue_depth: 4096,
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::new(&root)
+    };
+    let server = Server::bind(config).expect("bind benchmark server");
+    let handle = server.handle();
+    let addr = handle.local_addr().to_string();
+    let serve = std::thread::spawn(move || server.serve().expect("serve"));
+    let client = Client::new(addr);
+
+    // Warm up the accept path, then time each submission individually
+    // (distinct seeds: every submission admits a fresh job rather than
+    // short-circuiting on an already-admitted artifact directory).
+    for seed in 0..4u64 {
+        let json = serde_json::to_string(&spec_for(seed)).expect("spec serializes");
+        assert_eq!(client.submit(&json).expect("warmup submit").status, 202);
+    }
+    let mut submit_samples: Vec<u128> = (100..140u64)
+        .map(|seed| {
+            let json = serde_json::to_string(&spec_for(seed)).expect("spec serializes");
+            let t0 = std::time::Instant::now();
+            let response = client.submit(&json).expect("submit");
+            let elapsed = t0.elapsed().as_nanos();
+            assert_eq!(response.status, 202, "{}", response.body);
+            elapsed
+        })
+        .collect();
+    let submit = median_ns(&mut submit_samples);
+    handle.drain();
+    serve.join().expect("serve thread");
+
+    // The in-process work the server wraps: validate + artifact-directory
+    // prepare + artifact inspection, on a fresh service over the same root.
+    let service = ClaptonService::new()
+        .with_artifacts(root.join("artifacts"))
+        .expect("artifact root");
+    let mut admit_samples: Vec<u128> = (200..240u64)
+        .map(|seed| {
+            let spec = spec_for(seed);
+            let t0 = std::time::Instant::now();
+            let admitted = service.admit(black_box(spec)).expect("admit");
+            black_box(service.inspect(&admitted).expect("inspect"));
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    let admit = median_ns(&mut admit_samples);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let network_overhead_ns = submit.saturating_sub(admit);
+    println!(
+        "server_submit_overhead: loopback POST->202 {submit} ns, in-process \
+         admit+inspect {admit} ns ({network_overhead_ns} ns HTTP+persist overhead)"
+    );
+    criterion::append_line(&format!(
+        "{{\"group\":\"server_submit_overhead\",\"id\":\"ising6_quick_loopback\",\
+         \"submit_ns\":{submit},\"admit_ns\":{admit},\
+         \"network_overhead_ns\":{network_overhead_ns}}}"
+    ));
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_loss_evaluation, bench_full_quick_run, emit_service_dispatch_overhead
+    targets = bench_loss_evaluation, bench_full_quick_run, emit_service_dispatch_overhead,
+        emit_server_submit_overhead
 }
 criterion_main!(benches);

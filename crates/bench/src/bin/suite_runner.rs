@@ -289,6 +289,9 @@ fn spawn_printer(quiet: bool) -> (mpsc::Sender<RunEvent>, std::thread::JoinHandl
                 EventKind::Suspended(rounds) => {
                     println!("[{}] suspended after {rounds} rounds", event.job)
                 }
+                EventKind::Cancelled(rounds) => {
+                    println!("[{}] cancelled after {rounds} rounds", event.job)
+                }
             }
         }
     });

@@ -132,12 +132,34 @@ pub enum ClaptonError {
     },
     /// Artifact or spec-file I/O failed.
     Io(io::Error),
-    /// The job suspended on its round budget before converging; resubmit the
-    /// same spec (with the same artifact directory) to continue from the
-    /// persisted checkpoint.
+    /// The job suspended on its round budget (or a drain request) before
+    /// converging; resubmit the same spec (with the same artifact directory)
+    /// to continue from the persisted checkpoint.
     Suspended {
         /// GA rounds completed so far.
         rounds: usize,
+    },
+    /// The job was cooperatively cancelled at a round boundary; the
+    /// `cancelled` state is terminal and persisted beside the artifacts.
+    Cancelled {
+        /// GA rounds completed before the cancellation took effect.
+        rounds: usize,
+    },
+    /// The job's executing thread died (panicked or was torn down) before
+    /// producing a result — the typed replacement for what used to be a
+    /// channel-disconnect panic in `JobHandle::wait`.
+    JobAborted {
+        /// Name of the job that died.
+        job: String,
+        /// Whatever is known about why (panic payload text when available).
+        detail: String,
+    },
+    /// A submission names an artifact directory (job name + seed) already
+    /// owned by a *different* spec — accepting it would mix checkpoints and
+    /// reports of two distinct jobs.
+    Conflict {
+        /// The contested run directory.
+        run: String,
     },
 }
 
@@ -152,6 +174,17 @@ impl fmt::Display for ClaptonError {
                 f,
                 "job suspended after {rounds} rounds (budget exhausted); \
                  resubmit to resume from the checkpoint"
+            ),
+            ClaptonError::Cancelled { rounds } => {
+                write!(f, "job cancelled after {rounds} rounds")
+            }
+            ClaptonError::JobAborted { job, detail } => {
+                write!(f, "job {job:?} aborted before producing a result: {detail}")
+            }
+            ClaptonError::Conflict { run } => write!(
+                f,
+                "run directory {run} was created from a different spec; refusing to mix \
+                 artifacts (submit under a different name or seed)"
             ),
         }
     }
@@ -217,5 +250,29 @@ mod tests {
         fn takes_box(_: Box<dyn std::error::Error>) {}
         takes_box(Box::new(SpecError::ZeroShots));
         takes_box(Box::new(ClaptonError::Suspended { rounds: 3 }));
+        takes_box(Box::new(ClaptonError::Cancelled { rounds: 3 }));
+        takes_box(Box::new(ClaptonError::JobAborted {
+            job: "ising(J=0.25)".to_string(),
+            detail: "worker thread panicked".to_string(),
+        }));
+    }
+
+    #[test]
+    fn terminal_variants_name_the_job_state() {
+        assert!(ClaptonError::Cancelled { rounds: 5 }
+            .to_string()
+            .contains("cancelled after 5 rounds"));
+        let aborted = ClaptonError::JobAborted {
+            job: "xxz(J=1.00)".to_string(),
+            detail: "panic: index out of bounds".to_string(),
+        };
+        let msg = aborted.to_string();
+        assert!(msg.contains("xxz(J=1.00)"), "{msg}");
+        assert!(msg.contains("index out of bounds"), "{msg}");
+        assert!(ClaptonError::Conflict {
+            run: "/tmp/jobs/ising-seed7".to_string(),
+        }
+        .to_string()
+        .contains("different spec"));
     }
 }

@@ -160,6 +160,22 @@ impl RunRegistry {
         RunDirectory::create(self.root.join(run_name))
     }
 
+    /// Every run directory under the registry (initialized or not), sorted
+    /// by name — the raw listing queue-style consumers (e.g. a job server
+    /// re-admitting persisted work after a restart) scan, without requiring
+    /// a suite manifest the way [`RunRegistry::list`] does.
+    pub fn run_names(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
     /// Summarizes every initialized run under the registry, sorted by name.
     pub fn list(&self) -> io::Result<Vec<RunInfo>> {
         let mut runs = Vec::new();

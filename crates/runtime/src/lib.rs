@@ -23,11 +23,13 @@
 //! checkpointable engine state and `clapton-bench`'s `suite-runner` can
 //! orchestrate whole benchmark suites on top.
 
+mod cancel;
 mod checkpoint;
 mod evaluator;
 mod pool;
 mod scheduler;
 
+pub use cancel::{CancelToken, Interrupt};
 pub use checkpoint::{artifact_slug, RunDirectory, RunInfo, RunManifest, RunRegistry};
 pub use evaluator::PooledEvaluator;
 pub use pool::{PoolScope, WorkerPool};

@@ -1,7 +1,8 @@
 //! Fair multi-job scheduling on the shared worker pool.
 
-use crate::{PoolScope, WorkerPool};
+use crate::{CancelToken, Interrupt, PoolScope, WorkerPool};
 use serde::{Deserialize, Serialize};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 
@@ -20,6 +21,9 @@ pub enum EventKind {
     /// The job halted early (budget exhausted / interrupt requested) after
     /// the given number of completed rounds.
     Suspended(usize),
+    /// The job was cooperatively cancelled after the given number of
+    /// completed rounds; this is terminal (a suspend is not).
+    Cancelled(usize),
 }
 
 /// A progress event of one job in a scheduled run.
@@ -38,6 +42,7 @@ pub struct JobContext {
     pool: Arc<WorkerPool>,
     name: String,
     events: Option<Sender<RunEvent>>,
+    cancel: CancelToken,
 }
 
 impl JobContext {
@@ -50,6 +55,19 @@ impl JobContext {
     /// The job's display name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The interruption requested for this job, if any. Job bodies poll this
+    /// at their round boundaries (after checkpointing) and stop
+    /// cooperatively — nothing is ever torn down mid-round.
+    pub fn interrupt(&self) -> Interrupt {
+        self.cancel.interrupt()
+    }
+
+    /// The job's cancellation token (cloneable; the controlling side usually
+    /// keeps its own clone from [`ScheduledJob::with_cancel`]).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Streams a progress event (dropped silently when no listener is
@@ -67,17 +85,32 @@ impl JobContext {
 /// One schedulable unit of work producing a `T`.
 pub struct ScheduledJob<'a, T> {
     name: String,
+    cancel: CancelToken,
     run: Box<dyn FnOnce(&JobContext) -> T + Send + 'a>,
 }
 
 impl<'a, T> ScheduledJob<'a, T> {
-    /// Packages a closure as a named job.
+    /// Packages a closure as a named job (with a fresh, never-fired
+    /// cancellation token).
     pub fn new(
         name: impl Into<String>,
         run: impl FnOnce(&JobContext) -> T + Send + 'a,
     ) -> ScheduledJob<'a, T> {
+        ScheduledJob::with_cancel(name, CancelToken::new(), run)
+    }
+
+    /// Packages a closure as a named job observing `cancel`: the token is
+    /// exposed to the job body through [`JobContext::interrupt`], and the
+    /// caller keeps (clones of) it to request cooperative interruption
+    /// while the job runs.
+    pub fn with_cancel(
+        name: impl Into<String>,
+        cancel: CancelToken,
+        run: impl FnOnce(&JobContext) -> T + Send + 'a,
+    ) -> ScheduledJob<'a, T> {
         ScheduledJob {
             name: name.into(),
+            cancel,
             run: Box::new(run),
         }
     }
@@ -137,36 +170,61 @@ impl JobScheduler {
     ///
     /// # Panics
     ///
-    /// Propagates the first job panic after every job has finished.
+    /// Propagates the first job panic after every job has finished. Callers
+    /// that must survive a dying job use [`JobScheduler::try_run_all`].
     pub fn run_all<'a, T: Send>(
         &self,
         jobs: Vec<ScheduledJob<'a, T>>,
         events: Option<Sender<RunEvent>>,
     ) -> Vec<T> {
+        match self.try_run_all(jobs, events) {
+            (results, None) => results
+                .into_iter()
+                .map(|r| r.expect("no panic was raised, so every job produced a result"))
+                .collect(),
+            (_, Some(payload)) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Runs all jobs to completion like [`JobScheduler::run_all`], but never
+    /// panics: a job that dies (panics) yields `None` in its result slot,
+    /// and the first captured panic payload is returned alongside the
+    /// results instead of being re-raised. Sibling jobs always run to
+    /// completion either way.
+    pub fn try_run_all<'a, T: Send>(
+        &self,
+        jobs: Vec<ScheduledJob<'a, T>>,
+        events: Option<Sender<RunEvent>>,
+    ) -> (Vec<Option<T>>, Option<Box<dyn std::any::Any + Send>>) {
         let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-        self.pool.scope(|s: &PoolScope<'_, '_>| {
-            for (job, slot) in jobs.into_iter().zip(&slots) {
-                let ctx = JobContext {
-                    pool: Arc::clone(&self.pool),
-                    name: job.name,
-                    events: events.clone(),
-                };
-                let run = job.run;
-                s.spawn(move || {
-                    ctx.emit(EventKind::Started);
-                    let out = run(&ctx);
-                    *slot.lock().expect("job result slot") = Some(out);
-                });
-            }
-        });
-        slots
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.pool.scope(|s: &PoolScope<'_, '_>| {
+                for (job, slot) in jobs.into_iter().zip(&slots) {
+                    let ctx = JobContext {
+                        pool: Arc::clone(&self.pool),
+                        name: job.name,
+                        events: events.clone(),
+                        cancel: job.cancel,
+                    };
+                    let run = job.run;
+                    s.spawn(move || {
+                        ctx.emit(EventKind::Started);
+                        let out = run(&ctx);
+                        if let Ok(mut slot) = slot.lock() {
+                            *slot = Some(out);
+                        }
+                    });
+                }
+            });
+        }));
+        let results = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("job result slot")
-                    .expect("job completed")
+            .map(|slot| match slot.into_inner() {
+                Ok(value) => value,
+                Err(poisoned) => poisoned.into_inner(),
             })
-            .collect()
+            .collect();
+        (results, outcome.err())
     }
 }
 
@@ -234,6 +292,41 @@ mod tests {
             assert_eq!(mine[1].kind, EventKind::Round(1, 0.5));
             assert_eq!(mine[2].kind, EventKind::Finished("ok".to_string()));
         }
+    }
+
+    #[test]
+    fn try_run_all_survives_a_dying_job() {
+        let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(1)));
+        let jobs = vec![
+            ScheduledJob::new("ok-1", |_: &JobContext| 1usize),
+            ScheduledJob::new("boom", |_: &JobContext| -> usize {
+                panic!("job body died")
+            }),
+            ScheduledJob::new("ok-2", |_: &JobContext| 2usize),
+        ];
+        let (results, payload) = scheduler.try_run_all(jobs, None);
+        assert_eq!(results, vec![Some(1), None, Some(2)]);
+        let payload = payload.expect("panic payload captured");
+        let text = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned());
+        assert_eq!(text.as_deref(), Some("job body died"));
+    }
+
+    #[test]
+    fn cancel_token_reaches_the_job_context() {
+        let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(1)));
+        let token = CancelToken::new();
+        token.cancel();
+        let fresh = ScheduledJob::new("fresh", |ctx: &JobContext| ctx.interrupt());
+        let cancelled =
+            ScheduledJob::with_cancel("cancelled", token, |ctx: &JobContext| ctx.interrupt());
+        assert_eq!(
+            scheduler.run_all(vec![fresh, cancelled], None),
+            vec![Interrupt::None, Interrupt::Cancel]
+        );
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! The `clapton-client` binary: the server protocol from the command line.
+//!
+//! ```text
+//! clapton-client --addr HOST:PORT [--tenant NAME] COMMAND [ARGS]
+//!
+//!   submit SPEC.json            submit a job, print the response
+//!   status JOB_ID               one status snapshot
+//!   wait JOB_ID [SECS]          poll until terminal (default 600 s)
+//!   cancel JOB_ID               request cooperative cancellation
+//!   queue                       queue depth + per-tenant usage
+//!   events JOB_ID               stream events until the job ends
+//!   verify SPEC.json [SECS]     submit + wait, then diff the served
+//!                               Report against an in-process run
+//! ```
+//!
+//! `verify` is the CI smoke check: the report coming back over the wire
+//! must be byte-identical (as canonical JSON) to `ClaptonService::run` on
+//! the same spec in this process.
+
+use clapton_server::client::Client;
+use clapton_service::{ClaptonService, JobSpec};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: clapton-client --addr HOST:PORT [--tenant NAME] \
+         (submit SPEC.json | status ID | wait ID [SECS] | cancel ID | queue \
+          | events ID | verify SPEC.json [SECS])"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("clapton-client: {message}");
+    std::process::exit(1);
+}
+
+fn read_spec(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => fail(format!("cannot read {path}: {e}")),
+    }
+}
+
+fn wait_secs(arg: Option<&String>) -> Duration {
+    Duration::from_secs(arg.map_or(600, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad timeout {s:?}");
+            usage()
+        })
+    }))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut tenant = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next(),
+            "--tenant" => tenant = it.next(),
+            "--help" | "-h" => usage(),
+            _ => rest.push(arg),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("--addr is required");
+        usage();
+    };
+    let mut client = Client::new(addr);
+    if let Some(tenant) = tenant {
+        client = client.with_tenant(tenant);
+    }
+    let command = rest.first().map(String::as_str).unwrap_or_else(|| usage());
+    let outcome = match command {
+        "submit" => {
+            let path = rest.get(1).unwrap_or_else(|| usage());
+            client.submit(&read_spec(path)).map(|response| {
+                println!("{} {}", response.status, response.body);
+                if !(200..300).contains(&response.status) {
+                    std::process::exit(1);
+                }
+            })
+        }
+        "status" => {
+            let id = rest.get(1).unwrap_or_else(|| usage());
+            client.status(id).map(|response| {
+                println!("{} {}", response.status, response.body);
+            })
+        }
+        "wait" => {
+            let id = rest.get(1).unwrap_or_else(|| usage());
+            client.wait(id, wait_secs(rest.get(2))).map(|job| {
+                println!(
+                    "{}",
+                    serde_json::to_string(&job).expect("status serializes")
+                );
+            })
+        }
+        "cancel" => {
+            let id = rest.get(1).unwrap_or_else(|| usage());
+            client.cancel(id).map(|response| {
+                println!("{} {}", response.status, response.body);
+            })
+        }
+        "queue" => client.queue().map(|queue| {
+            println!(
+                "{}",
+                serde_json::to_string(&queue).expect("queue serializes")
+            );
+        }),
+        "events" => {
+            let id = rest.get(1).unwrap_or_else(|| usage());
+            client.events(id).map(|events| {
+                for event in events {
+                    println!("{event}");
+                }
+            })
+        }
+        "verify" => {
+            let path = rest.get(1).unwrap_or_else(|| usage());
+            let spec_json = read_spec(path);
+            let timeout = wait_secs(rest.get(2));
+            let spec: JobSpec = serde_json::from_str(&spec_json)
+                .unwrap_or_else(|e| fail(format!("malformed spec {path}: {e}")));
+            let response = client
+                .submit(&spec_json)
+                .unwrap_or_else(|e| fail(format!("submit failed: {e}")));
+            if !(200..300).contains(&response.status) {
+                fail(format!(
+                    "submit rejected: {} {}",
+                    response.status, response.body
+                ));
+            }
+            let id = response
+                .job()
+                .unwrap_or_else(|e| fail(format!("bad submit response: {e}")))
+                .id;
+            let job = client
+                .wait(&id, timeout)
+                .unwrap_or_else(|e| fail(format!("wait failed: {e}")));
+            let served = job.report.unwrap_or_else(|| {
+                fail(format!("job {id} ended {:?} without a report", job.state))
+            });
+            let reference = ClaptonService::new()
+                .run(spec)
+                .unwrap_or_else(|e| fail(format!("in-process reference run failed: {e}")));
+            let served_json = serde_json::to_string(&served).expect("report serializes");
+            let reference_json = serde_json::to_string(&reference).expect("report serializes");
+            if served_json != reference_json {
+                eprintln!("served:    {served_json}");
+                eprintln!("reference: {reference_json}");
+                fail("served report differs from the in-process reference");
+            }
+            println!("verified: served report matches the in-process run for job {id}");
+            Ok(())
+        }
+        _ => usage(),
+    };
+    if let Err(e) = outcome {
+        fail(e);
+    }
+}

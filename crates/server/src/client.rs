@@ -1,0 +1,270 @@
+//! A minimal blocking HTTP client for the server's protocol, shared by the
+//! `clapton-client` binary, the loopback tests, and the benchmark.
+//!
+//! One request per connection, mirroring the server's `Connection: close`
+//! policy; responses are read to EOF and chunked bodies are decoded, so the
+//! event stream arrives as plain `data:` frames.
+
+use crate::server::{ErrorBody, JobStatusBody, QueueBody};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The (de-chunked) body.
+    pub body: String,
+}
+
+impl Response {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as a [`JobStatusBody`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the body is not a job status document.
+    pub fn job(&self) -> io::Result<JobStatusBody> {
+        serde_json::from_str(&self.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// The server's error message, when the body carries one.
+    pub fn error(&self) -> Option<String> {
+        serde_json::from_str::<ErrorBody>(&self.body)
+            .ok()
+            .map(|b| b.error)
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    tenant: Option<String>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with no tenant header.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            tenant: None,
+        }
+    }
+
+    /// Sets the `X-Tenant` header sent with every request.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Client {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sends one request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unparseable response.
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        let body = body.unwrap_or("");
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\nContent-Length: {}\r\n",
+            self.addr,
+            body.len()
+        );
+        if let Some(tenant) = &self.tenant {
+            head.push_str("X-Tenant: ");
+            head.push_str(tenant);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+
+    /// `POST /v1/jobs` with a spec JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; protocol-level rejections come back as the
+    /// response status.
+    pub fn submit(&self, spec_json: &str) -> io::Result<Response> {
+        self.request("POST", "/v1/jobs", Some(spec_json))
+    }
+
+    /// `GET /v1/jobs/{id}`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn status(&self, id: &str) -> io::Result<Response> {
+        self.request("GET", &format!("/v1/jobs/{id}"), None)
+    }
+
+    /// `DELETE /v1/jobs/{id}` (cooperative cancellation).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn cancel(&self, id: &str) -> io::Result<Response> {
+        self.request("DELETE", &format!("/v1/jobs/{id}"), None)
+    }
+
+    /// `GET /v1/queue`, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-queue response body.
+    pub fn queue(&self) -> io::Result<QueueBody> {
+        let response = self.request("GET", "/v1/queue", None)?;
+        serde_json::from_str(&response.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// `GET /v1/jobs/{id}/events`: blocks until the job's event log closes
+    /// and returns every `data:` frame's JSON payload.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-stream response.
+    pub fn events(&self, id: &str) -> io::Result<Vec<String>> {
+        let response = self.request("GET", &format!("/v1/jobs/{id}/events"), None)?;
+        if response.status != 200 {
+            return Err(io::Error::other(
+                response
+                    .error()
+                    .unwrap_or_else(|| format!("status {}", response.status)),
+            ));
+        }
+        Ok(response
+            .body
+            .lines()
+            .filter_map(|line| line.strip_prefix("data: "))
+            .map(str::to_string)
+            .collect())
+    }
+
+    /// Polls `GET /v1/jobs/{id}` until the job reaches a terminal state
+    /// (`done`, `cancelled`, `failed`) or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a 404, or `TimedOut`.
+    pub fn wait(&self, id: &str, timeout: Duration) -> io::Result<JobStatusBody> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let response = self.status(id)?;
+            if response.status == 404 {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no job {id:?}"),
+                ));
+            }
+            let job = response.job()?;
+            if matches!(job.state.as_str(), "done" | "cancelled" | "failed") {
+                return Ok(job);
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {id} still {:?} after {timeout:?}", job.state),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<Response> {
+    let malformed = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| malformed("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| malformed("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let raw_body = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        decode_chunked(raw_body).ok_or_else(|| malformed("bad chunked body"))?
+    } else {
+        raw_body.to_vec()
+    };
+    Ok(Response {
+        status,
+        headers,
+        body: String::from_utf8(body).map_err(|_| malformed("response body is not UTF-8"))?,
+    })
+}
+
+fn decode_chunked(mut raw: &[u8]) -> Option<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let line_end = raw.windows(2).position(|w| w == b"\r\n")?;
+        let size =
+            usize::from_str_radix(std::str::from_utf8(&raw[..line_end]).ok()?.trim(), 16).ok()?;
+        raw = &raw[line_end + 2..];
+        if size == 0 {
+            return Some(body);
+        }
+        if raw.len() < size + 2 {
+            return None;
+        }
+        body.extend_from_slice(&raw[..size]);
+        raw = &raw[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_chunked_bodies() {
+        let raw = b"5\r\nhello\r\n7\r\n, world\r\n0\r\n\r\n";
+        assert_eq!(decode_chunked(raw).unwrap(), b"hello, world");
+        assert_eq!(decode_chunked(b"0\r\n\r\n").unwrap(), b"");
+        assert!(decode_chunked(b"5\r\nhel").is_none(), "truncated chunk");
+    }
+
+    #[test]
+    fn parses_a_plain_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 2\r\n\
+                    Content-Length: 16\r\n\r\n{\"error\":\"full\"}";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("retry-after"), Some("2"));
+        assert_eq!(response.error().as_deref(), Some("full"));
+    }
+}

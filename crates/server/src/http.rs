@@ -1,0 +1,333 @@
+//! A minimal HTTP/1.1 implementation over [`std::net`].
+//!
+//! The offline vendor constraint rules out hyper/tokio, and the server's
+//! needs are small: parse one request per connection (`Connection: close`
+//! everywhere), write JSON responses with a `Content-Length`, and stream
+//! job events with chunked transfer encoding. This module is exactly that —
+//! a request parser with hard limits (header block ≤ 64 KiB, body ≤ 8 MiB)
+//! and two response writers — shared by the server, the bundled client, and
+//! the loopback tests.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted size of the request-line + header block.
+const MAX_HEAD: usize = 64 * 1024;
+/// Maximum accepted request body (a large inline-snapshot `JobSpec` is well
+/// under 1 MiB; anything bigger is not a job submission).
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The path without the query string (e.g. `/v1/jobs/job-000001`).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
+    }
+}
+
+/// A malformed or oversized request (maps to a 400 and a closed connection).
+#[derive(Debug)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed HTTP request: {}", self.0)
+    }
+}
+
+/// What reading a request from a connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed without sending anything (e.g. the shutdown
+    /// self-wake connection) — not an error.
+    Closed,
+    /// The bytes on the wire were not a valid request.
+    Malformed(ParseError),
+}
+
+/// Reads one request from `stream` (blocking).
+///
+/// # Errors
+///
+/// Propagates transport-level I/O failures; protocol problems come back as
+/// [`ReadOutcome::Malformed`].
+pub fn read_request(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 4096];
+    let (head_end, mut overflow) = loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Ok(ReadOutcome::Closed);
+            }
+            return Ok(ReadOutcome::Malformed(ParseError(
+                "connection closed mid-headers".to_string(),
+            )));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            let overflow = head.split_off(pos + 4);
+            head.truncate(pos);
+            break (pos, overflow);
+        }
+        if head.len() > MAX_HEAD {
+            return Ok(ReadOutcome::Malformed(ParseError(format!(
+                "header block exceeds {MAX_HEAD} bytes"
+            ))));
+        }
+    };
+    debug_assert_eq!(head.len(), head_end);
+    let head = match std::str::from_utf8(&head) {
+        Ok(text) => text,
+        Err(_) => {
+            return Ok(ReadOutcome::Malformed(ParseError(
+                "headers are not UTF-8".to_string(),
+            )))
+        }
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Ok(ReadOutcome::Malformed(ParseError(format!(
+                "bad request line {request_line:?}"
+            ))))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(ParseError(format!(
+            "unsupported protocol {version:?}"
+        ))));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(ParseError(format!(
+                "bad header line {line:?}"
+            ))));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+    let content_length = match content_length {
+        Ok(len) => len.unwrap_or(0),
+        Err(_) => {
+            return Ok(ReadOutcome::Malformed(ParseError(
+                "unparseable Content-Length".to_string(),
+            )))
+        }
+    };
+    if content_length > MAX_BODY {
+        return Ok(ReadOutcome::Malformed(ParseError(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY}"
+        ))));
+    }
+    // Bytes past the body would be a pipelined second request; every
+    // response carries `Connection: close`, so there is none to honor.
+    overflow.truncate(content_length);
+    let mut body = overflow;
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(ReadOutcome::Malformed(ParseError(
+                "connection closed mid-body".to_string(),
+            )));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response with `Content-Length` and
+/// `Connection: close`, plus any `extra` headers (e.g. `Retry-After`).
+pub fn write_json_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// An in-progress chunked `text/event-stream` response: each event is one
+/// `data: <json>\n\n` frame in its own chunk, and [`EventStream::finish`]
+/// writes the terminating zero chunk.
+pub struct EventStream<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> EventStream<'a> {
+    /// Writes the streaming response head.
+    ///
+    /// # Errors
+    ///
+    /// Transport I/O failures.
+    pub fn begin(stream: &'a mut TcpStream) -> io::Result<EventStream<'a>> {
+        stream.write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+              Transfer-Encoding: chunked\r\nCache-Control: no-store\r\n\
+              Connection: close\r\n\r\n",
+        )?;
+        stream.flush()?;
+        Ok(EventStream { stream })
+    }
+
+    /// Writes one SSE `data:` frame as a chunk.
+    ///
+    /// # Errors
+    ///
+    /// Transport I/O failures (typically: the client hung up).
+    pub fn send(&mut self, json: &str) -> io::Result<()> {
+        let frame = format!("data: {json}\n\n");
+        write!(self.stream, "{:x}\r\n", frame.len())?;
+        self.stream.write_all(frame.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked stream cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport I/O failures.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> ReadOutcome {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let outcome = read_request(&mut conn).unwrap();
+        writer.join().unwrap();
+        outcome
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/jobs?trace=1 HTTP/1.1\r\nHost: x\r\nX-Tenant: alice\r\n\
+                    Content-Length: 11\r\n\r\nhello world";
+        match roundtrip(raw) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/v1/jobs");
+                assert_eq!(req.header("x-tenant"), Some("alice"));
+                assert_eq!(req.header("X-TENANT"), Some("alice"));
+                assert_eq!(req.body_text().unwrap(), "hello world");
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_bodyless_get_and_eof_only_connection() {
+        let raw = b"GET /v1/queue HTTP/1.1\r\n\r\n";
+        match roundtrip(raw) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.path, "/v1/queue");
+                assert!(req.body.is_empty());
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+        assert!(matches!(roundtrip(b""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            roundtrip(b"not http at all\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            roundtrip(b"GET / SMTP/1.0\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+}

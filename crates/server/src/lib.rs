@@ -1,0 +1,54 @@
+//! `clapton-server`: the Clapton stack as a networked, multi-tenant job
+//! service.
+//!
+//! [PR 5](../clapton_service/index.html) made every entry point compile
+//! down to one serializable [`JobSpec`](clapton_service::JobSpec); this
+//! crate puts that front door on a socket. The server is HTTP/1.1 + JSON
+//! hand-rolled over [`std::net`] — the offline vendor set has no hyper or
+//! tokio, and the protocol is small enough that a few hundred lines of
+//! blocking-socket code cover it honestly.
+//!
+//! ## Endpoints
+//!
+//! | Method & path              | Purpose                                        |
+//! |----------------------------|------------------------------------------------|
+//! | `POST /v1/jobs`            | Submit a `JobSpec`; `202` + job id             |
+//! | `GET /v1/jobs/{id}`        | Status, with the `Report` once done            |
+//! | `GET /v1/jobs/{id}/events` | `RunEvent` stream (SSE frames, chunked)        |
+//! | `DELETE /v1/jobs/{id}`     | Cooperative cancellation at a round boundary   |
+//! | `GET /v1/queue`            | Queue depth, per-tenant usage, pool saturation |
+//!
+//! ## Guarantees
+//!
+//! * **Admission control** — per-tenant token buckets (`429` +
+//!   `Retry-After`) in front of a bounded queue (`429` when full), with
+//!   weighted fair-share dequeue ordering so one tenant's burst cannot
+//!   starve another ([`AdmissionQueue`]).
+//! * **Durability** — every accepted job is recorded under
+//!   `<root>/queue/` *before* the client sees `202`. A SIGKILL'd server
+//!   restarted on the same root re-admits queued jobs and resumes
+//!   in-flight jobs from their round checkpoints, bit-identically — the
+//!   server adds no state beyond what the
+//!   [`ClaptonService`](clapton_service::ClaptonService) artifact contract
+//!   already persists.
+//! * **Graceful drain** — SIGINT/SIGTERM stops admissions, lets in-flight
+//!   jobs finish within `--drain-timeout`, then suspends stragglers at
+//!   their next round boundary and exits 0 ([`ServerHandle::drain`]).
+//!
+//! See `docs/PROTOCOL.md` for the wire-level details and the `clapton-server`
+//! / `clapton-client` binaries for the command-line surface.
+
+#![warn(missing_docs)]
+
+mod admission;
+pub mod client;
+mod events;
+pub mod http;
+mod server;
+
+pub use admission::{AdmissionConfig, AdmissionQueue, AdmitError, QueueStats, Shed, TenantUsage};
+pub use events::EventLog;
+pub use server::{
+    DrainSummary, ErrorBody, JobStatusBody, QueueBody, QueueRecord, Server, ServerConfig,
+    ServerHandle, TenantBody,
+};

@@ -1,0 +1,877 @@
+//! The job server: HTTP endpoint routing, the in-memory job registry, the
+//! dispatcher workers, durable queue records, crash recovery, and drain.
+//!
+//! Layering: each accepted connection parses one request ([`crate::http`])
+//! and routes it here; submissions pass admission control
+//! ([`crate::admission`]) and are durably recorded under `<root>/queue/`
+//! *before* the client sees a 202; dispatcher threads pull admitted jobs in
+//! weighted fair-share order and execute them through
+//! [`ClaptonService::execute_admitted`], which owns artifacts, round
+//! checkpoints, and the bit-identical resume contract. The server adds no
+//! state of its own to the artifact format — that is what makes a
+//! SIGKILL'd server recoverable by a plain rescan.
+
+use crate::admission::{AdmissionConfig, AdmissionQueue, AdmitError, Shed};
+use crate::events::EventLog;
+use crate::http::{self, EventStream, ReadOutcome};
+use clapton_error::ClaptonError;
+use clapton_runtime::{CancelToken, WorkerPool};
+use clapton_service::{
+    AdmittedJob, ClaptonService, JobArtifactState, JobSpec, Report, TerminalState,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything a [`Server`] needs to come up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Durable state root: artifacts under `<root>/artifacts`, queue
+    /// records under `<root>/queue`.
+    pub root: PathBuf,
+    /// Dispatcher threads executing jobs (`0` = admission-only: jobs queue
+    /// but never run — used by the submission-latency benchmark).
+    pub dispatchers: usize,
+    /// Threads in the shared compute [`WorkerPool`].
+    pub pool_workers: usize,
+    /// Admission policy.
+    pub admission: AdmissionConfig,
+    /// How long [`ServerHandle::drain`] lets in-flight jobs run to
+    /// completion before suspending them at their next round boundary.
+    pub drain_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// A loopback config rooted at `root` with two dispatchers.
+    pub fn new(root: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            root: root.into(),
+            dispatchers: 2,
+            pool_workers: 2,
+            admission: AdmissionConfig::default(),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The durable record of one admitted job, written to
+/// `<root>/queue/<id>.json` before the submitter sees a 202.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueRecord {
+    /// Server-assigned job id (`job-000001`, …).
+    pub id: String,
+    /// Monotonic admission sequence number (recovery re-queues in order).
+    pub seq: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// The submitted spec, verbatim.
+    pub spec: JobSpec,
+}
+
+/// The JSON body of every job-describing response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStatusBody {
+    /// Server-assigned job id.
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Job display name.
+    pub name: String,
+    /// `queued`, `running`, `cancelling`, `suspended`, `done`, `cancelled`,
+    /// or `failed`.
+    pub state: String,
+    /// Position in the dispatch order (1-based), once a dispatcher picked
+    /// the job up — the observable output of fair-share scheduling.
+    pub dispatch_seq: Option<u64>,
+    /// Completed GA rounds, for suspended/cancelled jobs.
+    pub rounds: Option<usize>,
+    /// Failure detail, for failed jobs.
+    pub detail: Option<String>,
+    /// The report, once the job is done.
+    pub report: Option<Report>,
+}
+
+/// The JSON body of an error response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable cause.
+    pub error: String,
+}
+
+/// One tenant's row in the [`QueueBody`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantBody {
+    /// Tenant name.
+    pub tenant: String,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Jobs admitted but not yet dispatched.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs that reached a terminal state.
+    pub completed: u64,
+}
+
+/// The JSON body of `GET /v1/queue`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueBody {
+    /// Jobs admitted but not yet dispatched, across tenants.
+    pub depth: usize,
+    /// The admission bound on `depth`.
+    pub capacity: usize,
+    /// Whether submissions are currently admitted.
+    pub accepting: bool,
+    /// Dispatcher threads.
+    pub dispatchers: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Threads in the shared compute pool.
+    pub pool_workers: usize,
+    /// `running / dispatchers` (0 when admission-only).
+    pub saturation: f64,
+    /// Per-tenant usage, sorted by tenant name.
+    pub tenants: Vec<TenantBody>,
+}
+
+/// What [`ServerHandle::drain`] left behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs that reached `done` over the server's lifetime.
+    pub completed: usize,
+    /// Jobs suspended at a round checkpoint for the next server life.
+    pub suspended: usize,
+    /// Jobs still queued on disk for the next server life.
+    pub requeued: usize,
+}
+
+#[derive(Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Suspended(usize),
+    Done(Box<Report>),
+    Cancelled(usize),
+    Failed(String),
+}
+
+struct JobEntry {
+    id: String,
+    tenant: String,
+    name: String,
+    admitted: AdmittedJob,
+    cancel: CancelToken,
+    events: Arc<EventLog>,
+    state: Mutex<JobState>,
+    dispatched: Mutex<Option<u64>>,
+}
+
+impl JobEntry {
+    fn status_body(&self) -> JobStatusBody {
+        let state = self.state.lock().expect("job state");
+        let (state_name, rounds, detail, report) = match &*state {
+            JobState::Queued => ("queued", None, None, None),
+            JobState::Running if self.cancel.is_cancelled() => ("cancelling", None, None, None),
+            JobState::Running => ("running", None, None, None),
+            JobState::Suspended(rounds) => ("suspended", Some(*rounds), None, None),
+            JobState::Done(report) => ("done", None, None, Some((**report).clone())),
+            JobState::Cancelled(rounds) => ("cancelled", Some(*rounds), None, None),
+            JobState::Failed(detail) => ("failed", None, Some(detail.clone()), None),
+        };
+        JobStatusBody {
+            id: self.id.clone(),
+            tenant: self.tenant.clone(),
+            name: self.name.clone(),
+            state: state_name.to_string(),
+            dispatch_seq: *self.dispatched.lock().expect("dispatch seq"),
+            rounds,
+            detail,
+            report,
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(
+            &*self.state.lock().expect("job state"),
+            JobState::Done(_) | JobState::Cancelled(_) | JobState::Failed(_)
+        )
+    }
+}
+
+/// The registry key claiming an artifact directory for a live job.
+fn dir_key(admitted: &AdmittedJob) -> String {
+    admitted
+        .artifact_dir()
+        .expect("server always persists artifacts")
+        .display()
+        .to_string()
+}
+
+#[derive(Default)]
+struct Registry {
+    jobs: HashMap<String, Arc<JobEntry>>,
+    /// Artifact-directory path → active (queued/running) job id, so a
+    /// resubmission of an in-flight spec joins the existing job instead of
+    /// double-running against the same artifact directory.
+    active_by_dir: HashMap<String, String>,
+}
+
+struct ServerInner {
+    config: ServerConfig,
+    service: ClaptonService,
+    queue: AdmissionQueue,
+    registry: Mutex<Registry>,
+    seq: AtomicU64,
+    dispatch_counter: AtomicU64,
+    running: AtomicUsize,
+    shutting_down: AtomicBool,
+    queue_dir: PathBuf,
+    dispatchers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The job server. [`Server::bind`] recovers durable state and starts the
+/// dispatchers; [`Server::serve`] runs the accept loop until
+/// [`ServerHandle::begin_shutdown`] (or [`ServerHandle::drain`]) stops it.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+/// A cloneable control handle: address introspection and shutdown/drain.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Builds the service, scans `<root>/queue` to re-admit every job a
+    /// previous server life accepted but did not finish, binds the
+    /// listener, and starts the dispatcher threads.
+    ///
+    /// # Errors
+    ///
+    /// Root/artifact directory creation, queue-record parsing, or socket
+    /// binding failures.
+    pub fn bind(config: ServerConfig) -> Result<Server, ClaptonError> {
+        let pool = Arc::new(WorkerPool::with_workers(config.pool_workers.max(1)));
+        let service =
+            ClaptonService::with_pool(pool).with_artifacts(config.root.join("artifacts"))?;
+        let queue_dir = config.root.join("queue");
+        std::fs::create_dir_all(&queue_dir).map_err(ClaptonError::Io)?;
+        let listener = TcpListener::bind(&config.addr).map_err(ClaptonError::Io)?;
+        let addr = listener.local_addr().map_err(ClaptonError::Io)?;
+        let inner = Arc::new(ServerInner {
+            queue: AdmissionQueue::new(config.admission.clone()),
+            registry: Mutex::new(Registry::default()),
+            seq: AtomicU64::new(0),
+            dispatch_counter: AtomicU64::new(0),
+            running: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            queue_dir,
+            dispatchers: Mutex::new(Vec::new()),
+            service,
+            config,
+        });
+        inner.recover()?;
+        let mut dispatchers = inner.dispatchers.lock().expect("dispatcher handles");
+        for idx in 0..inner.config.dispatchers {
+            let inner = Arc::clone(&inner);
+            dispatchers.push(
+                std::thread::Builder::new()
+                    .name(format!("clapton-dispatch-{idx}"))
+                    .spawn(move || inner.dispatcher_loop())
+                    .map_err(ClaptonError::Io)?,
+            );
+        }
+        drop(dispatchers);
+        Ok(Server {
+            inner,
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A control handle that outlives the accept loop.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+            addr: self.addr,
+        }
+    }
+
+    /// Accepts and serves connections until shutdown begins. Each
+    /// connection is one request (`Connection: close`), handled on its own
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failures only; per-connection errors are contained.
+    pub fn serve(self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.inner.shutting_down.load(Ordering::SeqCst) {
+                // The wake connection (or any racer) is dropped unanswered.
+                return Ok(());
+            }
+            let mut stream = match conn {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let inner = Arc::clone(&self.inner);
+            let _ = std::thread::Builder::new()
+                .name("clapton-conn".to_string())
+                .spawn(move || {
+                    let _ = inner.handle_connection(&mut stream);
+                });
+        }
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops admissions and unblocks the accept loop. Idempotent; does not
+    /// wait for in-flight jobs — see [`ServerHandle::drain`].
+    pub fn begin_shutdown(&self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.queue.close();
+        // Self-connect so a blocking accept() observes the flag now rather
+        // than at the next real client.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Graceful drain: stop accepting, let in-flight jobs run for up to
+    /// `drain_timeout`, then suspend the stragglers at their next round
+    /// boundary (their checkpoints make the next server life resume them
+    /// bit-identically), and join the dispatchers.
+    pub fn drain(&self) -> DrainSummary {
+        self.begin_shutdown();
+        let deadline = Instant::now() + self.inner.config.drain_timeout;
+        while self.inner.running.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        {
+            let registry = self.inner.registry.lock().expect("job registry");
+            for entry in registry.jobs.values() {
+                if matches!(*entry.state.lock().expect("job state"), JobState::Running) {
+                    entry.cancel.suspend();
+                }
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .inner
+            .dispatchers
+            .lock()
+            .expect("dispatcher handles")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let registry = self.inner.registry.lock().expect("job registry");
+        let mut summary = DrainSummary {
+            completed: 0,
+            suspended: 0,
+            requeued: 0,
+        };
+        for entry in registry.jobs.values() {
+            match &*entry.state.lock().expect("job state") {
+                JobState::Done(_) => summary.completed += 1,
+                JobState::Suspended(_) => summary.suspended += 1,
+                JobState::Queued => summary.requeued += 1,
+                _ => {}
+            }
+        }
+        summary
+    }
+
+    /// Current queue statistics (same data as `GET /v1/queue`).
+    pub fn queue_body(&self) -> QueueBody {
+        self.inner.queue_body()
+    }
+}
+
+impl ServerInner {
+    /// Re-admits every durable queue record from a previous server life.
+    fn recover(self: &Arc<ServerInner>) -> Result<(), ClaptonError> {
+        let mut records: Vec<QueueRecord> = Vec::new();
+        for dirent in std::fs::read_dir(&self.queue_dir).map_err(ClaptonError::Io)? {
+            let path = dirent.map_err(ClaptonError::Io)?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).map_err(ClaptonError::Io)?;
+            let record: QueueRecord =
+                serde_json::from_str(&text).map_err(|e| ClaptonError::Parse {
+                    what: format!("queue record {}", path.display()),
+                    detail: e.to_string(),
+                })?;
+            records.push(record);
+        }
+        records.sort_by_key(|r| r.seq);
+        for record in records {
+            self.seq.fetch_max(record.seq, Ordering::SeqCst);
+            let admitted = self.service.admit(record.spec.clone())?;
+            let state = match self.service.inspect(&admitted)? {
+                JobArtifactState::Done(report) => JobState::Done(report),
+                JobArtifactState::Cancelled { rounds } => JobState::Cancelled(rounds),
+                JobArtifactState::Failed { detail } => JobState::Failed(detail),
+                JobArtifactState::Fresh | JobArtifactState::InFlight => JobState::Queued,
+            };
+            let requeue = matches!(state, JobState::Queued);
+            let events = Arc::new(EventLog::new());
+            if !requeue {
+                events.close();
+            }
+            let entry = Arc::new(JobEntry {
+                id: record.id.clone(),
+                tenant: record.tenant.clone(),
+                name: admitted.job().name.clone(),
+                cancel: CancelToken::new(),
+                dispatched: Mutex::new(None),
+                state: Mutex::new(state),
+                admitted,
+                events,
+            });
+            let mut registry = self.registry.lock().expect("job registry");
+            if requeue {
+                if let Some(dir) = entry.admitted.artifact_dir() {
+                    registry
+                        .active_by_dir
+                        .insert(dir.display().to_string(), record.id.clone());
+                }
+                self.queue.readmit(&record.tenant, record.id.clone());
+            }
+            registry.jobs.insert(record.id, entry);
+        }
+        Ok(())
+    }
+
+    fn entry(&self, id: &str) -> Option<Arc<JobEntry>> {
+        self.registry
+            .lock()
+            .expect("job registry")
+            .jobs
+            .get(id)
+            .cloned()
+    }
+
+    fn retire_active(&self, entry: &JobEntry) {
+        if let Some(dir) = entry.admitted.artifact_dir() {
+            self.registry
+                .lock()
+                .expect("job registry")
+                .active_by_dir
+                .remove(&dir.display().to_string());
+        }
+    }
+
+    fn dispatcher_loop(self: &Arc<ServerInner>) {
+        while let Some((tenant, id)) = self.queue.pop() {
+            let Some(entry) = self.entry(&id) else {
+                continue;
+            };
+            if entry.cancel.is_cancelled() {
+                // Cancelled between admission and dispatch.
+                self.finish_cancelled(&entry, 0);
+                self.queue.note_finished(&tenant);
+                continue;
+            }
+            *entry.state.lock().expect("job state") = JobState::Running;
+            *entry.dispatched.lock().expect("dispatch seq") =
+                Some(self.dispatch_counter.fetch_add(1, Ordering::SeqCst) + 1);
+            self.running.fetch_add(1, Ordering::SeqCst);
+            let (tx, rx) = std::sync::mpsc::channel();
+            let forwarder = {
+                let events = Arc::clone(&entry.events);
+                std::thread::spawn(move || {
+                    for event in rx {
+                        events.push(event);
+                    }
+                })
+            };
+            let result =
+                self.service
+                    .execute_admitted(&entry.admitted, Some(tx), entry.cancel.clone());
+            let _ = forwarder.join();
+            self.running.fetch_sub(1, Ordering::SeqCst);
+            match result {
+                Ok(report) => {
+                    *entry.state.lock().expect("job state") = JobState::Done(Box::new(report));
+                    entry.events.close();
+                    self.retire_active(&entry);
+                }
+                Err(ClaptonError::Cancelled { rounds }) => {
+                    *entry.state.lock().expect("job state") = JobState::Cancelled(rounds);
+                    entry.events.close();
+                    self.retire_active(&entry);
+                }
+                Err(ClaptonError::Suspended { rounds }) => {
+                    if self.shutting_down.load(Ordering::SeqCst) {
+                        // Drain: the checkpoint is on disk and the queue
+                        // record survives; the next server life resumes it.
+                        *entry.state.lock().expect("job state") = JobState::Suspended(rounds);
+                        entry.events.close();
+                    } else {
+                        // Budget suspension: the server owns the resubmit
+                        // loop, so the job goes straight back in line.
+                        *entry.state.lock().expect("job state") = JobState::Queued;
+                        self.queue.readmit(&tenant, id);
+                    }
+                }
+                Err(other) => {
+                    let detail = other.to_string();
+                    let _ = self.service.mark_failed(&entry.admitted, &detail);
+                    *entry.state.lock().expect("job state") = JobState::Failed(detail);
+                    entry.events.close();
+                    self.retire_active(&entry);
+                }
+            }
+            self.queue.note_finished(&tenant);
+        }
+    }
+
+    /// Persists and records a cancellation that won the race against
+    /// dispatch (the job never ran; `rounds` completed beforehand).
+    fn finish_cancelled(&self, entry: &JobEntry, rounds: usize) {
+        if let Some(dir) = entry.admitted.artifact_dir() {
+            let state = TerminalState {
+                state: "cancelled".to_string(),
+                rounds,
+                detail: String::new(),
+            };
+            if let Ok(json) = serde_json::to_string_pretty(&state) {
+                let _ = std::fs::write(dir.join("state.json"), json);
+            }
+        }
+        *entry.state.lock().expect("job state") = JobState::Cancelled(rounds);
+        entry.events.close();
+        self.retire_active(entry);
+    }
+
+    fn queue_body(&self) -> QueueBody {
+        let stats = self.queue.stats();
+        let running = self.running.load(Ordering::SeqCst);
+        let dispatchers = self.config.dispatchers;
+        QueueBody {
+            depth: stats.depth,
+            capacity: stats.capacity,
+            accepting: stats.accepting,
+            dispatchers,
+            running,
+            pool_workers: self.config.pool_workers,
+            saturation: if dispatchers == 0 {
+                0.0
+            } else {
+                running as f64 / dispatchers as f64
+            },
+            tenants: stats
+                .tenants
+                .into_iter()
+                .map(|t| TenantBody {
+                    tenant: t.tenant,
+                    weight: t.weight,
+                    queued: t.queued,
+                    running: t.running,
+                    completed: t.completed,
+                })
+                .collect(),
+        }
+    }
+
+    fn handle_connection(self: &Arc<ServerInner>, stream: &mut TcpStream) -> io::Result<()> {
+        let request = match http::read_request(stream)? {
+            ReadOutcome::Request(request) => request,
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Malformed(e) => {
+                return self.respond_error(stream, 400, &[], &e.to_string());
+            }
+        };
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("POST", ["v1", "jobs"]) => self.handle_submit(stream, &request),
+            ("GET", ["v1", "jobs", id]) => self.handle_status(stream, id),
+            ("DELETE", ["v1", "jobs", id]) => self.handle_cancel(stream, id),
+            ("GET", ["v1", "jobs", id, "events"]) => self.handle_events(stream, id),
+            ("GET", ["v1", "queue"]) => {
+                let body =
+                    serde_json::to_string(&self.queue_body()).expect("queue body serializes");
+                http::write_json_response(stream, 200, &[], &body)
+            }
+            ("GET", ["healthz"]) => http::write_json_response(stream, 200, &[], "{\"ok\":true}"),
+            (
+                _,
+                ["v1", "jobs"] | ["v1", "jobs", _] | ["v1", "jobs", _, "events"] | ["v1", "queue"],
+            ) => self.respond_error(stream, 405, &[], "method not allowed on this path"),
+            _ => self.respond_error(stream, 404, &[], "no such endpoint"),
+        }
+    }
+
+    fn respond_error(
+        &self,
+        stream: &mut TcpStream,
+        status: u16,
+        extra: &[(&str, String)],
+        error: &str,
+    ) -> io::Result<()> {
+        let body = serde_json::to_string(&ErrorBody {
+            error: error.to_string(),
+        })
+        .expect("error body serializes");
+        http::write_json_response(stream, status, extra, &body)
+    }
+
+    fn respond_entry(
+        &self,
+        stream: &mut TcpStream,
+        status: u16,
+        entry: &JobEntry,
+    ) -> io::Result<()> {
+        let body = serde_json::to_string(&entry.status_body()).expect("status body serializes");
+        http::write_json_response(stream, status, &[], &body)
+    }
+
+    fn handle_submit(
+        self: &Arc<ServerInner>,
+        stream: &mut TcpStream,
+        request: &crate::http::Request,
+    ) -> io::Result<()> {
+        let tenant = request.header("x-tenant").unwrap_or("default").to_string();
+        if tenant.is_empty() || tenant.contains(|c: char| c == '/' || c.is_whitespace()) {
+            return self.respond_error(stream, 400, &[], "invalid X-Tenant header");
+        }
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return self.respond_error(stream, 503, &[], "server is draining");
+        }
+        let Ok(text) = request.body_text() else {
+            return self.respond_error(stream, 400, &[], "request body is not UTF-8");
+        };
+        let spec: JobSpec = match serde_json::from_str(text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                return self.respond_error(stream, 400, &[], &format!("malformed JobSpec: {e}"));
+            }
+        };
+        let admitted = match self.service.admit(spec.clone()) {
+            Ok(admitted) => admitted,
+            Err(e @ ClaptonError::Conflict { .. }) => {
+                return self.respond_error(stream, 409, &[], &e.to_string());
+            }
+            Err(e @ (ClaptonError::Spec(_) | ClaptonError::Parse { .. })) => {
+                return self.respond_error(stream, 400, &[], &e.to_string());
+            }
+            Err(e) => return self.respond_error(stream, 500, &[], &e.to_string()),
+        };
+        match self.service.inspect(&admitted) {
+            Ok(JobArtifactState::Fresh | JobArtifactState::InFlight) => {}
+            Ok(terminal) => {
+                // Answered from artifacts: no admission, no dispatch — but
+                // only if no live job owns the directory (the running job
+                // is the source of truth while it's in flight).
+                let dir_key = dir_key(&admitted);
+                let active = self
+                    .registry
+                    .lock()
+                    .expect("job registry")
+                    .active_by_dir
+                    .get(&dir_key)
+                    .cloned();
+                if active.is_none() {
+                    let state = match terminal {
+                        JobArtifactState::Done(report) => JobState::Done(report),
+                        JobArtifactState::Cancelled { rounds } => JobState::Cancelled(rounds),
+                        JobArtifactState::Failed { detail } => JobState::Failed(detail),
+                        JobArtifactState::Fresh | JobArtifactState::InFlight => unreachable!(),
+                    };
+                    let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+                    let entry = self.insert_entry(format!("job-{seq:06}"), tenant, admitted, state);
+                    return self.respond_entry(stream, 200, &entry);
+                }
+            }
+            Err(e) => return self.respond_error(stream, 500, &[], &e.to_string()),
+        }
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let id = format!("job-{seq:06}");
+        // The registry entry must exist before the id is published to the
+        // dispatchers, and the joined-active check must be atomic with the
+        // insertion — otherwise two racing submissions of the same spec
+        // would double-run against one artifact directory.
+        let entry = match self.try_insert_active(id.clone(), tenant.clone(), admitted) {
+            Ok(entry) => entry,
+            Err(existing) => {
+                // Joining an active job (same spec resubmitted while queued
+                // or running) consumes no admission tokens or queue slot.
+                return self.respond_entry(stream, 202, &existing);
+            }
+        };
+        let record = QueueRecord {
+            id: id.clone(),
+            seq,
+            tenant: tenant.clone(),
+            spec,
+        };
+        let record_path = self.queue_dir.join(format!("{id}.json"));
+        let admit = self.queue.admit(&tenant, id.clone(), || {
+            let json = serde_json::to_string_pretty(&record)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            std::fs::write(&record_path, json)
+        });
+        match admit {
+            Ok(_) => self.respond_entry(stream, 202, &entry),
+            Err(shed) => {
+                let mut registry = self.registry.lock().expect("job registry");
+                registry.jobs.remove(&id);
+                registry.active_by_dir.remove(&dir_key(&entry.admitted));
+                drop(registry);
+                match shed {
+                    AdmitError::Shed(Shed::RateLimited { retry_after_secs }) => self.respond_error(
+                        stream,
+                        429,
+                        &[("Retry-After", retry_after_secs.to_string())],
+                        "tenant rate limit exceeded",
+                    ),
+                    AdmitError::Shed(Shed::QueueFull { depth }) => self.respond_error(
+                        stream,
+                        429,
+                        &[("Retry-After", "1".to_string())],
+                        &format!("admission queue full ({depth} jobs)"),
+                    ),
+                    AdmitError::Shed(Shed::Closed) => {
+                        self.respond_error(stream, 503, &[], "server is draining")
+                    }
+                    AdmitError::Io(e) => self.respond_error(
+                        stream,
+                        500,
+                        &[],
+                        &format!("failed to persist queue record: {e}"),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Inserts a terminal (never-dispatched) entry: closed event log, not
+    /// in the active map.
+    fn insert_entry(
+        &self,
+        id: String,
+        tenant: String,
+        admitted: AdmittedJob,
+        state: JobState,
+    ) -> Arc<JobEntry> {
+        let events = Arc::new(EventLog::new());
+        events.close();
+        let entry = Arc::new(JobEntry {
+            id: id.clone(),
+            name: admitted.job().name.clone(),
+            cancel: CancelToken::new(),
+            dispatched: Mutex::new(None),
+            state: Mutex::new(state),
+            tenant,
+            admitted,
+            events,
+        });
+        self.registry
+            .lock()
+            .expect("job registry")
+            .jobs
+            .insert(id, Arc::clone(&entry));
+        entry
+    }
+
+    /// Inserts a queued entry and claims its artifact directory, or returns
+    /// the live entry already owning that directory.
+    fn try_insert_active(
+        &self,
+        id: String,
+        tenant: String,
+        admitted: AdmittedJob,
+    ) -> Result<Arc<JobEntry>, Arc<JobEntry>> {
+        let key = dir_key(&admitted);
+        let mut registry = self.registry.lock().expect("job registry");
+        if let Some(existing) = registry
+            .active_by_dir
+            .get(&key)
+            .and_then(|id| registry.jobs.get(id))
+        {
+            return Err(Arc::clone(existing));
+        }
+        let entry = Arc::new(JobEntry {
+            id: id.clone(),
+            name: admitted.job().name.clone(),
+            cancel: CancelToken::new(),
+            dispatched: Mutex::new(None),
+            state: Mutex::new(JobState::Queued),
+            events: Arc::new(EventLog::new()),
+            tenant,
+            admitted,
+        });
+        registry.active_by_dir.insert(key, id.clone());
+        registry.jobs.insert(id, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    fn handle_status(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+        match self.entry(id) {
+            Some(entry) => self.respond_entry(stream, 200, &entry),
+            None => self.respond_error(stream, 404, &[], &format!("no job {id:?}")),
+        }
+    }
+
+    fn handle_cancel(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+        let Some(entry) = self.entry(id) else {
+            return self.respond_error(stream, 404, &[], &format!("no job {id:?}"));
+        };
+        if entry.is_terminal() {
+            return self.respond_entry(stream, 200, &entry);
+        }
+        // Mark first so a dispatcher that pops the id concurrently skips it.
+        entry.cancel.cancel();
+        if self.queue.remove(&entry.tenant, id) {
+            // Won the race: the job never dispatched.
+            self.finish_cancelled(&entry, 0);
+            return self.respond_entry(stream, 200, &entry);
+        }
+        // Already dispatched (or mid-dispatch): the token stops it at the
+        // next round boundary.
+        self.respond_entry(stream, 202, &entry)
+    }
+
+    fn handle_events(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+        let Some(entry) = self.entry(id) else {
+            return self.respond_error(stream, 404, &[], &format!("no job {id:?}"));
+        };
+        let mut events = EventStream::begin(stream)?;
+        let mut index = 0usize;
+        while let Some(event) = entry.events.next(index) {
+            index += 1;
+            let json = serde_json::to_string(&event).expect("event serializes");
+            if events.send(&json).is_err() {
+                // Client hung up; nothing left to deliver.
+                return Ok(());
+            }
+        }
+        events.finish()
+    }
+}

@@ -1,0 +1,224 @@
+//! Out-of-process durability tests against the real `clapton-server`
+//! binary: a SIGKILL'd server restarted on the same root re-admits its
+//! queue and resumes in-flight jobs from their round checkpoints; a
+//! SIGTERM'd server drains gracefully and exits 0. In both lives, the
+//! report the client finally receives must be byte-identical to an
+//! uninterrupted in-process `ClaptonService::run` of the same spec.
+
+use clapton_server::client::Client;
+use clapton_service::{
+    ClaptonService, EngineSpec, JobSpec, MethodSpec, NoiseSpec, ProblemSpec, SuiteProblem,
+    UniformNoise,
+};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clapton-crash-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Long enough to survive a mid-run kill (many round boundaries), short
+/// enough to finish in a few seconds: `max_retry_rounds > max_rounds`
+/// prevents early convergence, so the search runs all 20 rounds.
+fn medium_spec(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(ProblemSpec::Suite(SuiteProblem {
+        name: "ising(J=0.50)".to_string(),
+        qubits: 4,
+    }));
+    spec.noise = NoiseSpec::Uniform(UniformNoise {
+        p1: 1e-3,
+        p2: 1e-2,
+        readout: 2e-2,
+        t1: None,
+    });
+    spec.seed = seed;
+    spec.engine = EngineSpec::Custom(clapton_ga::MultiGaConfig {
+        instances: 2,
+        top_k: 4,
+        max_retry_rounds: 200,
+        max_rounds: 20,
+        pool_fraction: 0.5,
+        parallel: false,
+        ga: clapton_ga::GaConfig {
+            population_size: 24,
+            generations: 12,
+            ..clapton_ga::GaConfig::default()
+        },
+    });
+    spec.methods = vec![MethodSpec::Clapton];
+    spec
+}
+
+fn spawn_server(root: &Path, port_file: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_clapton-server"))
+        .args([
+            "--root",
+            root.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--dispatchers",
+            "1",
+            "--pool-workers",
+            "2",
+            "--drain-timeout",
+            "0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn clapton-server")
+}
+
+fn await_port(port_file: &Path) -> u16 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(port) = text.trim().parse() {
+                return port;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote {port_file:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn await_file(path: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !path.is_file() {
+        assert!(Instant::now() < deadline, "{path:?} never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn await_exit(child: &mut Child) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "server did not exit");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkill_restart_resumes_bit_identically() {
+    let spec = medium_spec(31);
+    let reference = ClaptonService::new().run(spec.clone()).expect("reference");
+    let root = scratch("sigkill");
+    std::fs::create_dir_all(&root).unwrap();
+
+    // First life: accept the job, checkpoint at least one round, die hard.
+    let port_file = root.join("port-1");
+    let mut first = spawn_server(&root, &port_file);
+    let client = Client::new(format!("127.0.0.1:{}", await_port(&port_file))).with_tenant("t");
+    let submitted = client
+        .submit(&serde_json::to_string(&spec).unwrap())
+        .expect("submit");
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let id = submitted.job().unwrap().id;
+    await_file(
+        &root
+            .join("artifacts")
+            .join("ising-J-0.50-seed31")
+            .join("checkpoint.json"),
+    );
+    first.kill().expect("SIGKILL");
+    let _ = first.wait();
+
+    // The durable queue record survived the kill.
+    assert!(
+        root.join("queue").join(format!("{id}.json")).is_file(),
+        "queue record survives SIGKILL"
+    );
+
+    // Second life: same root, fresh port. Recovery must re-admit the job
+    // under its original id and resume from the checkpoint.
+    let port_file = root.join("port-2");
+    let mut second = spawn_server(&root, &port_file);
+    let client = Client::new(format!("127.0.0.1:{}", await_port(&port_file))).with_tenant("t");
+    let job = client.wait(&id, Duration::from_secs(300)).expect("resumed");
+    assert_eq!(job.state, "done", "{job:?}");
+    let served = job.report.expect("done jobs carry the report");
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "report after kill + restart + resume must be byte-identical to an \
+         uninterrupted run"
+    );
+
+    // Terminate the second life politely; it has nothing in flight.
+    send_sigterm(&second);
+    assert!(await_exit(&mut second).success(), "clean drain exits 0");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sigterm_drains_suspends_and_next_life_finishes_the_job() {
+    let spec = medium_spec(37);
+    let reference = ClaptonService::new().run(spec.clone()).expect("reference");
+    let root = scratch("sigterm");
+    std::fs::create_dir_all(&root).unwrap();
+
+    // First life: job checkpoints, then SIGTERM. --drain-timeout 0 means
+    // the drain suspends the job at its next round boundary instead of
+    // waiting for completion — and still exits 0.
+    let port_file = root.join("port-1");
+    let mut first = spawn_server(&root, &port_file);
+    let client = Client::new(format!("127.0.0.1:{}", await_port(&port_file))).with_tenant("t");
+    let submitted = client
+        .submit(&serde_json::to_string(&spec).unwrap())
+        .expect("submit");
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let id = submitted.job().unwrap().id;
+    await_file(
+        &root
+            .join("artifacts")
+            .join("ising-J-0.50-seed37")
+            .join("checkpoint.json"),
+    );
+    send_sigterm(&first);
+    let status = await_exit(&mut first);
+    assert!(status.success(), "graceful drain exits 0, got {status:?}");
+
+    // No terminal artifact was written: the job is suspended, not dead.
+    let dir = root.join("artifacts").join("ising-J-0.50-seed37");
+    assert!(!dir.join("report.json").exists(), "job did not finish");
+    assert!(
+        !dir.join("state.json").exists(),
+        "suspension is not terminal"
+    );
+    assert!(dir.join("checkpoint.json").is_file(), "checkpoint retained");
+
+    // Second life: the job resumes and completes bit-identically.
+    let port_file = root.join("port-2");
+    let mut second = spawn_server(&root, &port_file);
+    let client = Client::new(format!("127.0.0.1:{}", await_port(&port_file))).with_tenant("t");
+    let job = client.wait(&id, Duration::from_secs(300)).expect("resumed");
+    assert_eq!(job.state, "done", "{job:?}");
+    assert_eq!(
+        serde_json::to_string(&job.report.unwrap()).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "suspend-at-drain + resume must be byte-identical to an uninterrupted run"
+    );
+    send_sigterm(&second);
+    assert!(await_exit(&mut second).success());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn send_sigterm(child: &Child) {
+    let delivered = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(delivered, "SIGTERM delivered");
+}

@@ -37,7 +37,7 @@ mod spec;
 
 pub use clapton_error::{ClaptonError, SpecError};
 pub use report::Report;
-pub use service::{ClaptonService, JobHandle};
+pub use service::{AdmittedJob, ClaptonService, JobArtifactState, JobHandle, TerminalState};
 pub use spec::{
     BackendSpec, EngineSpec, ExplicitNoise, JobSpec, MethodSpec, NamedBackend, NoiseSpec,
     ProblemSpec, ResolvedJob, SuiteProblem, TermsProblem, UniformNoise, VqeRefineSpec,

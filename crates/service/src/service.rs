@@ -7,11 +7,12 @@ use clapton_error::{ClaptonError, SpecError};
 use clapton_ga::EngineState;
 use clapton_pauli::PauliSum;
 use clapton_runtime::{
-    artifact_slug, EventKind, JobContext, JobScheduler, RunDirectory, RunEvent, RunManifest,
-    RunRegistry, ScheduledJob, WorkerPool,
+    artifact_slug, CancelToken, EventKind, Interrupt, JobContext, JobScheduler, RunDirectory,
+    RunEvent, RunManifest, RunRegistry, ScheduledJob, WorkerPool,
 };
 use clapton_sim::{ground_energy, DeviceEvaluator};
 use clapton_vqe::{run_vqe, VqeConfig};
+use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -22,6 +23,21 @@ use std::thread::JoinHandle;
 const SPEC_ARTIFACT: &str = "spec.json";
 const CHECKPOINT_ARTIFACT: &str = "checkpoint.json";
 const REPORT_ARTIFACT: &str = "report.json";
+const STATE_ARTIFACT: &str = "state.json";
+
+/// A persisted terminal state beside a job's artifacts: a job that ended
+/// without a report (`cancelled`, or a server-recorded `failed`) leaves this
+/// marker so resubmissions and crash-recovery scans see the outcome instead
+/// of silently re-running the job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TerminalState {
+    /// `"cancelled"` or `"failed"`.
+    pub state: String,
+    /// GA rounds completed before the job ended.
+    pub rounds: usize,
+    /// Human-readable detail (empty for cancellations).
+    pub detail: String,
+}
 
 /// The artifact-directory name a job owns under the service's root.
 fn job_slug(job: &ResolvedJob) -> String {
@@ -124,27 +140,140 @@ impl ClaptonService {
     /// [`ClaptonError::Spec`] on an invalid spec, [`ClaptonError::Io`] when
     /// the artifact directory exists but belongs to a different spec.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ClaptonError> {
-        let job = spec.validate()?;
-        self.check_budget_checkpointable(&job)?;
-        let dir = self.prepare_dir(&job)?;
+        let admitted = self.admit(spec)?;
+        let AdmittedJob { job, dir } = admitted;
         let name = job.name.clone();
+        let name_for_abort = name.clone();
+        let cancel = CancelToken::new();
+        let job_cancel = cancel.clone();
         let pool = Arc::clone(&self.pool);
         let (event_tx, event_rx) = mpsc::channel();
         let (result_tx, result_rx) = mpsc::channel();
         let thread = std::thread::spawn(move || {
             let scheduler = JobScheduler::new(pool);
-            let jobs = vec![ScheduledJob::new(job.name.clone(), |ctx: &JobContext| {
-                execute(&job, ctx, dir.as_ref())
-            })];
-            let mut results = scheduler.run_all(jobs, Some(event_tx));
-            let _ = result_tx.send(results.pop().expect("one job scheduled"));
+            let jobs = vec![ScheduledJob::with_cancel(
+                job.name.clone(),
+                job_cancel,
+                |ctx: &JobContext| execute(&job, ctx, dir.as_ref()),
+            )];
+            let (mut results, panic) = scheduler.try_run_all(jobs, Some(event_tx));
+            let result = results.pop().flatten().unwrap_or_else(|| {
+                Err(ClaptonError::JobAborted {
+                    job: name_for_abort,
+                    detail: panic_text(panic),
+                })
+            });
+            let _ = result_tx.send(result);
         });
         Ok(JobHandle {
             name,
             events: event_rx,
             result: result_rx,
+            cancel,
             thread,
         })
+    }
+
+    /// Validates `spec` and durably records it (when an artifact root is
+    /// attached) *without running anything* — the admission half of
+    /// [`ClaptonService::submit`], split out for front ends that queue
+    /// admitted jobs and execute them later (the `clapton-server` admission
+    /// queue acknowledges a submission only after this returns).
+    ///
+    /// # Errors
+    ///
+    /// [`ClaptonError::Spec`] on an invalid spec, [`ClaptonError::Conflict`]
+    /// when the job's artifact directory is owned by a different spec.
+    pub fn admit(&self, spec: JobSpec) -> Result<AdmittedJob, ClaptonError> {
+        let job = spec.validate()?;
+        self.check_budget_checkpointable(&job)?;
+        let dir = self.prepare_dir(&job)?;
+        Ok(AdmittedJob { job, dir })
+    }
+
+    /// Runs an admitted job to completion on the calling thread (population
+    /// batches still fan out on the shared pool), streaming progress to
+    /// `events` and honoring `cancel` at every round boundary.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ClaptonService::run`] can return, plus
+    /// [`ClaptonError::Cancelled`] when `cancel` fired and
+    /// [`ClaptonError::JobAborted`] when the job body died.
+    pub fn execute_admitted(
+        &self,
+        admitted: &AdmittedJob,
+        events: Option<Sender<RunEvent>>,
+        cancel: CancelToken,
+    ) -> Result<Report, ClaptonError> {
+        let AdmittedJob { job, dir } = admitted;
+        let scheduler = JobScheduler::new(Arc::clone(&self.pool));
+        let jobs = vec![ScheduledJob::with_cancel(
+            job.name.clone(),
+            cancel,
+            |ctx: &JobContext| execute(job, ctx, dir.as_ref()),
+        )];
+        let (mut results, panic) = scheduler.try_run_all(jobs, events);
+        match results.pop().flatten() {
+            Some(result) => result,
+            None => Err(ClaptonError::JobAborted {
+                job: job.name.clone(),
+                detail: panic_text(panic),
+            }),
+        }
+    }
+
+    /// What the artifact store knows about an admitted job — the queue
+    /// introspection hook crash-recovering front ends scan on startup to
+    /// decide which persisted jobs still need work. Without an artifact
+    /// root every job is [`JobArtifactState::Fresh`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClaptonError::Io`] when the artifacts exist but cannot be read.
+    pub fn inspect(&self, admitted: &AdmittedJob) -> Result<JobArtifactState, ClaptonError> {
+        let Some(dir) = &admitted.dir else {
+            return Ok(JobArtifactState::Fresh);
+        };
+        if let Some(state) = dir.read_json::<TerminalState>(STATE_ARTIFACT)? {
+            return Ok(match state.state.as_str() {
+                "cancelled" => JobArtifactState::Cancelled {
+                    rounds: state.rounds,
+                },
+                _ => JobArtifactState::Failed {
+                    detail: state.detail,
+                },
+            });
+        }
+        if let Some(report) = dir.read_json::<Report>(REPORT_ARTIFACT)? {
+            return Ok(JobArtifactState::Done(Box::new(report)));
+        }
+        if dir.exists(CHECKPOINT_ARTIFACT) {
+            return Ok(JobArtifactState::InFlight);
+        }
+        Ok(JobArtifactState::Fresh)
+    }
+
+    /// Persists a terminal `failed` state beside the job's artifacts, so a
+    /// later [`ClaptonService::inspect`] (e.g. after a server restart) sees
+    /// the failure instead of silently re-running the job. A no-op without
+    /// an artifact root.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaptonError::Io`] when the marker cannot be written.
+    pub fn mark_failed(&self, admitted: &AdmittedJob, detail: &str) -> Result<(), ClaptonError> {
+        if let Some(dir) = &admitted.dir {
+            dir.write_json(
+                STATE_ARTIFACT,
+                &TerminalState {
+                    state: "failed".to_string(),
+                    rounds: 0,
+                    detail: detail.to_string(),
+                },
+            )?;
+        }
+        Ok(())
     }
 
     /// Validates and runs a batch of jobs concurrently on the shared pool
@@ -240,14 +369,9 @@ impl ClaptonService {
         };
         match dir.read_json::<JobSpec>(SPEC_ARTIFACT)? {
             Some(existing) if identity(&existing) != identity(&job.spec) => {
-                return Err(ClaptonError::Io(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!(
-                        "run directory {} was created from a different spec; refusing to mix \
-                         artifacts (submit under a different name or seed)",
-                        dir.path().display()
-                    ),
-                )));
+                return Err(ClaptonError::Conflict {
+                    run: dir.path().display().to_string(),
+                });
             }
             Some(_) => {}
             None => {
@@ -263,12 +387,73 @@ impl ClaptonService {
     }
 }
 
+/// A job that passed validation and admission (its spec durably recorded
+/// when the service has an artifact root) but has not necessarily run yet.
+///
+/// Produced by [`ClaptonService::admit`]; consumed by
+/// [`ClaptonService::execute_admitted`] / [`ClaptonService::inspect`].
+#[derive(Debug)]
+pub struct AdmittedJob {
+    job: ResolvedJob,
+    dir: Option<RunDirectory>,
+}
+
+impl AdmittedJob {
+    /// The resolved job.
+    pub fn job(&self) -> &ResolvedJob {
+        &self.job
+    }
+
+    /// The job's artifact directory, when the service persists artifacts.
+    pub fn artifact_dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_ref().map(RunDirectory::path)
+    }
+}
+
+/// What a job's persisted artifacts say about it (see
+/// [`ClaptonService::inspect`]).
+#[derive(Debug)]
+pub enum JobArtifactState {
+    /// No artifacts yet (or no artifact root): the job has all its work
+    /// ahead of it.
+    Fresh,
+    /// A round checkpoint exists but no terminal artifact: the job was
+    /// interrupted mid-run and will resume from the checkpoint.
+    InFlight,
+    /// The job completed; the persisted report.
+    Done(Box<Report>),
+    /// The job was cancelled after `rounds` rounds (terminal).
+    Cancelled {
+        /// GA rounds completed before cancellation.
+        rounds: usize,
+    },
+    /// A front end recorded a terminal failure (see
+    /// [`ClaptonService::mark_failed`]).
+    Failed {
+        /// The recorded failure detail.
+        detail: String,
+    },
+}
+
+/// Renders a captured panic payload as text for [`ClaptonError::JobAborted`].
+fn panic_text(payload: Option<Box<dyn std::any::Any + Send>>) -> String {
+    let Some(payload) = payload else {
+        return "job thread died without a panic payload".to_string();
+    };
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "job thread panicked (non-string payload)".to_string())
+}
+
 /// A submitted background job: stream its events, then wait for the report.
 #[derive(Debug)]
 pub struct JobHandle {
     name: String,
     events: Receiver<RunEvent>,
     result: Receiver<Result<Report, ClaptonError>>,
+    cancel: CancelToken,
     thread: JoinHandle<()>,
 }
 
@@ -283,22 +468,41 @@ impl JobHandle {
         &self.events
     }
 
+    /// Requests cooperative cancellation: the job stops at its next round
+    /// boundary, persists a terminal `cancelled` state (with an artifact
+    /// root), and [`JobHandle::wait`] returns [`ClaptonError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The job's cancellation token (cloneable, e.g. for a signal handler).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
     /// Blocks until the job finishes and returns its report.
     ///
     /// # Errors
     ///
-    /// Whatever the job failed with — including
-    /// [`ClaptonError::Suspended`] when a round budget halted it.
-    ///
-    /// # Panics
-    ///
-    /// Re-raises a panic from the job body.
+    /// Whatever the job failed with — including [`ClaptonError::Suspended`]
+    /// when a round budget halted it, [`ClaptonError::Cancelled`] after
+    /// [`JobHandle::cancel`], and [`ClaptonError::JobAborted`] when the job
+    /// body died (panicked) before producing a result.
     pub fn wait(self) -> Result<Report, ClaptonError> {
+        let died = |detail: String| ClaptonError::JobAborted {
+            job: self.name.clone(),
+            detail,
+        };
         match self.thread.join() {
             Ok(()) => {}
-            Err(panic) => std::panic::resume_unwind(panic),
+            Err(panic) => return Err(died(panic_text(Some(panic)))),
         }
-        self.result.recv().expect("job thread sent its result")
+        match self.result.recv() {
+            Ok(result) => result,
+            Err(_) => Err(died(
+                "job thread exited without sending a result".to_string(),
+            )),
+        }
     }
 }
 
@@ -321,6 +525,17 @@ pub(crate) fn execute(
             ));
             return Ok(report);
         }
+        // Cancellation is terminal and sticky: a resubmission of a cancelled
+        // spec reports the cancellation instead of silently restarting the
+        // search (remove the run directory to truly start over).
+        if let Some(state) = dir.read_json::<TerminalState>(STATE_ARTIFACT)? {
+            if state.state == "cancelled" {
+                ctx.emit(EventKind::Cancelled(state.rounds));
+                return Err(ClaptonError::Cancelled {
+                    rounds: state.rounds,
+                });
+            }
+        }
     }
     let h = &job.hamiltonian;
     let exec = &job.exec;
@@ -342,6 +557,7 @@ pub(crate) fn execute(
         // a fresh allowance and continues from the persisted checkpoint.
         let mut remaining = job.budget.map(|b| b as i64);
         let mut checkpoint_error: Option<io::Error> = None;
+        let mut cancelled = false;
         let (state, result) =
             run_clapton_resumable(h, exec, config, Some(ctx.pool()), resume, &mut |state| {
                 if let Some(dir) = dir {
@@ -353,6 +569,29 @@ pub(crate) fn execute(
                 }
                 if let Some(best) = &state.global_best {
                     ctx.emit(EventKind::Round(state.rounds(), best.loss));
+                }
+                // The cooperative interruption point: the round's checkpoint
+                // is already durable, so stopping here either suspends
+                // resumably or cancels terminally — never mid-round.
+                match ctx.interrupt() {
+                    Interrupt::Cancel => {
+                        cancelled = true;
+                        if let Some(dir) = dir {
+                            if let Err(e) = dir.write_json(
+                                STATE_ARTIFACT,
+                                &TerminalState {
+                                    state: "cancelled".to_string(),
+                                    rounds: state.rounds(),
+                                    detail: String::new(),
+                                },
+                            ) {
+                                checkpoint_error = Some(e);
+                            }
+                        }
+                        return false;
+                    }
+                    Interrupt::Suspend => return false,
+                    Interrupt::None => {}
                 }
                 match &mut remaining {
                     Some(r) => {
@@ -367,6 +606,12 @@ pub(crate) fn execute(
         }
         match result {
             Some(clapton) => Some(clapton),
+            None if cancelled => {
+                ctx.emit(EventKind::Cancelled(state.rounds()));
+                return Err(ClaptonError::Cancelled {
+                    rounds: state.rounds(),
+                });
+            }
             None => {
                 ctx.emit(EventKind::Suspended(state.rounds()));
                 return Err(ClaptonError::Suspended {

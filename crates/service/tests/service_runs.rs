@@ -130,8 +130,72 @@ fn artifacts_persist_spec_and_report_and_answer_resubmissions() {
     let mut conflicting = spec;
     conflicting.noise = NoiseSpec::Noiseless;
     match service.run(conflicting) {
-        Err(ClaptonError::Io(e)) => assert!(e.to_string().contains("different spec"), "{e}"),
+        Err(ClaptonError::Conflict { run }) => {
+            assert!(run.contains("ising-J-0.50-seed11"), "{run}")
+        }
         other => panic!("expected artifact conflict, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A spec whose Clapton search cannot converge early (`max_retry_rounds`
+/// higher than `max_rounds`), so it reliably spans many round boundaries —
+/// the window cooperative cancellation needs.
+fn long_spec(seed: u64) -> JobSpec {
+    let mut spec = quick_spec(seed);
+    spec.engine = EngineSpec::Custom(clapton_ga::MultiGaConfig {
+        instances: 2,
+        top_k: 4,
+        max_retry_rounds: 200,
+        max_rounds: 120,
+        pool_fraction: 0.5,
+        parallel: false,
+        ga: clapton_ga::GaConfig {
+            population_size: 24,
+            generations: 12,
+            ..clapton_ga::GaConfig::default()
+        },
+    });
+    spec.methods = vec![MethodSpec::Clapton];
+    spec
+}
+
+#[test]
+fn cancel_stops_at_a_round_boundary_and_is_sticky() {
+    let root = scratch("cancel");
+    let pool = Arc::new(WorkerPool::with_workers(2));
+    let service = ClaptonService::with_pool(Arc::clone(&pool))
+        .with_artifacts(&root)
+        .unwrap();
+    let spec = long_spec(13);
+    let handle = service.submit(spec.clone()).unwrap();
+    // Wait for the first persisted checkpoint, then request cancellation.
+    for event in handle.events() {
+        if matches!(event.kind, EventKind::Checkpointed(_)) {
+            break;
+        }
+    }
+    handle.cancel();
+    let rounds = match handle.wait() {
+        Err(ClaptonError::Cancelled { rounds }) => rounds,
+        other => panic!("expected cancellation, got {other:?}"),
+    };
+    assert!(rounds >= 1, "cancelled after a completed round");
+    assert!(
+        rounds < 120,
+        "cancellation must interrupt the search, not wait for max_rounds"
+    );
+    let dir = root.join("ising-J-0.50-seed13");
+    assert!(dir.join("state.json").is_file(), "terminal state persisted");
+    assert!(
+        dir.join("checkpoint.json").is_file(),
+        "last round checkpoint retained"
+    );
+    // Sticky: resubmitting the cancelled spec reports the cancellation
+    // instead of restarting the search.
+    match service.run(spec) {
+        Err(ClaptonError::Cancelled { rounds: again }) => assert_eq!(again, rounds),
+        other => panic!("expected sticky cancellation, got {other:?}"),
     }
     std::fs::remove_dir_all(&root).unwrap();
 }
