@@ -245,6 +245,79 @@ fn emit_sampled_speedup(_c: &mut Criterion) {
     }
 }
 
+/// Measures the cost of leaving telemetry enabled on the two hot paths the
+/// issue budgets (<2% on both): the exact evaluator kernel and the pooled
+/// population batch. Enabled-vs-disabled runs are ABBA-interleaved via
+/// [`counterbalanced_samples`]; the disabled contender exercises the
+/// documented no-op path (one relaxed atomic load per instrument site — the
+/// `noop` cargo feature folds even that to a compile-time constant).
+fn emit_telemetry_overhead(_c: &mut Criterion) {
+    let n = 20;
+    let h_exact = ising(n, 0.25);
+    let nc = noisy_zero_circuit(n);
+    let exact = ExactEvaluator::new(&nc);
+
+    let np = 10;
+    let h_pop = ising(np, 0.25);
+    let model = NoiseModel::uniform(np, 3e-4, 8e-3, 2e-2);
+    let exec = ExecutableAnsatz::untranspiled(np, &model);
+    let ansatz = TransformationAnsatz::new(np);
+    let loss = TransformLoss::new(&h_pop, &exec, &ansatz, EvaluatorKind::Exact);
+    let mut rng = StdRng::seed_from_u64(17);
+    let population: Vec<Vec<u8>> = (0..96)
+        .map(|_| {
+            (0..ansatz.num_genes())
+                .map(|_| rng.gen_range(0..4u8))
+                .collect()
+        })
+        .collect();
+    let pool = Arc::new(WorkerPool::new());
+    let pooled = PooledEvaluator::new(&loss, pool);
+
+    type Workload<'a> = Box<dyn FnMut() + 'a>;
+    let cases: Vec<(&str, Workload)> = vec![
+        (
+            "ln_exact",
+            Box::new(move || {
+                for _ in 0..20 {
+                    black_box(exact.energy(black_box(&h_exact)));
+                }
+            }),
+        ),
+        (
+            "population_batch_96",
+            Box::new(move || {
+                black_box(pooled.evaluate_population(black_box(&population)));
+            }),
+        ),
+    ];
+    for (id, run) in cases {
+        // Cell-wrapped so the enabled and disabled contenders can borrow
+        // the same workload in turn (the interleaving never overlaps them).
+        let run = std::cell::RefCell::new(run);
+        let mut run_enabled = || {
+            clapton_telemetry::set_enabled(true);
+            (run.borrow_mut())();
+        };
+        let mut run_disabled = || {
+            clapton_telemetry::set_enabled(false);
+            (run.borrow_mut())();
+        };
+        let (enabled_samples, disabled_samples) =
+            counterbalanced_samples(12, &mut run_enabled, &mut run_disabled);
+        clapton_telemetry::set_enabled(true);
+        let (enabled, disabled) = (median(enabled_samples), median(disabled_samples));
+        let overhead_pct = (enabled as f64 - disabled as f64) / disabled.max(1) as f64 * 100.0;
+        println!(
+            "telemetry_overhead/{id}: {overhead_pct:+.2}% \
+             (enabled {enabled} ns / disabled {disabled} ns, budget <2%)"
+        );
+        criterion::append_line(&format!(
+            "{{\"group\":\"telemetry_overhead\",\"id\":\"{id}\",\"enabled_ns\":{enabled},\"disabled_ns\":{disabled},\"overhead_pct\":{overhead_pct:.2}}}"
+        ));
+    }
+}
+
 fn bench_dense_hamiltonian(c: &mut Criterion) {
     // Chemistry-scale term counts: the ten-qubit XXZ (27 terms) vs a
     // hundreds-of-terms surrogate workload via repeated evaluation.
@@ -361,6 +434,7 @@ criterion_group! {
     config = Criterion::default().sample_size(30);
     targets = bench_exact_energy, bench_exact_batched, emit_exact_speedup,
         bench_sampled_energy, bench_sampled_energy_scalar,
-        emit_sampled_speedup, bench_dense_hamiltonian, bench_population_batch
+        emit_sampled_speedup, bench_dense_hamiltonian, bench_population_batch,
+        emit_telemetry_overhead
 }
 criterion_main!(benches);

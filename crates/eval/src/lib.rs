@@ -21,10 +21,37 @@
 //! engine's default stack (cache lookup first, misses evaluated as one
 //! parallel batch).
 
+use clapton_telemetry::metrics::{registry, Counter};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide genome-cache counters (every `CachedEvaluator` instance
+/// aggregates into the same series).
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    inserts: Arc<Counter>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: registry().counter(
+            "clapton_eval_cache_hits_total",
+            "Genome-cache lookups answered from the memo table",
+        ),
+        misses: registry().counter(
+            "clapton_eval_cache_misses_total",
+            "Genome-cache lookups that required a fresh loss evaluation",
+        ),
+        inserts: registry().counter(
+            "clapton_eval_cache_inserts_total",
+            "Distinct genomes inserted into the memo table",
+        ),
+    })
+}
 
 /// A loss function over integer genomes, evaluated one genome or one
 /// population at a time.
@@ -278,8 +305,12 @@ impl<E: LossEvaluator> CachedEvaluator<E> {
     fn record(&self, table: &mut HashMap<Vec<u8>, f64>, key: Vec<u8>, loss: f64) {
         if table.insert(key, loss).is_none() {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            let metrics = cache_metrics();
+            metrics.misses.inc();
+            metrics.inserts.inc();
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().hits.inc();
         }
     }
 }
@@ -289,6 +320,7 @@ impl<E: LossEvaluator> LossEvaluator for CachedEvaluator<E> {
         let key = self.inner.canonical_key(genome);
         if let Some(&loss) = self.table.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().hits.inc();
             return loss;
         }
         // The lock is NOT held while the loss runs: concurrent threads may
@@ -312,6 +344,7 @@ impl<E: LossEvaluator> LossEvaluator for CachedEvaluator<E> {
                 let key = self.inner.canonical_key(genome);
                 if let Some(&loss) = table.get(&key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    cache_metrics().hits.inc();
                     out[i] = loss;
                 } else {
                     let slots = pending_slots.entry(key.clone()).or_default();
@@ -320,6 +353,7 @@ impl<E: LossEvaluator> LossEvaluator for CachedEvaluator<E> {
                     } else {
                         // In-batch duplicate of a pending key.
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        cache_metrics().hits.inc();
                     }
                     slots.push(i);
                 }

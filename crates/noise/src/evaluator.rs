@@ -6,9 +6,41 @@ use clapton_pauli::{
     uniform_pauli_pair_planes, uniform_pauli_planes, BernoulliWords, FrameBatch, Pauli,
     PauliString, PauliSum, TermBatch,
 };
+use clapton_telemetry::metrics::{registry, Counter};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
+
+/// Process-wide kernel throughput counters for the exact and sampled
+/// energy paths.
+struct KernelMetrics {
+    exact_walks: Arc<Counter>,
+    exact_terms: Arc<Counter>,
+    sampled_frames: Arc<Counter>,
+    sampled_terms: Arc<Counter>,
+}
+
+fn kernel_metrics() -> &'static KernelMetrics {
+    static METRICS: OnceLock<KernelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| KernelMetrics {
+        exact_walks: registry().counter(
+            "clapton_exact_walks_total",
+            "Reverse circuit walks by the exact evaluator (batched: one per 64 terms)",
+        ),
+        exact_terms: registry().counter(
+            "clapton_exact_terms_total",
+            "Hamiltonian terms evaluated by the exact evaluator",
+        ),
+        sampled_frames: registry().counter(
+            "clapton_sampled_frames_total",
+            "Pauli frames (shots) drawn by the frame sampler",
+        ),
+        sampled_terms: registry().counter(
+            "clapton_sampled_terms_total",
+            "Hamiltonian terms estimated by the frame sampler",
+        ),
+    })
+}
 
 /// Exact noisy expectation values via Heisenberg back-propagation.
 ///
@@ -119,6 +151,10 @@ impl<'a> ExactEvaluator<'a> {
     /// Kept as the differential-test oracle and the baseline of the
     /// `ln_exact_speedup` BENCH comparison.
     pub fn energy_scalar(&self, hamiltonian: &PauliSum) -> f64 {
+        let terms = hamiltonian.num_terms() as u64;
+        let metrics = kernel_metrics();
+        metrics.exact_terms.add(terms);
+        metrics.exact_walks.add(terms);
         hamiltonian
             .iter()
             .map(|(c, p)| c * self.expectation(p))
@@ -178,6 +214,12 @@ impl<'a> ExactEvaluator<'a> {
     ///    `±factor` by their sign bit. Contributions accumulate in term
     ///    order, so the total is bit-identical to the scalar sum.
     fn energy_batch_pass(&self, hamiltonian: &PauliSum, with_noise: bool) -> f64 {
+        let terms = hamiltonian.num_terms() as u64;
+        let metrics = kernel_metrics();
+        metrics.exact_terms.add(terms);
+        metrics
+            .exact_walks
+            .add(terms.div_ceil(TermBatch::LANES as u64));
         let n = self.circuit.num_qubits();
         let mut total = 0.0;
         let mut batch = TermBatch::new(n);
@@ -613,6 +655,10 @@ impl<'a> FrameSampler<'a> {
         cache: &TermCache,
     ) -> f64 {
         cache.bind(self);
+        let terms = hamiltonian.num_terms() as u64;
+        let metrics = kernel_metrics();
+        metrics.sampled_terms.add(terms);
+        metrics.sampled_frames.add(terms * shots as u64);
         hamiltonian
             .iter()
             .map(|(c, p)| {

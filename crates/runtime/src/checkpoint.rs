@@ -82,6 +82,26 @@ impl RunDirectory {
         fs::rename(&tmp, &target)
     }
 
+    /// Writes raw text to `<root>/<name>` with the same atomic
+    /// temporary-then-rename discipline as [`RunDirectory::write_json`]
+    /// (used for line-oriented artifacts like `telemetry.jsonl`).
+    pub fn write_text(&self, name: &str, text: &str) -> io::Result<()> {
+        let target = self.root.join(name);
+        let tmp = self.root.join(format!("{name}.tmp"));
+        fs::write(&tmp, text.as_bytes())?;
+        fs::rename(&tmp, &target)
+    }
+
+    /// Reads artifact `name` as raw text, returning `Ok(None)` when it does
+    /// not exist.
+    pub fn read_text(&self, name: &str) -> io::Result<Option<String>> {
+        match fs::read_to_string(self.root.join(name)) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Reads artifact `name`, returning `Ok(None)` when it does not exist
     /// and an `InvalidData` error when it exists but does not parse.
     pub fn read_json<T: DeserializeOwned>(&self, name: &str) -> io::Result<Option<T>> {

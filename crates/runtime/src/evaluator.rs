@@ -101,9 +101,11 @@ impl<E: LossEvaluator> LossEvaluator for PooledEvaluator<E> {
         let chunk_len = genomes.len().div_ceil(chunks);
         let mut out = vec![0.0f64; genomes.len()];
         let inner = &self.inner;
+        let _batch = clapton_telemetry::span("population_batch");
         self.pool.scope(|s| {
             for (chunk, slots) in genomes.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
                 s.spawn(move || {
+                    let _chunk = clapton_telemetry::span("chunk");
                     slots.copy_from_slice(&inner.evaluate_population(chunk));
                 });
             }

@@ -17,12 +17,45 @@
 //!   oldest scope first — so concurrently running jobs have their batches
 //!   interleaved fairly instead of one job monopolizing the pool.
 
+use clapton_telemetry::metrics::{registry, Counter, Gauge};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Process-wide pool metrics (pools share the global registry, so several
+/// pools in one process aggregate into the same series).
+struct PoolMetrics {
+    spawned: Arc<Counter>,
+    stolen: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    busy: Arc<Gauge>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        spawned: registry().counter(
+            "clapton_pool_tasks_spawned_total",
+            "Tasks spawned onto pool scopes",
+        ),
+        stolen: registry().counter(
+            "clapton_pool_tasks_stolen_total",
+            "Tasks taken by idle pool workers (rest ran on scope owners)",
+        ),
+        queue_depth: registry().gauge(
+            "clapton_pool_queue_depth",
+            "Tasks currently queued across all live scopes",
+        ),
+        busy: registry().gauge(
+            "clapton_pool_workers_busy",
+            "Pool worker threads currently executing a task",
+        ),
+    })
+}
 
 /// A type-erased unit of work.
 ///
@@ -61,7 +94,11 @@ impl ScopeQueue {
     }
 
     fn pop(&self) -> Option<Task> {
-        self.tasks.lock().expect("scope queue").pop_front()
+        let task = self.tasks.lock().expect("scope queue").pop_front();
+        if task.is_some() {
+            pool_metrics().queue_depth.dec();
+        }
+        task
     }
 }
 
@@ -258,7 +295,11 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
     pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
         *self.queue.state.pending.lock().expect("scope pending") += 1;
         let queue = Arc::clone(&self.queue);
+        // Capture the spawning thread's telemetry context so spans created
+        // inside the task attach to the spawner's trace, wherever it runs.
+        let telemetry_ctx = clapton_telemetry::current_context();
         let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _telemetry = clapton_telemetry::push_context(telemetry_ctx);
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
                 queue
                     .state
@@ -287,12 +328,27 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
             .lock()
             .expect("scope queue")
             .push_back(task);
+        let metrics = pool_metrics();
+        metrics.spawned.inc();
+        metrics.queue_depth.inc();
         self.pool.shared.bump();
     }
 }
 
 /// The worker thread body: steal round-robin across scopes, park when idle.
 fn worker_loop(shared: &PoolShared, idx: usize) {
+    let metrics = pool_metrics();
+    let worker = idx.to_string();
+    let busy_ns = registry().counter_with(
+        "clapton_pool_worker_busy_ns_total",
+        "Nanoseconds each pool worker spent executing tasks",
+        &[("worker", &worker)],
+    );
+    let idle_ns = registry().counter_with(
+        "clapton_pool_worker_idle_ns_total",
+        "Nanoseconds each pool worker spent parked waiting for work",
+        &[("worker", &worker)],
+    );
     let mut rotate = idx;
     loop {
         let observed = *shared.signal.lock().expect("pool signal");
@@ -301,15 +357,27 @@ fn worker_loop(shared: &PoolShared, idx: usize) {
         }
         if let Some(task) = shared.steal(rotate) {
             rotate = rotate.wrapping_add(1);
+            metrics.stolen.inc();
+            metrics.busy.inc();
+            let started = clapton_telemetry::enabled().then(Instant::now);
             task();
+            if let Some(started) = started {
+                busy_ns.add(started.elapsed().as_nanos() as u64);
+            }
+            metrics.busy.dec();
             continue;
         }
+        let parked = clapton_telemetry::enabled().then(Instant::now);
         let mut gen = shared.signal.lock().expect("pool signal");
         // Re-check under the lock: a spawn between our steal attempt and
         // here bumped the generation, so we skip the wait instead of
         // sleeping through the wakeup.
         while *gen == observed && !shared.shutdown.load(Ordering::SeqCst) {
             gen = shared.wake.wait(gen).expect("pool signal");
+        }
+        drop(gen);
+        if let Some(parked) = parked {
+            idle_ns.add(parked.elapsed().as_nanos() as u64);
         }
     }
 }

@@ -1,10 +1,46 @@
 //! Fair multi-job scheduling on the shared worker pool.
 
 use crate::{CancelToken, Interrupt, PoolScope, WorkerPool};
+use clapton_telemetry::metrics::{registry, Counter, Histogram};
 use serde::{Deserialize, Serialize};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+struct SchedMetrics {
+    started: Arc<Counter>,
+    rounds: Arc<Counter>,
+    round_latency: Arc<Histogram>,
+    dispatch_lag: Arc<Histogram>,
+}
+
+fn sched_metrics() -> &'static SchedMetrics {
+    static METRICS: OnceLock<SchedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SchedMetrics {
+        started: registry().counter(
+            "clapton_jobs_started_total",
+            "Scheduled jobs that began executing",
+        ),
+        rounds: registry().counter(
+            "clapton_job_rounds_total",
+            "Progress rounds emitted by scheduled jobs",
+        ),
+        round_latency: registry().histogram(
+            "clapton_round_latency_seconds",
+            "Time between consecutive round events of one job",
+            &[
+                0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+            ],
+        ),
+        dispatch_lag: registry().histogram(
+            "clapton_dispatch_lag_seconds",
+            "Time from job creation to the moment its body starts on the pool",
+            &[1e-5, 1e-4, 1e-3, 0.01, 0.1, 1.0, 10.0],
+        ),
+    })
+}
 
 /// What happened inside a scheduled job (streamed over a channel while the
 /// suite runs).
@@ -33,6 +69,25 @@ pub struct RunEvent {
     pub job: String,
     /// What happened.
     pub kind: EventKind,
+    /// Wall-clock emit time, nanoseconds since the Unix epoch — orders
+    /// events across processes (subject to clock skew).
+    pub unix_ns: u64,
+    /// Monotonic emit time, nanoseconds since this process's telemetry
+    /// epoch — orders events within one process exactly.
+    pub mono_ns: u64,
+}
+
+impl RunEvent {
+    /// An event for `job` stamped with the current wall and monotonic
+    /// clocks.
+    pub fn now(job: impl Into<String>, kind: EventKind) -> RunEvent {
+        RunEvent {
+            job: job.into(),
+            kind,
+            unix_ns: clapton_telemetry::wall_ns(),
+            mono_ns: clapton_telemetry::mono_ns(),
+        }
+    }
 }
 
 /// Per-job handle passed to job closures: the shared pool for nested
@@ -43,6 +98,9 @@ pub struct JobContext {
     name: String,
     events: Option<Sender<RunEvent>>,
     cancel: CancelToken,
+    /// Monotonic timestamp of the last `Started`/`Round` emit (0: none
+    /// yet), feeding the round-latency histogram.
+    last_mark: AtomicU64,
 }
 
 impl JobContext {
@@ -72,11 +130,32 @@ impl JobContext {
 
     /// Streams a progress event (dropped silently when no listener is
     /// attached or the receiver hung up — progress must never block a job).
+    /// `Started`/`Round` emits also feed the scheduler's round metrics.
     pub fn emit(&self, kind: EventKind) {
+        let now = clapton_telemetry::mono_ns();
+        match kind {
+            EventKind::Started => {
+                self.last_mark.store(now, Ordering::Relaxed);
+                sched_metrics().started.inc();
+            }
+            EventKind::Round(..) => {
+                let previous = self.last_mark.swap(now, Ordering::Relaxed);
+                let metrics = sched_metrics();
+                metrics.rounds.inc();
+                if previous != 0 {
+                    metrics
+                        .round_latency
+                        .observe(now.saturating_sub(previous) as f64 / 1e9);
+                }
+            }
+            _ => {}
+        }
         if let Some(events) = &self.events {
             let _ = events.send(RunEvent {
                 job: self.name.clone(),
                 kind,
+                unix_ns: clapton_telemetry::wall_ns(),
+                mono_ns: now,
             });
         }
     }
@@ -86,6 +165,8 @@ impl JobContext {
 pub struct ScheduledJob<'a, T> {
     name: String,
     cancel: CancelToken,
+    /// When the job was packaged; start minus this is the dispatch lag.
+    created: Instant,
     run: Box<dyn FnOnce(&JobContext) -> T + Send + 'a>,
 }
 
@@ -111,6 +192,7 @@ impl<'a, T> ScheduledJob<'a, T> {
         ScheduledJob {
             name: name.into(),
             cancel,
+            created: Instant::now(),
             run: Box::new(run),
         }
     }
@@ -205,9 +287,14 @@ impl JobScheduler {
                         name: job.name,
                         events: events.clone(),
                         cancel: job.cancel,
+                        last_mark: AtomicU64::new(0),
                     };
                     let run = job.run;
+                    let created = job.created;
                     s.spawn(move || {
+                        sched_metrics()
+                            .dispatch_lag
+                            .observe(created.elapsed().as_secs_f64());
                         ctx.emit(EventKind::Started);
                         let out = run(&ctx);
                         if let Ok(mut slot) = slot.lock() {
@@ -331,11 +418,27 @@ mod tests {
 
     #[test]
     fn events_round_trip_through_json() {
-        let event = RunEvent {
-            job: "ising(J=0.25)".to_string(),
-            kind: EventKind::Round(3, -12.625),
-        };
+        let event = RunEvent::now("ising(J=0.25)", EventKind::Round(3, -12.625));
+        assert!(event.unix_ns > 0, "wall clock stamped");
         let json = serde_json::to_string(&event).unwrap();
         assert_eq!(serde_json::from_str::<RunEvent>(&json).unwrap(), event);
+    }
+
+    #[test]
+    fn emitted_events_carry_ordered_monotonic_timestamps() {
+        let scheduler = JobScheduler::new(Arc::new(WorkerPool::with_workers(0)));
+        let (tx, rx) = mpsc::channel();
+        let job = ScheduledJob::new("stamped", |ctx: &JobContext| {
+            ctx.emit(EventKind::Round(1, 0.0));
+            ctx.emit(EventKind::Finished("ok".to_string()));
+        });
+        scheduler.run_all(vec![job], Some(tx));
+        let events: Vec<RunEvent> = rx.try_iter().collect();
+        assert_eq!(events.len(), 3);
+        assert!(
+            events.windows(2).all(|w| w[0].mono_ns <= w[1].mono_ns),
+            "monotonic stamps order in-process events"
+        );
+        assert!(events.iter().all(|e| e.unix_ns > 0));
     }
 }

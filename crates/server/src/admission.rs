@@ -98,6 +98,9 @@ pub struct TenantUsage {
     pub running: usize,
     /// Jobs that reached a terminal state.
     pub completed: u64,
+    /// The tenant's weighted-fair-queueing virtual time; its distance above
+    /// [`QueueStats::vclock`] is the tenant's scheduling lag.
+    pub vtime: f64,
 }
 
 /// A point-in-time snapshot of the whole queue.
@@ -109,6 +112,8 @@ pub struct QueueStats {
     pub capacity: usize,
     /// Whether new submissions are currently admitted.
     pub accepting: bool,
+    /// Virtual time of the most recent dispatch (the WFQ clock).
+    pub vclock: f64,
     /// Per-tenant usage, sorted by tenant name.
     pub tenants: Vec<TenantUsage>,
 }
@@ -335,6 +340,7 @@ impl AdmissionQueue {
                 queued: s.queue.len(),
                 running: s.running,
                 completed: s.completed,
+                vtime: s.vtime,
             })
             .collect();
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -342,6 +348,7 @@ impl AdmissionQueue {
             depth: inner.depth,
             capacity: self.config.queue_depth,
             accepting: !inner.closed,
+            vclock: inner.clock,
             tenants,
         }
     }

@@ -9,6 +9,8 @@
 //!   cancel JOB_ID               request cooperative cancellation
 //!   queue                       queue depth + per-tenant usage
 //!   events JOB_ID               stream events until the job ends
+//!   metrics [--raw]             scrape /metrics (table, or raw text)
+//!   trace JOB_ID                print a finished job's span tree
 //!   verify SPEC.json [SECS]     submit + wait, then diff the served
 //!                               Report against an in-process run
 //! ```
@@ -25,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: clapton-client --addr HOST:PORT [--tenant NAME] \
          (submit SPEC.json | status ID | wait ID [SECS] | cancel ID | queue \
-          | events ID | verify SPEC.json [SECS])"
+          | events ID | metrics [--raw] | trace ID | verify SPEC.json [SECS])"
     );
     std::process::exit(2);
 }
@@ -49,6 +51,48 @@ fn wait_secs(arg: Option<&String>) -> Duration {
             usage()
         })
     }))
+}
+
+/// Renders the exposition as an aligned `METRIC | VALUE` table, one row
+/// per series. Histogram buckets are folded away — the `_sum`/`_count`
+/// series carry the summary — so the table stays scannable.
+fn print_metrics_table(text: &str) {
+    let samples = match clapton_telemetry::parse_text(text) {
+        Ok(samples) => samples,
+        Err(e) => fail(format!("unparseable /metrics exposition: {e}")),
+    };
+    let rows: Vec<(String, String)> = samples
+        .iter()
+        .filter(|s| !s.name.ends_with("_bucket"))
+        .map(|s| {
+            let mut name = s.name.clone();
+            if !s.labels.is_empty() {
+                let labels: Vec<String> =
+                    s.labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+                name = format!("{name}{{{}}}", labels.join(","));
+            }
+            (name, format!("{}", s.value))
+        })
+        .collect();
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (name, value) in rows {
+        println!("{name:width$}  {value}");
+    }
+}
+
+/// Prints one span and its children, indented, with millisecond durations.
+fn print_span(node: &clapton_telemetry::SpanNode, depth: usize) {
+    println!(
+        "{:indent$}{} {:.3} ms (thread {})",
+        "",
+        node.name,
+        node.duration_ns() as f64 / 1e6,
+        node.thread,
+        indent = depth * 2
+    );
+    for child in &node.children {
+        print_span(child, depth + 1);
+    }
 }
 
 fn main() {
@@ -116,6 +160,22 @@ fn main() {
             client.events(id).map(|events| {
                 for event in events {
                     println!("{event}");
+                }
+            })
+        }
+        "metrics" => client.metrics().map(|text| {
+            if rest.get(1).map(String::as_str) == Some("--raw") {
+                print!("{text}");
+            } else {
+                print_metrics_table(&text);
+            }
+        }),
+        "trace" => {
+            let id = rest.get(1).unwrap_or_else(|| usage());
+            client.trace(id).map(|trace| {
+                println!("trace for {}", trace.id);
+                for root in &trace.spans {
+                    print_span(root, 0);
                 }
             })
         }

@@ -160,6 +160,41 @@ impl Client {
             .collect())
     }
 
+    /// `GET /metrics`: the raw Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-200 response.
+    pub fn metrics(&self) -> io::Result<String> {
+        let response = self.request("GET", "/metrics", None)?;
+        if response.status != 200 {
+            return Err(io::Error::other(format!(
+                "metrics scrape failed: status {}",
+                response.status
+            )));
+        }
+        Ok(response.body)
+    }
+
+    /// `GET /v1/jobs/{id}/trace`: the job's span tree, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a 404 (no such job or no trace recorded), or a
+    /// non-trace response body.
+    pub fn trace(&self, id: &str) -> io::Result<crate::server::TraceBody> {
+        let response = self.request("GET", &format!("/v1/jobs/{id}/trace"), None)?;
+        if response.status != 200 {
+            return Err(io::Error::other(
+                response
+                    .error()
+                    .unwrap_or_else(|| format!("status {}", response.status)),
+            ));
+        }
+        serde_json::from_str(&response.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
     /// Polls `GET /v1/jobs/{id}` until the job reaches a terminal state
     /// (`done`, `cancelled`, `failed`) or `timeout` elapses.
     ///

@@ -77,9 +77,12 @@ mod tests {
     use std::sync::Arc;
 
     fn event(round: usize) -> RunEvent {
+        // Fixed timestamps so two calls with the same round compare equal.
         RunEvent {
             job: "j".to_string(),
             kind: EventKind::Round(round, 0.0),
+            unix_ns: 1_700_000_000_000_000_000,
+            mono_ns: round as u64,
         }
     }
 

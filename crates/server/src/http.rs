@@ -206,8 +206,20 @@ pub fn write_json_response(
     extra: &[(&str, String)],
     body: &str,
 ) -> io::Result<()> {
+    write_response(stream, status, "application/json", extra, body)
+}
+
+/// Writes a complete response of an arbitrary `Content-Type` (the metrics
+/// endpoint uses the Prometheus text exposition content type).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     );

@@ -18,7 +18,9 @@ use clapton_error::ClaptonError;
 use clapton_runtime::{CancelToken, WorkerPool};
 use clapton_service::{
     AdmittedJob, ClaptonService, JobArtifactState, JobSpec, Report, TerminalState,
+    TELEMETRY_ARTIFACT,
 };
+use clapton_telemetry::SpanNode;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
@@ -105,6 +107,18 @@ pub struct JobStatusBody {
 pub struct ErrorBody {
     /// Human-readable cause.
     pub error: String,
+}
+
+/// The JSON body of `GET /v1/jobs/{id}/trace`: the job's reassembled
+/// span forest, read back from the `telemetry.jsonl` artifact the service
+/// wrote when the job executed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceBody {
+    /// Server-assigned job id.
+    pub id: String,
+    /// Root spans (usually one `job` span), children nested and sorted by
+    /// start time.
+    pub spans: Vec<SpanNode>,
 }
 
 /// One tenant's row in the [`QueueBody`].
@@ -214,6 +228,43 @@ fn dir_key(admitted: &AdmittedJob) -> String {
         .expect("server always persists artifacts")
         .display()
         .to_string()
+}
+
+/// Bumps `clapton_jobs_admitted_total{tenant}` — fresh admissions only
+/// (joins of an already-active job and answered-from-artifact replays
+/// consume no queue slot and are not counted).
+fn count_admitted(tenant: &str) {
+    clapton_telemetry::registry()
+        .counter_with(
+            "clapton_jobs_admitted_total",
+            "Jobs freshly admitted to the durable queue, by tenant.",
+            &[("tenant", tenant)],
+        )
+        .inc();
+}
+
+/// Bumps `clapton_jobs_rejected_total{tenant,reason}` for a shed or
+/// conflicting submission.
+fn count_rejected(tenant: &str, reason: &str) {
+    clapton_telemetry::registry()
+        .counter_with(
+            "clapton_jobs_rejected_total",
+            "Submissions refused at admission, by tenant and reason.",
+            &[("tenant", tenant), ("reason", reason)],
+        )
+        .inc();
+}
+
+/// Bumps `clapton_jobs_finished_total{tenant,outcome}` when a dispatched
+/// job reaches a terminal (or drain-suspended) state.
+fn count_finished(tenant: &str, outcome: &str) {
+    clapton_telemetry::registry()
+        .counter_with(
+            "clapton_jobs_finished_total",
+            "Jobs that left the dispatcher, by tenant and outcome.",
+            &[("tenant", tenant), ("outcome", outcome)],
+        )
+        .inc();
 }
 
 #[derive(Default)]
@@ -521,11 +572,13 @@ impl ServerInner {
                     *entry.state.lock().expect("job state") = JobState::Done(Box::new(report));
                     entry.events.close();
                     self.retire_active(&entry);
+                    count_finished(&tenant, "done");
                 }
                 Err(ClaptonError::Cancelled { rounds }) => {
                     *entry.state.lock().expect("job state") = JobState::Cancelled(rounds);
                     entry.events.close();
                     self.retire_active(&entry);
+                    count_finished(&tenant, "cancelled");
                 }
                 Err(ClaptonError::Suspended { rounds }) => {
                     if self.shutting_down.load(Ordering::SeqCst) {
@@ -533,6 +586,7 @@ impl ServerInner {
                         // record survives; the next server life resumes it.
                         *entry.state.lock().expect("job state") = JobState::Suspended(rounds);
                         entry.events.close();
+                        count_finished(&tenant, "suspended");
                     } else {
                         // Budget suspension: the server owns the resubmit
                         // loop, so the job goes straight back in line.
@@ -546,6 +600,7 @@ impl ServerInner {
                     *entry.state.lock().expect("job state") = JobState::Failed(detail);
                     entry.events.close();
                     self.retire_active(&entry);
+                    count_finished(&tenant, "failed");
                 }
             }
             self.queue.note_finished(&tenant);
@@ -568,6 +623,7 @@ impl ServerInner {
         *entry.state.lock().expect("job state") = JobState::Cancelled(rounds);
         entry.events.close();
         self.retire_active(entry);
+        count_finished(&entry.tenant, "cancelled");
     }
 
     fn queue_body(&self) -> QueueBody {
@@ -614,6 +670,8 @@ impl ServerInner {
             ("GET", ["v1", "jobs", id]) => self.handle_status(stream, id),
             ("DELETE", ["v1", "jobs", id]) => self.handle_cancel(stream, id),
             ("GET", ["v1", "jobs", id, "events"]) => self.handle_events(stream, id),
+            ("GET", ["v1", "jobs", id, "trace"]) => self.handle_trace(stream, id),
+            ("GET", ["metrics"]) => self.handle_metrics(stream),
             ("GET", ["v1", "queue"]) => {
                 let body =
                     serde_json::to_string(&self.queue_body()).expect("queue body serializes");
@@ -622,7 +680,11 @@ impl ServerInner {
             ("GET", ["healthz"]) => http::write_json_response(stream, 200, &[], "{\"ok\":true}"),
             (
                 _,
-                ["v1", "jobs"] | ["v1", "jobs", _] | ["v1", "jobs", _, "events"] | ["v1", "queue"],
+                ["v1", "jobs"]
+                | ["v1", "jobs", _]
+                | ["v1", "jobs", _, "events" | "trace"]
+                | ["v1", "queue"]
+                | ["metrics"],
             ) => self.respond_error(stream, 405, &[], "method not allowed on this path"),
             _ => self.respond_error(stream, 404, &[], "no such endpoint"),
         }
@@ -652,6 +714,84 @@ impl ServerInner {
         http::write_json_response(stream, status, &[], &body)
     }
 
+    /// `GET /metrics`: the Prometheus text exposition of the global
+    /// telemetry registry, with queue/tenant gauges synced from the
+    /// admission queue on every scrape (scrape-time sampling keeps the
+    /// admission hot path free of gauge writes).
+    fn handle_metrics(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let stats = self.queue.stats();
+        let registry = clapton_telemetry::registry();
+        registry
+            .gauge(
+                "clapton_queue_depth",
+                "Jobs admitted but not yet dispatched, across tenants.",
+            )
+            .set(stats.depth as f64);
+        registry
+            .gauge(
+                "clapton_server_running_jobs",
+                "Jobs currently executing on dispatcher threads.",
+            )
+            .set(self.running.load(Ordering::SeqCst) as f64);
+        for t in &stats.tenants {
+            registry
+                .gauge_with(
+                    "clapton_tenant_queued",
+                    "Jobs admitted but not yet dispatched, by tenant.",
+                    &[("tenant", &t.tenant)],
+                )
+                .set(t.queued as f64);
+            registry
+                .gauge_with(
+                    "clapton_tenant_vtime_lag",
+                    "Weighted-fair-queueing lag: the queue's virtual clock \
+                     minus the tenant's virtual finish time (0 for tenants \
+                     keeping pace with their share).",
+                    &[("tenant", &t.tenant)],
+                )
+                .set((stats.vclock - t.vtime).max(0.0));
+        }
+        http::write_response(
+            stream,
+            200,
+            "text/plain; version=0.0.4",
+            &[],
+            &registry.render(),
+        )
+    }
+
+    /// `GET /v1/jobs/{id}/trace`: the span tree recorded while the job
+    /// executed, reassembled from the `telemetry.jsonl` artifact. The
+    /// endpoint reads the very file the service wrote, so the two surfaces
+    /// can never disagree.
+    fn handle_trace(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+        let Some(entry) = self.entry(id) else {
+            return self.respond_error(stream, 404, &[], "no such job");
+        };
+        let Some(dir) = entry.admitted.artifact_dir() else {
+            return self.respond_error(stream, 404, &[], "job has no artifact directory");
+        };
+        let text = match std::fs::read_to_string(dir.join(TELEMETRY_ARTIFACT)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return self.respond_error(stream, 404, &[], "no trace recorded for this job");
+            }
+            Err(e) => return self.respond_error(stream, 500, &[], &e.to_string()),
+        };
+        let records = match clapton_telemetry::from_jsonl(&text) {
+            Ok(records) => records,
+            Err(e) => {
+                return self.respond_error(stream, 500, &[], &format!("corrupt trace log: {e}"));
+            }
+        };
+        let body = TraceBody {
+            id: entry.id.clone(),
+            spans: clapton_telemetry::span_tree(&records),
+        };
+        let body = serde_json::to_string(&body).expect("trace body serializes");
+        http::write_json_response(stream, 200, &[], &body)
+    }
+
     fn handle_submit(
         self: &Arc<ServerInner>,
         stream: &mut TcpStream,
@@ -662,6 +802,7 @@ impl ServerInner {
             return self.respond_error(stream, 400, &[], "invalid X-Tenant header");
         }
         if self.shutting_down.load(Ordering::SeqCst) {
+            count_rejected(&tenant, "draining");
             return self.respond_error(stream, 503, &[], "server is draining");
         }
         let Ok(text) = request.body_text() else {
@@ -676,9 +817,11 @@ impl ServerInner {
         let admitted = match self.service.admit(spec.clone()) {
             Ok(admitted) => admitted,
             Err(e @ ClaptonError::Conflict { .. }) => {
+                count_rejected(&tenant, "conflict");
                 return self.respond_error(stream, 409, &[], &e.to_string());
             }
             Err(e @ (ClaptonError::Spec(_) | ClaptonError::Parse { .. })) => {
+                count_rejected(&tenant, "invalid_spec");
                 return self.respond_error(stream, 400, &[], &e.to_string());
             }
             Err(e) => return self.respond_error(stream, 500, &[], &e.to_string()),
@@ -738,26 +881,36 @@ impl ServerInner {
             std::fs::write(&record_path, json)
         });
         match admit {
-            Ok(_) => self.respond_entry(stream, 202, &entry),
+            Ok(_) => {
+                count_admitted(&tenant);
+                self.respond_entry(stream, 202, &entry)
+            }
             Err(shed) => {
                 let mut registry = self.registry.lock().expect("job registry");
                 registry.jobs.remove(&id);
                 registry.active_by_dir.remove(&dir_key(&entry.admitted));
                 drop(registry);
                 match shed {
-                    AdmitError::Shed(Shed::RateLimited { retry_after_secs }) => self.respond_error(
-                        stream,
-                        429,
-                        &[("Retry-After", retry_after_secs.to_string())],
-                        "tenant rate limit exceeded",
-                    ),
-                    AdmitError::Shed(Shed::QueueFull { depth }) => self.respond_error(
-                        stream,
-                        429,
-                        &[("Retry-After", "1".to_string())],
-                        &format!("admission queue full ({depth} jobs)"),
-                    ),
+                    AdmitError::Shed(Shed::RateLimited { retry_after_secs }) => {
+                        count_rejected(&tenant, "rate_limited");
+                        self.respond_error(
+                            stream,
+                            429,
+                            &[("Retry-After", retry_after_secs.to_string())],
+                            "tenant rate limit exceeded",
+                        )
+                    }
+                    AdmitError::Shed(Shed::QueueFull { depth }) => {
+                        count_rejected(&tenant, "queue_full");
+                        self.respond_error(
+                            stream,
+                            429,
+                            &[("Retry-After", "1".to_string())],
+                            &format!("admission queue full ({depth} jobs)"),
+                        )
+                    }
                     AdmitError::Shed(Shed::Closed) => {
+                        count_rejected(&tenant, "draining");
                         self.respond_error(stream, 503, &[], "server is draining")
                     }
                     AdmitError::Io(e) => self.respond_error(

@@ -37,7 +37,9 @@ mod spec;
 
 pub use clapton_error::{ClaptonError, SpecError};
 pub use report::Report;
-pub use service::{AdmittedJob, ClaptonService, JobArtifactState, JobHandle, TerminalState};
+pub use service::{
+    AdmittedJob, ClaptonService, JobArtifactState, JobHandle, TerminalState, TELEMETRY_ARTIFACT,
+};
 pub use spec::{
     BackendSpec, EngineSpec, ExplicitNoise, JobSpec, MethodSpec, NamedBackend, NoiseSpec,
     ProblemSpec, ResolvedJob, SuiteProblem, TermsProblem, UniformNoise, VqeRefineSpec,

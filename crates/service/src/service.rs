@@ -25,6 +25,12 @@ const CHECKPOINT_ARTIFACT: &str = "checkpoint.json";
 const REPORT_ARTIFACT: &str = "report.json";
 const STATE_ARTIFACT: &str = "state.json";
 
+/// Span-log artifact written next to a job's checkpoints: one
+/// [`clapton_telemetry::SpanRecord`] JSON object per line, covering the
+/// job's whole execution trace. Public so artifact consumers (the server's
+/// trace endpoint, post-hoc tooling) share the name.
+pub const TELEMETRY_ARTIFACT: &str = "telemetry.jsonl";
+
 /// A persisted terminal state beside a job's artifacts: a job that ended
 /// without a report (`cancelled`, or a server-recorded `failed`) leaves this
 /// marker so resubmissions and crash-recovery scans see the outcome instead
@@ -518,6 +524,33 @@ pub(crate) fn execute(
     ctx: &JobContext,
     dir: Option<&RunDirectory>,
 ) -> Result<Report, ClaptonError> {
+    let trace = clapton_telemetry::Trace::begin();
+    let result = {
+        let _trace_ctx = clapton_telemetry::push_context(trace.context());
+        let _job_span = clapton_telemetry::span("job");
+        execute_inner(job, ctx, dir)
+    };
+    let records = trace.finish();
+    if let Some(dir) = dir {
+        // Persist the span log beside the job's other artifacts so the
+        // trace survives the process (and the server's trace endpoint reads
+        // the same tree). A resubmission answered from the persisted report
+        // yields only the root span — keep the original run's trace then.
+        // Telemetry persistence must never fail a finished job.
+        if !records.is_empty() && (records.len() > 1 || !dir.exists(TELEMETRY_ARTIFACT)) {
+            let _ = dir.write_text(TELEMETRY_ARTIFACT, &clapton_telemetry::to_jsonl(&records));
+        }
+    }
+    result
+}
+
+/// The actual job body behind [`execute`], which wraps it in a telemetry
+/// trace and persists the span log.
+fn execute_inner(
+    job: &ResolvedJob,
+    ctx: &JobContext,
+    dir: Option<&RunDirectory>,
+) -> Result<Report, ClaptonError> {
     if let Some(dir) = dir {
         if let Some(report) = dir.read_json::<Report>(REPORT_ARTIFACT)? {
             ctx.emit(EventKind::Finished(
@@ -541,12 +574,14 @@ pub(crate) fn execute(
     let exec = &job.exec;
     let config = &job.config;
     let e0 = ground_energy(h);
-    let cafqa = job
-        .runs(&MethodSpec::Cafqa)
-        .then(|| run_cafqa(h, exec, &config.engine, config.seed));
-    let ncafqa = job
-        .runs(&MethodSpec::Ncafqa)
-        .then(|| run_ncafqa(h, exec, &config.engine, config.evaluator, config.seed));
+    let cafqa = job.runs(&MethodSpec::Cafqa).then(|| {
+        let _span = clapton_telemetry::span("cafqa");
+        run_cafqa(h, exec, &config.engine, config.seed)
+    });
+    let ncafqa = job.runs(&MethodSpec::Ncafqa).then(|| {
+        let _span = clapton_telemetry::span("ncafqa");
+        run_ncafqa(h, exec, &config.engine, config.evaluator, config.seed)
+    });
     let clapton = if job.runs(&MethodSpec::Clapton) {
         let resume = match dir {
             Some(dir) => dir.read_json::<EngineState>(CHECKPOINT_ARTIFACT)?,
@@ -558,8 +593,13 @@ pub(crate) fn execute(
         let mut remaining = job.budget.map(|b| b as i64);
         let mut checkpoint_error: Option<io::Error> = None;
         let mut cancelled = false;
+        let _clapton_span = clapton_telemetry::span("clapton");
+        let mut round_started = clapton_telemetry::mono_ns();
         let (state, result) =
             run_clapton_resumable(h, exec, config, Some(ctx.pool()), resume, &mut |state| {
+                let round_ended = clapton_telemetry::mono_ns();
+                clapton_telemetry::record_complete("round", round_started, round_ended);
+                round_started = round_ended;
                 if let Some(dir) = dir {
                     if let Err(e) = dir.write_json(CHECKPOINT_ARTIFACT, state) {
                         checkpoint_error = Some(e);
@@ -639,6 +679,7 @@ pub(crate) fn execute(
     };
     let (clapton_vqe, cafqa_vqe, ncafqa_vqe) = match job.vqe_iterations() {
         Some(iters) => {
+            let _span = clapton_telemetry::span("vqe");
             let vqe_config = VqeConfig::new(iters);
             (
                 clapton

@@ -1,0 +1,125 @@
+//! Zero-dependency observability core for the Clapton stack: tracing spans
+//! with cross-thread parent linkage, and a metrics registry of counters,
+//! gauges, and fixed-bucket histograms rendered in the Prometheus text
+//! exposition format.
+//!
+//! Two off switches exist. At runtime, [`set_enabled`]`(false)` turns every
+//! span constructor and metric update into a single relaxed atomic load; the
+//! `noop` cargo feature additionally compiles the flag check down to a
+//! constant `false` so the whole layer folds away. Clock helpers
+//! ([`mono_ns`], [`wall_ns`]) ignore both switches because protocol
+//! timestamps (e.g. SSE event frames) must stay meaningful regardless.
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{parse_text, registry, Counter, Gauge, Histogram, Registry, Sample};
+pub use span::{
+    current_context, flight_recorder_snapshot, from_jsonl, mono_ns, push_context, record_complete,
+    span, span_tree, to_jsonl, wall_ns, ContextGuard, Span, SpanContext, SpanNode, SpanRecord,
+    Trace,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns telemetry collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry collection is currently active. Always `false` under
+/// the `noop` feature.
+#[inline]
+pub fn enabled() -> bool {
+    !cfg!(feature = "noop") && ENABLED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that rely on the process-wide enabled flag.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn nested_spans_link_to_their_parents() {
+        let _gate = exclusive();
+        let trace = Trace::begin();
+        {
+            let _ctx = push_context(trace.context());
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let records = trace.finish();
+        assert_eq!(records.len(), 2);
+        let outer = records.iter().find(|r| r.name == "outer").unwrap();
+        let inner = records.iter().find(|r| r.name == "inner").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.span);
+        assert_eq!(outer.trace, trace.id());
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+    }
+
+    #[test]
+    fn context_guard_restores_previous_context() {
+        let _gate = exclusive();
+        let before = current_context();
+        let trace = Trace::begin();
+        {
+            let _ctx = push_context(trace.context());
+            assert_eq!(current_context().trace, trace.id());
+        }
+        assert_eq!(current_context(), before);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _gate = exclusive();
+        let trace = Trace::begin();
+        set_enabled(false);
+        {
+            let _ctx = push_context(trace.context());
+            let _span = span("invisible");
+        }
+        set_enabled(true);
+        assert!(trace.finish().is_empty());
+    }
+
+    #[test]
+    fn record_complete_attaches_to_ambient_parent() {
+        let _gate = exclusive();
+        let trace = Trace::begin();
+        {
+            let _ctx = push_context(trace.context());
+            let _outer = span("outer");
+            let start = mono_ns();
+            record_complete("round", start, mono_ns());
+        }
+        let records = trace.finish();
+        let outer = records.iter().find(|r| r.name == "outer").unwrap();
+        let round = records.iter().find(|r| r.name == "round").unwrap();
+        assert_eq!(round.parent, outer.span);
+    }
+
+    #[test]
+    fn span_records_round_trip_through_jsonl() {
+        let _gate = exclusive();
+        let trace = Trace::begin();
+        {
+            let _ctx = push_context(trace.context());
+            let _a = span("a");
+            let _b = span("b");
+        }
+        let records = trace.finish();
+        let parsed = from_jsonl(&to_jsonl(&records)).expect("jsonl parses");
+        assert_eq!(parsed, records);
+        assert_eq!(span_tree(&parsed), span_tree(&records));
+    }
+}

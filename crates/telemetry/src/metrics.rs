@@ -1,0 +1,559 @@
+//! Named counters, gauges, and fixed-bucket histograms behind a global
+//! registry, rendered in the Prometheus text exposition format.
+//!
+//! Hot paths touch only atomics: a handle obtained once (typically cached in
+//! a `OnceLock` by the instrumented crate) is an `Arc` around the atomic
+//! cells, so updating a metric never takes the registry lock. The registry
+//! mutex is held only while interning a new `(name, labels)` series or while
+//! rendering `/metrics`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A no-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge. A no-op while telemetry is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (compare-and-swap loop). A no-op while disabled.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut old = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(old, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => old = actual,
+            }
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over fixed upper bounds with Prometheus `le` semantics: an
+/// observation `v` lands in the first bucket whose bound satisfies
+/// `v <= bound`, so values exactly on a bucket edge count toward that edge's
+/// bucket, and anything above the last bound lands in the implicit `+Inf`
+/// overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One cell per bound plus the `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. A no-op while telemetry is disabled.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&bound| v <= bound)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let mut old = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => old = actual,
+            }
+        }
+    }
+
+    /// The configured upper bounds (excluding `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (non-cumulative), the `+Inf` overflow last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    kind: MetricKind,
+    help: String,
+    /// Keyed by the canonical rendered label set so lookups and the
+    /// exposition share one ordering.
+    series: BTreeMap<String, (Vec<(String, String)>, Series)>,
+}
+
+/// A collection of metric families. Most callers use the process-wide
+/// [`registry()`]; tests may build private instances.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// The process-wide registry rendered by `GET /metrics`.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// An empty registry (for tests; production code uses [`registry()`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Interns an unlabelled counter.
+    ///
+    /// # Panics
+    ///
+    /// When `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Interns a counter with the given label pairs.
+    ///
+    /// # Panics
+    ///
+    /// When `name` is already registered as a different metric kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let series = self.intern(name, help, labels, MetricKind::Counter, || {
+            Series::Counter(Arc::new(Counter::default()))
+        });
+        match series {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked by intern"),
+        }
+    }
+
+    /// Interns an unlabelled gauge.
+    ///
+    /// # Panics
+    ///
+    /// When `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Interns a gauge with the given label pairs.
+    ///
+    /// # Panics
+    ///
+    /// When `name` is already registered as a different metric kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let series = self.intern(name, help, labels, MetricKind::Gauge, || {
+            Series::Gauge(Arc::new(Gauge::default()))
+        });
+        match series {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked by intern"),
+        }
+    }
+
+    /// Interns an unlabelled histogram over `bounds` (ignored when the
+    /// series already exists).
+    ///
+    /// # Panics
+    ///
+    /// When `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Interns a histogram with the given label pairs.
+    ///
+    /// # Panics
+    ///
+    /// When `name` is already registered as a different metric kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let series = self.intern(name, help, labels, MetricKind::Histogram, || {
+            Series::Histogram(Arc::new(Histogram::new(bounds)))
+        });
+        match series {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked by intern"),
+        }
+    }
+
+    fn intern(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        sorted.sort();
+        let key = label_key(&sorted);
+        let mut families = lock(&self.families);
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as {} but requested as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family
+            .series
+            .entry(key)
+            .or_insert_with(|| (sorted, make()))
+            .1
+            .clone()
+    }
+
+    /// Renders every family in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let families = lock(&self.families);
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&escape_help(&family.help));
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for (labels, series) in family.series.values() {
+                match series {
+                    Series::Counter(c) => {
+                        render_sample(&mut out, name, labels, c.get() as f64);
+                    }
+                    Series::Gauge(g) => {
+                        render_sample(&mut out, name, labels, g.get());
+                    }
+                    Series::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cumulative = 0u64;
+                        let bucket_name = format!("{name}_bucket");
+                        for (i, bound) in h.bounds().iter().enumerate() {
+                            cumulative += counts[i];
+                            let mut with_le = labels.clone();
+                            with_le.push(("le".to_string(), format_value(*bound)));
+                            render_sample(&mut out, &bucket_name, &with_le, cumulative as f64);
+                        }
+                        cumulative += counts.last().copied().unwrap_or(0);
+                        let mut with_le = labels.clone();
+                        with_le.push(("le".to_string(), "+Inf".to_string()));
+                        render_sample(&mut out, &bucket_name, &with_le, cumulative as f64);
+                        render_sample(&mut out, &format!("{name}_sum"), labels, h.sum());
+                        render_sample(
+                            &mut out,
+                            &format!("{name}_count"),
+                            labels,
+                            cumulative as f64,
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn label_key(labels: &[(String, String)]) -> String {
+    let mut key = String::new();
+    for (k, v) in labels {
+        key.push_str(k);
+        key.push('\u{1}');
+        key.push_str(v);
+        key.push('\u{2}');
+    }
+    key
+}
+
+fn render_sample(out: &mut String, name: &str, labels: &[(String, String)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&format_value(value));
+    out.push('\n');
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (for histograms: `<family>_bucket`, `<family>_sum`, ...).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition format into flat samples. Comment and
+/// blank lines are skipped; malformed lines are an error.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed line.
+pub fn parse_text(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(
+            parse_sample(line).map_err(|why| format!("line {}: {why}: {line:?}", lineno + 1))?,
+        );
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_and_labels, value) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or("unclosed label block")?;
+            let name = &line[..open];
+            let labels = parse_labels(&line[open + 1..close])?;
+            ((name, labels), line[close + 1..].trim())
+        }
+        None => {
+            let (name, value) = line
+                .split_once(char::is_whitespace)
+                .ok_or("missing value")?;
+            ((name, Vec::new()), value.trim())
+        }
+    };
+    let (name, labels) = name_and_labels;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("invalid value {other:?}"))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err("label value is not quoted".to_string()),
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = rest[end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}

@@ -1,0 +1,332 @@
+//! Metrics-registry contract tests: exact bucket-edge semantics and a
+//! strict Prometheus text-format parser (written here, independent of the
+//! crate's own lenient parser) that the rendered exposition must round-trip.
+
+use clapton_telemetry::Registry;
+use std::collections::HashMap;
+
+#[test]
+fn histogram_bucket_edges_are_exact() {
+    let registry = Registry::new();
+    let h = registry.histogram("edges", "edge semantics", &[1.0, 2.0, 5.0]);
+    // `le` semantics: a value exactly on a bound belongs to that bound's
+    // bucket; the first value above the last bound is `+Inf`-only.
+    h.observe(1.0);
+    h.observe(f64::from_bits(1.0f64.to_bits() + 1)); // next float above 1.0
+    h.observe(2.0);
+    h.observe(5.0);
+    h.observe(f64::from_bits(5.0f64.to_bits() + 1));
+    h.observe(0.0);
+    assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+    assert_eq!(h.count(), 6);
+    let expected_sum = 1.0
+        + f64::from_bits(1.0f64.to_bits() + 1)
+        + 2.0
+        + 5.0
+        + f64::from_bits(5.0f64.to_bits() + 1);
+    assert!((h.sum() - expected_sum).abs() < 1e-12);
+}
+
+#[test]
+fn histogram_overflow_only_when_above_last_bound() {
+    let registry = Registry::new();
+    let h = registry.histogram("overflow", "overflow bucket", &[10.0]);
+    h.observe(10.0);
+    assert_eq!(h.bucket_counts(), vec![1, 0], "10.0 <= 10.0 is in-bounds");
+    h.observe(10.000001);
+    assert_eq!(h.bucket_counts(), vec![1, 1]);
+}
+
+/// A strict Prometheus text-format parser: every non-comment line must be
+/// `name[{label="value",...}] value`, every sample must be preceded by
+/// matching `# HELP` and `# TYPE` lines for its family, metric names must be
+/// valid identifiers, and histogram families must satisfy the cumulative
+/// bucket / `_sum` / `_count` invariants.
+mod strict {
+    use std::collections::BTreeMap;
+
+    /// One parsed sample: `(full name, labels, value)`.
+    pub type Sample = (String, Vec<(String, String)>, f64);
+
+    #[derive(Debug, Default)]
+    pub struct Familie {
+        pub kind: String,
+        pub samples: Vec<Sample>,
+    }
+
+    pub fn parse(text: &str) -> Result<BTreeMap<String, Familie>, String> {
+        let mut families: BTreeMap<String, Familie> = BTreeMap::new();
+        let mut helped: Vec<String> = Vec::new();
+        let mut typed: Vec<String> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let err = |why: &str| Err(format!("line {}: {why}: {line:?}", lineno + 1));
+            if line.is_empty() {
+                return err("blank line in exposition");
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, _help) = rest
+                    .split_once(' ')
+                    .ok_or(format!("line {}: HELP without text", lineno + 1))?;
+                if !valid_name(name) {
+                    return err("invalid family name in HELP");
+                }
+                helped.push(name.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest
+                    .split_once(' ')
+                    .ok_or(format!("line {}: TYPE without kind", lineno + 1))?;
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return err("unknown metric kind");
+                }
+                if !helped.contains(&name.to_string()) {
+                    return err("TYPE before HELP");
+                }
+                typed.push(name.to_string());
+                families.entry(name.to_string()).or_default().kind = kind.to_string();
+                continue;
+            }
+            if line.starts_with('#') {
+                return err("unknown comment form");
+            }
+            let (name, labels, value) = parse_sample(line)
+                .map_err(|why| format!("line {}: {why}: {line:?}", lineno + 1))?;
+            let family = typed
+                .iter()
+                .find(|t| {
+                    name == **t
+                        || (name
+                            .strip_prefix(t.as_str())
+                            .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count")))
+                })
+                .ok_or(format!("line {}: sample before TYPE: {line:?}", lineno + 1))?
+                .clone();
+            families
+                .get_mut(&family)
+                .unwrap()
+                .samples
+                .push((name, labels, value));
+        }
+        for (name, family) in &families {
+            if family.kind == "histogram" {
+                check_histogram(name, family)?;
+            }
+        }
+        Ok(families)
+    }
+
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    fn parse_sample(line: &str) -> Result<Sample, String> {
+        let (head, labels, tail) = match line.find('{') {
+            Some(open) => {
+                let close = line.rfind('}').ok_or("unclosed label block")?;
+                (
+                    &line[..open],
+                    parse_labels(&line[open + 1..close])?,
+                    &line[close + 1..],
+                )
+            }
+            None => {
+                let space = line.find(' ').ok_or("no value separator")?;
+                (&line[..space], Vec::new(), &line[space..])
+            }
+        };
+        if !valid_name(head) {
+            return Err(format!("invalid metric name {head:?}"));
+        }
+        let value = tail.trim_start();
+        if value.contains(' ') {
+            return Err("trailing content after value".to_string());
+        }
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse().map_err(|_| format!("bad value {v:?}"))?,
+        };
+        Ok((head.to_string(), labels, value))
+    }
+
+    fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+        let mut out = Vec::new();
+        let mut rest = body;
+        while !rest.is_empty() {
+            let eq = rest.find("=\"").ok_or("label without =\"")?;
+            let key = &rest[..eq];
+            if !valid_name(key) {
+                return Err(format!("invalid label name {key:?}"));
+            }
+            rest = &rest[eq + 2..];
+            let mut value = String::new();
+            let mut escaped = false;
+            let mut closed = None;
+            for (i, c) in rest.char_indices() {
+                if escaped {
+                    match c {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => return Err(format!("bad escape \\{other}")),
+                    }
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    closed = Some(i);
+                    break;
+                } else {
+                    value.push(c);
+                }
+            }
+            let closed = closed.ok_or("unterminated label value")?;
+            out.push((key.to_string(), value));
+            rest = &rest[closed + 1..];
+            rest = rest.strip_prefix(',').unwrap_or(rest);
+        }
+        Ok(out)
+    }
+
+    fn check_histogram(name: &str, family: &Familie) -> Result<(), String> {
+        // Group buckets/sum/count by their non-`le` label set.
+        // Per labelset: `(bucket (le, value) pairs, _sum, _count)`.
+        type HistogramSeries = (Vec<(f64, f64)>, Option<f64>, Option<f64>);
+        let mut by_series: BTreeMap<String, HistogramSeries> = BTreeMap::new();
+        for (sample_name, labels, value) in &family.samples {
+            let key: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let entry = by_series.entry(key.join(",")).or_default();
+            if *sample_name == format!("{name}_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                    .ok_or(format!("{name}: bucket without le"))?;
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().map_err(|_| format!("{name}: bad le {le:?}"))?
+                };
+                entry.0.push((le, *value));
+            } else if *sample_name == format!("{name}_sum") {
+                entry.1 = Some(*value);
+            } else if *sample_name == format!("{name}_count") {
+                entry.2 = Some(*value);
+            } else {
+                return Err(format!("{name}: stray sample {sample_name:?}"));
+            }
+        }
+        for (series, (buckets, sum, count)) in by_series {
+            let count = count.ok_or(format!("{name}{{{series}}}: missing _count"))?;
+            sum.ok_or(format!("{name}{{{series}}}: missing _sum"))?;
+            let mut prev_le = f64::NEG_INFINITY;
+            let mut prev_count = 0.0;
+            for (le, cumulative) in &buckets {
+                if *le <= prev_le {
+                    return Err(format!("{name}{{{series}}}: le not increasing"));
+                }
+                if *cumulative < prev_count {
+                    return Err(format!("{name}{{{series}}}: buckets not cumulative"));
+                }
+                prev_le = *le;
+                prev_count = *cumulative;
+            }
+            match buckets.last() {
+                Some((le, total)) if le.is_infinite() => {
+                    if *total != count {
+                        return Err(format!("{name}{{{series}}}: +Inf != _count"));
+                    }
+                }
+                _ => return Err(format!("{name}{{{series}}}: missing +Inf bucket")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn rendered_exposition_round_trips_a_strict_parser() {
+    let registry = Registry::new();
+    registry.counter("jobs_total", "jobs seen").add(7);
+    registry
+        .counter_with(
+            "admitted_total",
+            "per-tenant admits",
+            &[("tenant", "alice")],
+        )
+        .add(3);
+    registry
+        .counter_with(
+            "admitted_total",
+            "per-tenant admits",
+            &[("tenant", "bo\"b\\x")],
+        )
+        .add(1);
+    registry.gauge("queue_depth", "queued jobs").set(4.5);
+    let h = registry.histogram("round_seconds", "round latency", &[0.01, 0.1, 1.0]);
+    h.observe(0.01);
+    h.observe(0.05);
+    h.observe(2.0);
+
+    let text = registry.render();
+    let families = strict::parse(&text).expect("strict parser accepts our exposition");
+
+    assert_eq!(families.len(), 4);
+    assert_eq!(families["jobs_total"].kind, "counter");
+    assert_eq!(families["jobs_total"].samples[0].2, 7.0);
+    assert_eq!(families["queue_depth"].samples[0].2, 4.5);
+
+    let admitted: HashMap<String, f64> = families["admitted_total"]
+        .samples
+        .iter()
+        .map(|(_, labels, v)| (labels[0].1.clone(), *v))
+        .collect();
+    assert_eq!(admitted["alice"], 3.0);
+    assert_eq!(admitted["bo\"b\\x"], 1.0, "escaped label values round-trip");
+
+    let hist = &families["round_seconds"];
+    assert_eq!(hist.kind, "histogram");
+    let bucket_of = |le: &str| {
+        hist.samples
+            .iter()
+            .find(|(n, labels, _)| {
+                n == "round_seconds_bucket" && labels.iter().any(|(k, v)| k == "le" && v == le)
+            })
+            .map(|(_, _, v)| *v)
+            .unwrap()
+    };
+    assert_eq!(bucket_of("0.01"), 1.0, "edge value counts toward its bound");
+    assert_eq!(bucket_of("0.1"), 2.0);
+    assert_eq!(bucket_of("1"), 2.0);
+    assert_eq!(bucket_of("+Inf"), 3.0);
+
+    // The crate's own lenient parser agrees on every sample value.
+    let lenient = clapton_telemetry::parse_text(&text).expect("lenient parse");
+    assert_eq!(
+        lenient.len(),
+        families.values().map(|f| f.samples.len()).sum::<usize>()
+    );
+}
+
+#[test]
+fn kind_collisions_panic() {
+    let registry = Registry::new();
+    registry.counter("clash", "first");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        registry.gauge("clash", "second");
+    }));
+    assert!(
+        result.is_err(),
+        "re-registering a counter as a gauge panics"
+    );
+}
