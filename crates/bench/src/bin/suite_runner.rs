@@ -2,46 +2,58 @@
 //! orchestrator.
 //!
 //! Executes the paper's benchmark suite (12 instances at `N = 10`) as
-//! concurrent jobs on one persistent worker pool, checkpointing every GA
-//! round atomically into a run directory. Kill it at any instant (or bound
-//! it with `--halt-after-rounds`) and re-run the same command line: finished
-//! jobs are skipped, interrupted jobs resume from their last round snapshot,
-//! and the final artifacts are byte-identical to an uninterrupted run.
+//! concurrent jobs, checkpointing every GA round atomically into a run
+//! directory. Kill it at any instant (or bound it with
+//! `--halt-after-rounds`) and re-run the same command line: finished jobs
+//! are skipped, interrupted jobs resume from their last round snapshot, and
+//! the final artifacts are byte-identical to an uninterrupted run.
 //!
 //! ```text
-//! suite-runner [--quick|--full] [--seed N] [--qubits N] [--workers N]
+//! suite-runner [--quick|--full] [--seed N] [--qubits N]
 //!              [--registry DIR] [--run NAME] [--halt-after-rounds N]
-//!              [--quiet] [--list]
+//!              [--pool-workers N] [--quiet] [--list]
 //!              [--specs FILE] [--emit-specs FILE]
+//!              [--workers N] [--join DIR] [--status] [--merge]
+//!              [--lease-ttl SECS] [--worker-id ID]
 //! ```
 //!
-//! Two suite sources:
+//! Three execution shapes:
 //!
-//! * **Built-in** (default): the paper's hard-coded benchmark suite,
-//!   parameterized by `--qubits`/`--seed`/effort. Artifacts per run
-//!   directory: `manifest.json`, `<job>.checkpoint.json`,
-//!   `<job>.result.json` (deterministic), `suite_summary.json` and
-//!   `bench_rows.json`.
-//! * **Spec file** (`--specs FILE`): a JSON array of `JobSpec`s — any jobs,
-//!   not just the hard-coded suite — executed through the `ClaptonService`
-//!   front door. Note the `--halt-after-rounds N` scope difference: the
-//!   built-in mode counts `N` rounds *summed over the whole suite* (one
-//!   shared budget), while spec mode gives *each job* its own `N`-round
-//!   budget per invocation (each spec's `budget` field is set to `N`). Each job gets its own subdirectory under the run directory
-//!   holding its `spec.json`, round checkpoints, and final `report.json`;
-//!   re-running the same command resumes suspended jobs and skips finished
-//!   ones, byte-identical to an uninterrupted run. `--emit-specs FILE`
-//!   writes the built-in suite as such a spec file (the two modes produce
-//!   the same searches).
+//! * **Single process** (default): the legacy orchestrator — one process,
+//!   `--pool-workers` threads. Built-in suite artifacts per run directory:
+//!   `manifest.json`, `<job>.checkpoint.json`, `<job>.result.json`
+//!   (deterministic), `suite_summary.json`, `bench_rows.json`.
+//! * **Spec file** (`--specs FILE`): a JSON array of `JobSpec`s executed
+//!   through the `ClaptonService` front door, one artifact subdirectory per
+//!   job. Note the `--halt-after-rounds N` scope difference: built-in mode
+//!   counts `N` rounds summed over the whole suite; spec mode gives *each
+//!   job* its own `N`-round budget per invocation.
+//! * **Sharded** (`--workers N`): the run directory becomes a shared work
+//!   queue (`queue.json` + per-job dirs + `claim.json` leases) and `N`
+//!   child *processes* sweep it concurrently. Any external process — on
+//!   this host or another sharing the filesystem — can attach to the same
+//!   queue with `--join DIR`. Workers SIGKILLed mid-job are survived: their
+//!   leases go stale after `--lease-ttl` seconds and a peer resumes the job
+//!   from its checkpoint. When the queue drains, the parent folds the
+//!   per-job reports into `suite_manifest.json`, ordered by job id and
+//!   byte-identical to a single-worker run. `--status` prints who holds
+//!   what; `--merge` re-folds the manifest without running anything.
+//!
+//! See `docs/DISTRIBUTED.md` for the queue layout and lease protocol.
 
-use clapton_bench::{run_spec_suite, run_suite, Options, SuiteConfig, SuiteOutcome};
+use clapton_bench::{
+    merge_shards, read_queue, run_shard_worker, run_spec_suite, run_suite, shard_status,
+    write_queue, Options, ShardWorkerConfig, SuiteConfig, SuiteOutcome,
+};
 use clapton_error::ClaptonError;
 use clapton_runtime::{EventKind, RunEvent, RunRegistry, WorkerPool};
 use clapton_service::JobSpec;
 use serde::Serialize;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One wall-clock row in the repository's BENCH format.
 #[derive(Debug, Serialize)]
@@ -67,7 +79,10 @@ struct SummaryJob {
 struct Args {
     options: Options,
     qubits: usize,
-    workers: usize,
+    /// Shard worker *processes* (`None` → single-process run).
+    workers: Option<usize>,
+    /// Worker-pool threads per process.
+    pool_workers: usize,
     registry: String,
     run_name: Option<String>,
     halt_after_rounds: Option<u64>,
@@ -75,13 +90,19 @@ struct Args {
     list: bool,
     specs: Option<String>,
     emit_specs: Option<String>,
+    join: Option<String>,
+    status: bool,
+    merge: bool,
+    lease_ttl: Duration,
+    worker_id: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         options: Options { effort: 1, seed: 0 },
         qubits: 10,
-        workers: std::thread::available_parallelism()
+        workers: None,
+        pool_workers: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
         registry: "suite-runs".to_string(),
@@ -91,6 +112,11 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         specs: None,
         emit_specs: None,
+        join: None,
+        status: false,
+        merge: false,
+        lease_ttl: clapton_runtime::DEFAULT_LEASE_TTL,
+        worker_id: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -115,9 +141,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--qubits: {e}"))?;
             }
             "--workers" => {
-                args.workers = value(&mut i, "--workers")?
+                args.workers = Some(
+                    value(&mut i, "--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
+            "--pool-workers" => {
+                args.pool_workers = value(&mut i, "--pool-workers")?
                     .parse()
-                    .map_err(|e| format!("--workers: {e}"))?;
+                    .map_err(|e| format!("--pool-workers: {e}"))?;
             }
             "--registry" => args.registry = value(&mut i, "--registry")?,
             "--run" => args.run_name = Some(value(&mut i, "--run")?),
@@ -132,6 +165,19 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--specs" => args.specs = Some(value(&mut i, "--specs")?),
             "--emit-specs" => args.emit_specs = Some(value(&mut i, "--emit-specs")?),
+            "--join" => args.join = Some(value(&mut i, "--join")?),
+            "--status" => args.status = true,
+            "--merge" => args.merge = true,
+            "--lease-ttl" => {
+                let secs: f64 = value(&mut i, "--lease-ttl")?
+                    .parse()
+                    .map_err(|e| format!("--lease-ttl: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--lease-ttl must be positive".to_string());
+                }
+                args.lease_ttl = Duration::from_secs_f64(secs);
+            }
+            "--worker-id" => args.worker_id = Some(value(&mut i, "--worker-id")?),
             other => {
                 return Err(format!(
                     "unknown argument {other} (see the module docs for usage)"
@@ -139,6 +185,9 @@ fn parse_args() -> Result<Args, String> {
             }
         }
         i += 1;
+    }
+    if args.workers == Some(0) {
+        return Err("--workers needs at least 1 worker process".to_string());
     }
     Ok(args)
 }
@@ -167,6 +216,22 @@ fn list_runs(registry: &RunRegistry) -> std::io::Result<()> {
     Ok(())
 }
 
+/// The spec list a shard/status/merge invocation operates on: the run's
+/// persisted `queue.json` wins (the queue is the source of truth once a
+/// shard run exists), then an explicit `--specs` file, then the built-in
+/// suite.
+fn resolve_specs(dir: &Path, args: &Args, config: &SuiteConfig) -> Result<Vec<JobSpec>, String> {
+    if let Ok(specs) = read_queue(dir) {
+        return Ok(specs);
+    }
+    if let Some(path) = &args.specs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return serde_json::from_str(&text)
+            .map_err(|e| format!("{path} is not a JSON array of job specs: {e}"));
+    }
+    Ok(config.specs())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -175,6 +240,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let config = SuiteConfig {
+        options: args.options,
+        qubits: args.qubits,
+        halt_after_rounds: args.halt_after_rounds,
+    };
+    // Worker mode: attach to an existing shard queue and sweep it. The
+    // queue directory is given directly — no registry resolution — so any
+    // process on any host sharing the filesystem can join.
+    if let Some(join) = &args.join {
+        if args.status {
+            return status_mode(Path::new(join), &args, &config);
+        }
+        if args.merge {
+            return merge_mode(Path::new(join), &args, &config);
+        }
+        return join_mode(Path::new(join), &args);
+    }
     let registry = match RunRegistry::open(&args.registry) {
         Ok(registry) => registry,
         Err(e) => {
@@ -191,11 +273,6 @@ fn main() -> ExitCode {
             }
         };
     }
-    let config = SuiteConfig {
-        options: args.options,
-        qubits: args.qubits,
-        halt_after_rounds: args.halt_after_rounds,
-    };
     if let Some(path) = &args.emit_specs {
         let specs = config.specs();
         let json = serde_json::to_string_pretty(&specs).expect("specs serialize");
@@ -224,14 +301,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.status {
+        return status_mode(dir.path(), &args, &config);
+    }
+    if args.merge {
+        return merge_mode(dir.path(), &args, &config);
+    }
+    if let Some(workers) = args.workers {
+        return shard_parent_mode(dir.path(), workers, &args, &config);
+    }
     println!(
-        "suite-runner: run {run_name} ({} profile, seed {}, {} workers) → {}",
+        "suite-runner: run {run_name} ({} profile, seed {}, {} pool workers) → {}",
         config.profile(),
         args.options.seed,
-        args.workers,
+        args.pool_workers,
         dir.path().display()
     );
-    let pool = Arc::new(WorkerPool::with_workers(args.workers));
+    let pool = Arc::new(WorkerPool::with_workers(args.pool_workers));
     if let Some(path) = &args.specs {
         return run_specs_mode(&dir, path, &args, pool);
     }
@@ -267,6 +353,227 @@ fn main() -> ExitCode {
         }
     );
     ExitCode::SUCCESS
+}
+
+/// The `--workers N` parent: seed the queue, fork N `--join` children over
+/// it, survive child deaths, and merge when the queue drains.
+fn shard_parent_mode(dir: &Path, workers: usize, args: &Args, config: &SuiteConfig) -> ExitCode {
+    let specs = match resolve_specs(dir, args, config) {
+        Ok(specs) => specs,
+        Err(message) => {
+            eprintln!("suite-runner: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = write_queue(dir, &specs) {
+        eprintln!("suite-runner: cannot seed queue: {e}");
+        return ExitCode::from(2);
+    }
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("suite-runner: cannot locate own binary to fork workers: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "suite-runner: sharding {} jobs across {workers} worker processes \
+         (lease TTL {:.1?}) → {}",
+        specs.len(),
+        args.lease_ttl,
+        dir.display()
+    );
+    let started = std::time::Instant::now();
+    let mut children = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let mut command = std::process::Command::new(&exe);
+        command
+            .arg("--join")
+            .arg(dir)
+            .arg("--lease-ttl")
+            .arg(format!("{}", args.lease_ttl.as_secs_f64()))
+            .arg("--pool-workers")
+            .arg(args.pool_workers.to_string());
+        if let Some(budget) = args.halt_after_rounds {
+            command.arg("--halt-after-rounds").arg(budget.to_string());
+        }
+        if args.quiet {
+            command.arg("--quiet");
+        }
+        match command.spawn() {
+            Ok(child) => children.push((index, child)),
+            Err(e) => {
+                eprintln!("suite-runner: cannot spawn worker {index}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut died = 0usize;
+    for (index, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                died += 1;
+                eprintln!("suite-runner: worker {index} exited with {status} (queue survives it)");
+            }
+            Err(e) => {
+                died += 1;
+                eprintln!("suite-runner: waiting for worker {index}: {e}");
+            }
+        }
+    }
+    // Dead workers are tolerated by design — the queue outlives any of
+    // them — but if *every* worker died the sweep may be incomplete, so
+    // finish it inline before merging.
+    let merged = match merge_shards(dir, &specs) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("suite-runner: merge failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let merged = if !merged.is_complete() && args.halt_after_rounds.is_none() {
+        eprintln!(
+            "suite-runner: {} of {} jobs unfinished after all workers exited; \
+             finishing the sweep inline",
+            merged.jobs.len() - merged.completed(),
+            merged.jobs.len()
+        );
+        let shard_config = ShardWorkerConfig {
+            worker_id: args.worker_id.clone(),
+            lease_ttl: args.lease_ttl,
+            halt_after_rounds: args.halt_after_rounds,
+            ..ShardWorkerConfig::default()
+        };
+        let pool = Arc::new(WorkerPool::with_workers(args.pool_workers));
+        let (tx, printer) = spawn_printer(args.quiet);
+        let outcome = run_shard_worker(dir, pool, Some(tx), &shard_config);
+        printer.join().expect("printer thread");
+        if let Err(e) = outcome {
+            eprintln!("suite-runner: inline sweep failed: {e}");
+            return ExitCode::from(2);
+        }
+        match merge_shards(dir, &specs) {
+            Ok(merged) => merged,
+            Err(e) => {
+                eprintln!("suite-runner: merge failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        merged
+    };
+    println!(
+        "suite-runner: {} of {} jobs complete in {:.2?} ({died} worker deaths survived) — \
+         merged manifest at {}",
+        merged.completed(),
+        merged.jobs.len(),
+        started.elapsed(),
+        dir.join(clapton_bench::MERGED_MANIFEST_ARTIFACT).display()
+    );
+    if merged.is_complete() || args.halt_after_rounds.is_some() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The `--join DIR` worker: sweep an existing shard queue until nothing is
+/// left to do.
+fn join_mode(dir: &Path, args: &Args) -> ExitCode {
+    let shard_config = ShardWorkerConfig {
+        worker_id: args.worker_id.clone(),
+        lease_ttl: args.lease_ttl,
+        halt_after_rounds: args.halt_after_rounds,
+        ..ShardWorkerConfig::default()
+    };
+    let pool = Arc::new(WorkerPool::with_workers(args.pool_workers));
+    let (tx, printer) = spawn_printer(args.quiet);
+    let started = std::time::Instant::now();
+    let outcome = run_shard_worker(dir, pool, Some(tx), &shard_config);
+    printer.join().expect("printer thread");
+    match outcome {
+        Ok(outcome) => {
+            println!(
+                "suite-runner: worker drained the queue in {:.2?} — {} of {} jobs done",
+                started.elapsed(),
+                outcome.completed(),
+                outcome.jobs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("suite-runner: worker failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The `--status` mode: who holds what, per job.
+fn status_mode(dir: &Path, args: &Args, config: &SuiteConfig) -> ExitCode {
+    let specs = match resolve_specs(dir, args, config) {
+        Ok(specs) => specs,
+        Err(message) => {
+            eprintln!("suite-runner: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let rows = match shard_status(dir, &specs, args.lease_ttl) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("suite-runner: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{:<34} {:<10} {:<20} {:>12} {:>8}",
+        "job", "state", "lease owner", "heartbeat", "rounds"
+    );
+    for row in rows {
+        let owner = match (&row.owner, row.stale) {
+            (Some(owner), true) => format!("{owner} (stale)"),
+            (Some(owner), false) => owner.clone(),
+            (None, _) => "-".to_string(),
+        };
+        let heartbeat = row
+            .heartbeat_age_ms
+            .map_or_else(|| "-".to_string(), |ms| format!("{ms} ms ago"));
+        let rounds = row
+            .rounds
+            .map_or_else(|| "-".to_string(), |r| r.to_string());
+        println!(
+            "{:<34} {:<10} {:<20} {:>12} {:>8}",
+            row.job, row.state, owner, heartbeat, rounds
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--merge` mode: re-fold `suite_manifest.json` without running
+/// anything.
+fn merge_mode(dir: &Path, args: &Args, config: &SuiteConfig) -> ExitCode {
+    let specs = match resolve_specs(dir, args, config) {
+        Ok(specs) => specs,
+        Err(message) => {
+            eprintln!("suite-runner: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match merge_shards(dir, &specs) {
+        Ok(merged) => {
+            println!(
+                "suite-runner: merged {} jobs ({} done) → {}",
+                merged.jobs.len(),
+                merged.completed(),
+                dir.join(clapton_bench::MERGED_MANIFEST_ARTIFACT).display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("suite-runner: merge failed: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Streams [`RunEvent`]s to stdout on a dedicated thread (shared by the

@@ -14,8 +14,14 @@
 //! All binaries accept `--quick` (reduced hyper-parameters; the default is a
 //! middle ground) and `--full` (paper-scale settings), plus `--seed <u64>`.
 
+pub mod shard;
 pub mod suite_run;
 
+pub use shard::{
+    merge_shards, read_queue, run_shard_worker, shard_status, write_queue, MergedJob,
+    MergedManifest, ShardJobOutcome, ShardOutcome, ShardStatusRow, ShardWorkerConfig,
+    MERGED_MANIFEST_ARTIFACT, QUEUE_ARTIFACT,
+};
 pub use suite_run::{
     run_spec_suite, run_suite, JobOutcome, SuiteConfig, SuiteOutcome, SuiteRecord,
 };

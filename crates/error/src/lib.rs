@@ -161,6 +161,17 @@ pub enum ClaptonError {
         /// The contested run directory.
         run: String,
     },
+    /// The job's artifact directory is leased by another live worker (a
+    /// peer process sharing the run registry); retry after its lease is
+    /// released or expires.
+    Leased {
+        /// The leased run directory.
+        run: String,
+        /// The worker currently holding the lease.
+        owner: String,
+        /// Milliseconds since the holder's last heartbeat.
+        heartbeat_age_ms: u64,
+    },
 }
 
 impl fmt::Display for ClaptonError {
@@ -185,6 +196,15 @@ impl fmt::Display for ClaptonError {
                 f,
                 "run directory {run} was created from a different spec; refusing to mix \
                  artifacts (submit under a different name or seed)"
+            ),
+            ClaptonError::Leased {
+                run,
+                owner,
+                heartbeat_age_ms,
+            } => write!(
+                f,
+                "run directory {run} is leased by live worker {owner:?} \
+                 (last heartbeat {heartbeat_age_ms} ms ago); retry later"
             ),
         }
     }
@@ -274,5 +294,13 @@ mod tests {
         }
         .to_string()
         .contains("different spec"));
+        let leased = ClaptonError::Leased {
+            run: "/tmp/jobs/ising-seed7".to_string(),
+            owner: "w1234-abcd".to_string(),
+            heartbeat_age_ms: 250,
+        };
+        let msg = leased.to_string();
+        assert!(msg.contains("w1234-abcd"), "{msg}");
+        assert!(msg.contains("250 ms"), "{msg}");
     }
 }

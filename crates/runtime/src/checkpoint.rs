@@ -34,6 +34,19 @@ pub struct RunManifest {
 /// ```
 /// assert_eq!(clapton_runtime::artifact_slug("ising(J=0.25)"), "ising-J-0.25");
 /// ```
+/// A per-writer temporary sibling name for the atomic write of artifact
+/// `name`: `<name>.<pid>-<seq>.tmp`. Unique per (process, call) so racing
+/// writers each rename their own complete file into place.
+fn tmp_name(name: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{name}.{}-{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
 pub fn artifact_slug(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for c in name.chars() {
@@ -72,12 +85,16 @@ impl RunDirectory {
 
     /// Serializes `value` to `<root>/<name>` atomically: the JSON is written
     /// to a temporary sibling and renamed into place, so readers (and
-    /// resumers after a kill) only ever observe complete documents.
+    /// resumers after a kill) only ever observe complete documents. The
+    /// temporary name embeds the process id and a sequence number, so
+    /// concurrent writers of the same artifact (two shard workers racing to
+    /// admit a job before either holds its lease) never rename each other's
+    /// half-written files away; last rename wins.
     pub fn write_json<T: Serialize + ?Sized>(&self, name: &str, value: &T) -> io::Result<()> {
         let json = serde_json::to_string_pretty(value)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let target = self.root.join(name);
-        let tmp = self.root.join(format!("{name}.tmp"));
+        let tmp = self.root.join(tmp_name(name));
         fs::write(&tmp, json.as_bytes())?;
         fs::rename(&tmp, &target)
     }
@@ -87,7 +104,7 @@ impl RunDirectory {
     /// (used for line-oriented artifacts like `telemetry.jsonl`).
     pub fn write_text(&self, name: &str, text: &str) -> io::Result<()> {
         let target = self.root.join(name);
-        let tmp = self.root.join(format!("{name}.tmp"));
+        let tmp = self.root.join(tmp_name(name));
         fs::write(&tmp, text.as_bytes())?;
         fs::rename(&tmp, &target)
     }
@@ -253,7 +270,11 @@ mod tests {
         );
         dir.write_json("x.json", &vec![9u64]).unwrap();
         assert_eq!(dir.read_json::<Vec<u64>>("x.json").unwrap(), Some(vec![9]));
-        assert!(!dir.exists("x.json.tmp"), "tmp file renamed away");
+        let leftover_tmp = fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"));
+        assert!(!leftover_tmp, "tmp files renamed away");
         dir.remove("x.json").unwrap();
         dir.remove("x.json").unwrap(); // idempotent
         assert!(!dir.exists("x.json"));

@@ -17,6 +17,11 @@
 //! * [`RunDirectory`] / [`RunRegistry`] — atomic JSON artifact storage for
 //!   checkpoint/resume: a run killed at any instant resumes from complete
 //!   round snapshots, bit-identical to an uninterrupted run.
+//! * [`WorkQueue`] / [`Lease`] / [`LeaseKeeper`] — lease files over the
+//!   registry turning it into a shared, crash-tolerant work queue: many
+//!   worker processes (or hosts over a shared filesystem) claim per-job
+//!   artifact directories exclusively, heartbeat while working, and take
+//!   over stale leases from dead peers by resuming their checkpoints.
 //!
 //! The crate is deliberately independent of the GA/core layers: it moves
 //! closures and serializable documents, so `clapton-ga` can expose
@@ -28,9 +33,14 @@ mod checkpoint;
 mod evaluator;
 mod pool;
 mod scheduler;
+mod workqueue;
 
 pub use cancel::{CancelToken, Interrupt};
 pub use checkpoint::{artifact_slug, RunDirectory, RunInfo, RunManifest, RunRegistry};
 pub use evaluator::PooledEvaluator;
 pub use pool::{PoolScope, WorkerPool};
 pub use scheduler::{EventKind, JobContext, JobScheduler, RunEvent, ScheduledJob};
+pub use workqueue::{
+    acquire, default_worker_id, lease_state, ClaimOutcome, Lease, LeaseClaim, LeaseKeeper,
+    LeaseState, WorkQueue, CLAIM_ARTIFACT, DEFAULT_LEASE_TTL,
+};

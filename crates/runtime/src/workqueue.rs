@@ -1,0 +1,669 @@
+//! The shared, crash-tolerant work queue over the run registry.
+//!
+//! Multiple worker *processes* (on one host or many, over a shared
+//! filesystem) cooperate on one [`RunRegistry`] by leasing per-job artifact
+//! directories. The directory is the unit of ownership; ownership is a
+//! `claim.json` lease file inside it:
+//!
+//! * **Claim** — the claimant serializes a [`LeaseClaim`] to a temporary
+//!   sibling and `hard_link`s it to `claim.json`. Link creation is atomic
+//!   and fails with `AlreadyExists` when a claim is present, so exactly one
+//!   of N racing claimants wins (plain rename would silently overwrite).
+//! * **Heartbeat** — the owner periodically rewrites the claim in place
+//!   (open-without-create, so a stolen claim is detected as `NotFound`),
+//!   which refreshes the file's mtime. Liveness is judged from mtime age.
+//! * **Expiry / steal** — a claim whose mtime is older than the lease TTL
+//!   belongs to a dead owner. A stealer renames `claim.json` to a private
+//!   temporary name — rename succeeds for exactly one of N racing stealers,
+//!   the rest observe `NotFound` and retry — then claims normally. The new
+//!   owner resumes the job from its last round checkpoint; because round
+//!   checkpoints are deterministic and byte-identical (PR 2/PR 5), even the
+//!   pathological "presumed-dead owner was merely slow" race only ever
+//!   produces identical artifact bytes.
+//! * **Release** — the owner removes `claim.json` (after verifying it still
+//!   owns it). A released lease is immediately reclaimable by anyone.
+//!
+//! TTL tuning: heartbeats run every `TTL / 4` (floor 25 ms), so a TTL must
+//! comfortably exceed worst-case heartbeat jitter on the shared filesystem.
+//! The 30 s default suits NFS-backed multi-host queues; single-host CI can
+//! drop to ~2 s for fast takeover tests.
+
+use crate::checkpoint::{artifact_slug, RunRegistry};
+use clapton_telemetry::metrics::{registry, Gauge};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{self, Read as _, Seek as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// File name of the lease inside a leased job directory.
+pub const CLAIM_ARTIFACT: &str = "claim.json";
+
+/// Default lease TTL — generous enough for NFS mtime propagation; override
+/// per queue for fast-takeover tests.
+pub const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(30);
+
+/// How many claim/steal rounds to attempt before conservatively reporting
+/// the lease as held (each round loses only to another live claimant, so in
+/// practice one or two rounds settle it).
+const CLAIM_ATTEMPTS: usize = 8;
+
+/// The serialized body of a `claim.json` lease file.
+///
+/// The *content* identifies the owner; *liveness* is carried by the file's
+/// mtime, refreshed on every heartbeat rewrite.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseClaim {
+    /// Owner identity (unique per worker process).
+    pub owner: String,
+    /// Wall-clock milliseconds when the lease was acquired.
+    pub acquired_unix_ms: u64,
+    /// Heartbeats written since acquisition.
+    pub heartbeats: u64,
+}
+
+/// Read-only view of a job directory's lease, as seen by an observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseState {
+    /// Owner recorded in the claim (`"<unreadable>"` for a claim caught
+    /// mid-rewrite).
+    pub owner: String,
+    /// Age of the last heartbeat (mtime), on the observer's clock.
+    pub heartbeat_age: Duration,
+    /// Whether the age exceeds the observer's TTL — i.e. the lease is
+    /// stealable.
+    pub stale: bool,
+}
+
+/// Outcome of a claim attempt.
+#[derive(Debug)]
+pub enum ClaimOutcome {
+    /// The lease was acquired (fresh, re-entrant, or via stale takeover).
+    Acquired(Lease),
+    /// A live owner holds the lease; `heartbeat_age` says how recently it
+    /// proved liveness.
+    Held {
+        /// The current owner.
+        owner: String,
+        /// Age of the owner's last heartbeat.
+        heartbeat_age: Duration,
+    },
+}
+
+/// Worker-labelled lease counters plus the shared queue-depth gauge.
+struct QueueMetrics {
+    depth: Arc<Gauge>,
+}
+
+fn queue_metrics() -> &'static QueueMetrics {
+    static METRICS: OnceLock<QueueMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| QueueMetrics {
+        depth: registry().gauge(
+            "clapton_workqueue_depth",
+            "Unfinished jobs observed in the shared work queue at the last scan",
+        ),
+    })
+}
+
+fn count_claim(owner: &str) {
+    registry()
+        .counter_with(
+            "clapton_workqueue_claims_total",
+            "Job-directory leases acquired, by worker",
+            &[("worker", owner)],
+        )
+        .inc();
+}
+
+fn count_steal(owner: &str) {
+    registry()
+        .counter_with(
+            "clapton_workqueue_steals_total",
+            "Stale leases taken over from dead owners, by stealing worker",
+            &[("worker", owner)],
+        )
+        .inc();
+}
+
+fn count_expired(owner: &str) {
+    registry()
+        .counter_with(
+            "clapton_workqueue_expired_total",
+            "Leases observed past their TTL, by observing worker",
+            &[("worker", owner)],
+        )
+        .inc();
+}
+
+fn count_released(owner: &str) {
+    registry()
+        .counter_with(
+            "clapton_workqueue_released_total",
+            "Leases released cleanly, by worker",
+            &[("worker", owner)],
+        )
+        .inc();
+}
+
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis() as u64
+}
+
+/// A stable identity for this worker process: `w<pid>-<hex nanos at first
+/// use>`. Pid alone is ambiguous across hosts sharing one queue directory;
+/// the timestamp component disambiguates without requiring configuration.
+pub fn default_worker_id() -> &'static str {
+    static ID: OnceLock<String> = OnceLock::new();
+    ID.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos() as u64;
+        format!("w{}-{:x}", std::process::id(), nanos & 0xffff_ffff)
+    })
+}
+
+/// Reads the claim beside `claim_path`, returning the parsed body (or a
+/// placeholder for a claim caught mid-rewrite) plus its mtime age.
+fn read_claim(claim_path: &Path) -> io::Result<Option<(LeaseClaim, Duration)>> {
+    let meta = match fs::metadata(claim_path) {
+        Ok(meta) => meta,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let age = meta
+        .modified()
+        .ok()
+        .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+        .unwrap_or(Duration::ZERO);
+    let text = match fs::read_to_string(claim_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let claim = serde_json::from_str(&text).unwrap_or(LeaseClaim {
+        owner: "<unreadable>".to_string(),
+        acquired_unix_ms: 0,
+        heartbeats: 0,
+    });
+    Ok(Some((claim, age)))
+}
+
+/// Writes a fresh claim to a private temporary sibling and tries to
+/// `hard_link` it into place. Returns `Ok(None)` when another claim already
+/// exists (lost the race).
+fn attempt_link(dir: &Path, claim_path: &Path, owner: &str) -> io::Result<Option<Lease>> {
+    let claim = LeaseClaim {
+        owner: owner.to_string(),
+        acquired_unix_ms: now_unix_ms(),
+        heartbeats: 0,
+    };
+    let json = serde_json::to_string_pretty(&claim)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = dir.join(format!("{CLAIM_ARTIFACT}.{}.tmp", artifact_slug(owner)));
+    fs::write(&tmp, json.as_bytes())?;
+    let linked = fs::hard_link(&tmp, claim_path);
+    let _ = fs::remove_file(&tmp);
+    match linked {
+        Ok(()) => Ok(Some(Lease {
+            dir: dir.to_path_buf(),
+            owner: owner.to_string(),
+            acquired_unix_ms: claim.acquired_unix_ms,
+            heartbeats: 0,
+        })),
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Observes the lease on job directory `dir` without touching it: `None`
+/// when unleased, otherwise the owner, heartbeat age, and whether `ttl`
+/// judges it stale.
+pub fn lease_state(dir: &Path, ttl: Duration) -> io::Result<Option<LeaseState>> {
+    Ok(
+        read_claim(&dir.join(CLAIM_ARTIFACT))?.map(|(claim, age)| LeaseState {
+            owner: claim.owner,
+            heartbeat_age: age,
+            stale: age > ttl,
+        }),
+    )
+}
+
+/// Tries to lease job directory `dir` for `owner`.
+///
+/// Exactly one of N racing distinct owners acquires; a claim already held
+/// by `owner` itself is re-entrant (layers of one process share the lease);
+/// a claim whose heartbeat is older than `ttl` is taken over.
+pub fn acquire(dir: &Path, owner: &str, ttl: Duration) -> io::Result<ClaimOutcome> {
+    let claim_path = dir.join(CLAIM_ARTIFACT);
+    let mut last_seen: Option<(String, Duration)> = None;
+    for _ in 0..CLAIM_ATTEMPTS {
+        match read_claim(&claim_path)? {
+            None => {
+                if let Some(lease) = attempt_link(dir, &claim_path, owner)? {
+                    count_claim(owner);
+                    return Ok(ClaimOutcome::Acquired(lease));
+                }
+                // Lost the creation race; re-read to see who won.
+            }
+            Some((claim, _)) if claim.owner == owner => {
+                // Re-entrant: adopt the existing claim and refresh its mtime.
+                let mut lease = Lease {
+                    dir: dir.to_path_buf(),
+                    owner: owner.to_string(),
+                    acquired_unix_ms: claim.acquired_unix_ms,
+                    heartbeats: claim.heartbeats,
+                };
+                lease.heartbeat()?;
+                return Ok(ClaimOutcome::Acquired(lease));
+            }
+            Some((_claim, age)) if age > ttl => {
+                count_expired(owner);
+                // Rename-away: exactly one of N racing stealers wins.
+                let stale_tmp = dir.join(format!(
+                    "{CLAIM_ARTIFACT}.stale.{}.tmp",
+                    artifact_slug(owner)
+                ));
+                match fs::rename(&claim_path, &stale_tmp) {
+                    Ok(()) => {
+                        let _ = fs::remove_file(&stale_tmp);
+                        count_steal(owner);
+                        // Claim the now-vacant slot on the next iteration.
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                        // Another stealer (or a release) got there first.
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Some((claim, age)) => {
+                return Ok(ClaimOutcome::Held {
+                    owner: claim.owner,
+                    heartbeat_age: age,
+                });
+            }
+        }
+        if let Some((claim, age)) = read_claim(&claim_path)? {
+            last_seen = Some((claim.owner, age));
+        }
+    }
+    // Every attempt lost a race to some *live* claimant — report held.
+    let (owner, heartbeat_age) =
+        last_seen.unwrap_or_else(|| ("<contended>".to_string(), Duration::ZERO));
+    Ok(ClaimOutcome::Held {
+        owner,
+        heartbeat_age,
+    })
+}
+
+/// An acquired lease on one job directory.
+///
+/// Dropping a `Lease` does **not** release it (the owner may legitimately
+/// outlive the handle, e.g. across a keeper thread handoff); call
+/// [`Lease::release`] — or hold it in a [`LeaseKeeper`], whose drop
+/// releases.
+#[derive(Debug)]
+pub struct Lease {
+    dir: PathBuf,
+    owner: String,
+    acquired_unix_ms: u64,
+    heartbeats: u64,
+}
+
+impl Lease {
+    /// The leased job directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The owner identity this lease was acquired with.
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+
+    /// Rewrites the claim in place, refreshing its mtime.
+    ///
+    /// Returns `Ok(false)` — without touching anything — when the lease has
+    /// been stolen (claim gone or owned by someone else): the caller no
+    /// longer owns the directory and must stop writing checkpoints into it.
+    pub fn heartbeat(&mut self) -> io::Result<bool> {
+        let claim_path = self.dir.join(CLAIM_ARTIFACT);
+        // Open without `create`: a stolen-and-removed claim surfaces as
+        // NotFound instead of silently resurrecting under our ownership.
+        let mut file = match fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&claim_path)
+        {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        match serde_json::from_str::<LeaseClaim>(&text) {
+            Ok(claim) if claim.owner == self.owner => {}
+            // Stolen (different owner) or caught mid-rewrite by a thief —
+            // either way the slot is no longer provably ours.
+            _ => return Ok(false),
+        }
+        self.heartbeats += 1;
+        let claim = LeaseClaim {
+            owner: self.owner.clone(),
+            acquired_unix_ms: self.acquired_unix_ms,
+            heartbeats: self.heartbeats,
+        };
+        let json = serde_json::to_string_pretty(&claim)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        file.seek(io::SeekFrom::Start(0))?;
+        file.set_len(0)?;
+        file.write_all(json.as_bytes())?;
+        file.flush()?;
+        Ok(true)
+    }
+
+    /// Removes the claim if this lease still owns it. Idempotent: releasing
+    /// a lease that was stolen (and possibly re-claimed by someone else)
+    /// leaves the thief's claim untouched.
+    pub fn release(self) -> io::Result<()> {
+        let claim_path = self.dir.join(CLAIM_ARTIFACT);
+        match read_claim(&claim_path)? {
+            Some((claim, _)) if claim.owner == self.owner => {
+                fs::remove_file(&claim_path)?;
+                count_released(&self.owner);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Background heartbeat thread keeping a [`Lease`] alive while its owner
+/// does long-running work.
+///
+/// Heartbeats run every `interval` (clamped to ≥ 25 ms). If a heartbeat
+/// discovers the lease stolen, [`LeaseKeeper::lost`] flips to `true` and
+/// heartbeating stops — long-running owners should poll it at checkpoint
+/// boundaries and stand down. Dropping the keeper stops the thread and
+/// releases the lease (best effort).
+#[derive(Debug)]
+pub struct LeaseKeeper {
+    lost: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<Lease>>,
+}
+
+impl LeaseKeeper {
+    /// Starts heartbeating `lease` every `interval`.
+    pub fn spawn(lease: Lease, interval: Duration) -> LeaseKeeper {
+        let interval = interval.max(Duration::from_millis(25));
+        let lost = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let lost = Arc::clone(&lost);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut lease = lease;
+                let tick = Duration::from_millis(10).min(interval);
+                let mut since_beat = Duration::ZERO;
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    since_beat += tick;
+                    if since_beat < interval {
+                        continue;
+                    }
+                    since_beat = Duration::ZERO;
+                    match lease.heartbeat() {
+                        Ok(true) => {}
+                        Ok(false) | Err(_) => {
+                            lost.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+                lease
+            })
+        };
+        LeaseKeeper {
+            lost,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Whether a heartbeat discovered the lease stolen out from under us.
+    pub fn lost(&self) -> bool {
+        self.lost.load(Ordering::Acquire)
+    }
+
+    /// Stops heartbeating and releases the lease (no-op if it was lost).
+    pub fn release(mut self) -> io::Result<()> {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            if let Ok(lease) = thread.join() {
+                if !self.lost() {
+                    lease.release()?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for LeaseKeeper {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// A lease-speaking view over a [`RunRegistry`]: the same directory tree,
+/// plus claim/heartbeat/release coordination for one named owner.
+#[derive(Debug, Clone)]
+pub struct WorkQueue {
+    registry: RunRegistry,
+    owner: String,
+    ttl: Duration,
+}
+
+impl WorkQueue {
+    /// Wraps `registry` for worker `owner` with lease TTL `ttl`.
+    pub fn new(registry: RunRegistry, owner: impl Into<String>, ttl: Duration) -> WorkQueue {
+        WorkQueue {
+            registry,
+            owner: owner.into(),
+            ttl,
+        }
+    }
+
+    /// The owner identity claims are made under.
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+
+    /// The staleness threshold for takeover.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &RunRegistry {
+        &self.registry
+    }
+
+    /// Every job directory in the queue, sorted by job id (directory name),
+    /// so scans are deterministic across hosts and filesystems.
+    pub fn enumerate(&self) -> io::Result<Vec<String>> {
+        self.registry.run_names()
+    }
+
+    /// Tries to claim job `job` (creating its directory if absent).
+    pub fn claim(&self, job: &str) -> io::Result<ClaimOutcome> {
+        let dir = self.registry.run(job)?;
+        acquire(dir.path(), &self.owner, self.ttl)
+    }
+
+    /// Observes job `job`'s lease without touching it.
+    pub fn lease_state(&self, job: &str) -> io::Result<Option<LeaseState>> {
+        lease_state(&self.registry.path().join(job), self.ttl)
+    }
+
+    /// Heartbeats job `job`'s claim if this queue's owner holds it; returns
+    /// whether the lease is still ours.
+    pub fn heartbeat(&self, job: &str) -> io::Result<bool> {
+        let dir = self.registry.path().join(job);
+        match read_claim(&dir.join(CLAIM_ARTIFACT))? {
+            Some((claim, _)) if claim.owner == self.owner => {
+                let mut lease = Lease {
+                    dir,
+                    owner: self.owner.clone(),
+                    acquired_unix_ms: claim.acquired_unix_ms,
+                    heartbeats: claim.heartbeats,
+                };
+                lease.heartbeat()
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Releases job `job`'s claim if this queue's owner holds it.
+    pub fn release(&self, job: &str) -> io::Result<()> {
+        let lease = Lease {
+            dir: self.registry.path().join(job),
+            owner: self.owner.clone(),
+            acquired_unix_ms: 0,
+            heartbeats: 0,
+        };
+        lease.release()
+    }
+
+    /// Publishes the number of unfinished jobs observed by the last scan to
+    /// the `clapton_workqueue_depth` gauge.
+    pub fn set_depth(&self, open_jobs: usize) {
+        queue_metrics().depth.set(open_jobs as f64);
+    }
+}
+
+impl RunRegistry {
+    /// A lease-speaking work-queue view of this registry for worker `owner`.
+    pub fn work_queue(&self, owner: impl Into<String>, ttl: Duration) -> WorkQueue {
+        WorkQueue::new(self.clone(), owner, ttl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "clapton-workqueue-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_reentrant() {
+        let dir = scratch("excl");
+        let ttl = Duration::from_secs(60);
+        let first = acquire(&dir, "alpha", ttl).unwrap();
+        let ClaimOutcome::Acquired(lease) = first else {
+            panic!("first claim must win");
+        };
+        match acquire(&dir, "beta", ttl).unwrap() {
+            ClaimOutcome::Held { owner, .. } => assert_eq!(owner, "alpha"),
+            ClaimOutcome::Acquired(_) => panic!("beta must not co-own"),
+        }
+        // Same owner re-enters.
+        let ClaimOutcome::Acquired(again) = acquire(&dir, "alpha", ttl).unwrap() else {
+            panic!("alpha re-claims its own lease");
+        };
+        drop(again);
+        lease.release().unwrap();
+        // Released → immediately reclaimable by anyone.
+        let ClaimOutcome::Acquired(stolen) = acquire(&dir, "beta", ttl).unwrap() else {
+            panic!("released lease must be reclaimable");
+        };
+        stolen.release().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lease_is_taken_over() {
+        let dir = scratch("stale");
+        let ttl = Duration::from_millis(80);
+        let ClaimOutcome::Acquired(dead) = acquire(&dir, "dead-worker", ttl).unwrap() else {
+            panic!("claim");
+        };
+        // No heartbeats: let the claim age past the TTL, then steal.
+        std::thread::sleep(Duration::from_millis(160));
+        let ClaimOutcome::Acquired(thief) = acquire(&dir, "thief", ttl).unwrap() else {
+            panic!("stale lease must be stealable");
+        };
+        assert_eq!(
+            lease_state(&dir, ttl).unwrap().unwrap().owner,
+            "thief",
+            "claim now records the thief"
+        );
+        // The dead owner's heartbeat must observe the theft, not resurrect.
+        let mut dead = dead;
+        assert!(!dead.heartbeat().unwrap());
+        thief.release().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heartbeat_refreshes_mtime() {
+        let dir = scratch("beat");
+        let ttl = Duration::from_millis(150);
+        let ClaimOutcome::Acquired(mut lease) = acquire(&dir, "alive", ttl).unwrap() else {
+            panic!("claim");
+        };
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(lease.heartbeat().unwrap());
+            match acquire(&dir, "vulture", ttl).unwrap() {
+                ClaimOutcome::Held { owner, .. } => assert_eq!(owner, "alive"),
+                ClaimOutcome::Acquired(_) => panic!("heartbeat must keep the lease alive"),
+            }
+        }
+        lease.release().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn work_queue_claims_over_registry() {
+        let root = scratch("wq");
+        let registry = RunRegistry::open(&root).unwrap();
+        let queue = registry.work_queue("w1", Duration::from_secs(60));
+        let ClaimOutcome::Acquired(lease) = queue.claim("job-a").unwrap() else {
+            panic!("claim");
+        };
+        let peer = registry.work_queue("w2", Duration::from_secs(60));
+        assert!(matches!(
+            peer.claim("job-a").unwrap(),
+            ClaimOutcome::Held { .. }
+        ));
+        let state = peer.lease_state("job-a").unwrap().unwrap();
+        assert_eq!(state.owner, "w1");
+        assert!(!state.stale);
+        assert!(queue.heartbeat("job-a").unwrap());
+        assert!(!peer.heartbeat("job-a").unwrap(), "non-owner cannot beat");
+        lease.release().unwrap();
+        assert!(queue.lease_state("job-a").unwrap().is_none());
+        assert_eq!(queue.enumerate().unwrap(), vec!["job-a".to_string()]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

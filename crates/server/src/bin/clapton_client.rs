@@ -7,7 +7,9 @@
 //!   status JOB_ID               one status snapshot
 //!   wait JOB_ID [SECS]          poll until terminal (default 600 s)
 //!   cancel JOB_ID               request cooperative cancellation
-//!   queue                       queue depth + per-tenant usage
+//!   queue                       queue depth, per-tenant usage, and
+//!                               per-job lease rows (owner, heartbeat
+//!                               age, rounds done)
 //!   events JOB_ID               stream events until the job ends
 //!   metrics [--raw]             scrape /metrics (table, or raw text)
 //!   trace JOB_ID                print a finished job's span tree

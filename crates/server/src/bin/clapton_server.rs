@@ -4,7 +4,7 @@
 //! clapton-server --root runs/server [--addr 127.0.0.1:8787] [--dispatchers 2]
 //!                [--pool-workers 2] [--queue-depth 256] [--rate 0] [--burst 64]
 //!                [--tenant-weight NAME=W]... [--drain-timeout 30]
-//!                [--port-file PATH]
+//!                [--lease-ttl 30] [--port-file PATH]
 //! ```
 //!
 //! SIGINT/SIGTERM begin a graceful drain: admissions stop (503), in-flight
@@ -45,7 +45,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: clapton-server --root DIR [--addr HOST:PORT] [--dispatchers N] \
          [--pool-workers N] [--queue-depth N] [--rate PER_SEC] [--burst N] \
-         [--tenant-weight NAME=W]... [--drain-timeout SECS] [--port-file PATH]"
+         [--tenant-weight NAME=W]... [--drain-timeout SECS] [--lease-ttl SECS] \
+         [--port-file PATH]"
     );
     std::process::exit(2);
 }
@@ -57,6 +58,7 @@ fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
     let mut pool_workers = 2usize;
     let mut admission = AdmissionConfig::default();
     let mut drain_timeout = Duration::from_secs(30);
+    let mut lease_ttl = clapton_runtime::DEFAULT_LEASE_TTL;
     let mut port_file = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -90,6 +92,9 @@ fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
                 drain_timeout =
                     Duration::from_secs(parse(&value("--drain-timeout"), "--drain-timeout"))
             }
+            "--lease-ttl" => {
+                lease_ttl = Duration::from_secs(parse(&value("--lease-ttl"), "--lease-ttl"))
+            }
             "--port-file" => port_file = Some(std::path::PathBuf::from(value("--port-file"))),
             "--help" | "-h" => usage(),
             other => {
@@ -110,6 +115,7 @@ fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
             pool_workers,
             admission,
             drain_timeout,
+            lease_ttl,
         },
         port_file,
     )

@@ -17,7 +17,7 @@ use crate::http::{self, EventStream, ReadOutcome};
 use clapton_error::ClaptonError;
 use clapton_runtime::{CancelToken, WorkerPool};
 use clapton_service::{
-    AdmittedJob, ClaptonService, JobArtifactState, JobSpec, Report, TerminalState,
+    AdmittedJob, ClaptonService, JobArtifactState, JobLeaseView, JobSpec, Report, TerminalState,
     TELEMETRY_ARTIFACT,
 };
 use clapton_telemetry::SpanNode;
@@ -49,6 +49,11 @@ pub struct ServerConfig {
     /// How long [`ServerHandle::drain`] lets in-flight jobs run to
     /// completion before suspending them at their next round boundary.
     pub drain_timeout: Duration,
+    /// Work-queue lease TTL: how long an unheartbeated `claim.json` on a
+    /// job's artifact directory stays authoritative before a peer (or the
+    /// next server life) may take the job over. Every process sharing the
+    /// artifact root should agree on this value.
+    pub lease_ttl: Duration,
 }
 
 impl ServerConfig {
@@ -61,6 +66,7 @@ impl ServerConfig {
             pool_workers: 2,
             admission: AdmissionConfig::default(),
             drain_timeout: Duration::from_secs(5),
+            lease_ttl: clapton_runtime::DEFAULT_LEASE_TTL,
         }
     }
 }
@@ -136,6 +142,24 @@ pub struct TenantBody {
     pub completed: u64,
 }
 
+/// One job's row in the [`QueueBody`]: queue state plus whatever lease the
+/// work-queue protocol currently records on its artifact directory (the
+/// owner may be this server, a `suite-runner` shard worker, or a peer
+/// server sharing the artifact root).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobQueueRow {
+    /// Server-assigned job id.
+    pub id: String,
+    /// Job display name.
+    pub name: String,
+    /// `queued`, `running`, `cancelling`, `suspended`, `done`, `cancelled`,
+    /// or `failed`.
+    pub state: String,
+    /// Lease owner, heartbeat age, staleness, and completed rounds read
+    /// from the job's artifact directory.
+    pub lease: JobLeaseView,
+}
+
 /// The JSON body of `GET /v1/queue`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueueBody {
@@ -155,6 +179,8 @@ pub struct QueueBody {
     pub saturation: f64,
     /// Per-tenant usage, sorted by tenant name.
     pub tenants: Vec<TenantBody>,
+    /// Per-job state and lease rows, sorted by job id.
+    pub jobs: Vec<JobQueueRow>,
 }
 
 /// What [`ServerHandle::drain`] left behind.
@@ -213,6 +239,18 @@ impl JobEntry {
         }
     }
 
+    fn state_label(&self) -> &'static str {
+        match &*self.state.lock().expect("job state") {
+            JobState::Queued => "queued",
+            JobState::Running if self.cancel.is_cancelled() => "cancelling",
+            JobState::Running => "running",
+            JobState::Suspended(_) => "suspended",
+            JobState::Done(_) => "done",
+            JobState::Cancelled(_) => "cancelled",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
     fn is_terminal(&self) -> bool {
         matches!(
             &*self.state.lock().expect("job state"),
@@ -251,6 +289,20 @@ fn count_rejected(tenant: &str, reason: &str) {
             "clapton_jobs_rejected_total",
             "Submissions refused at admission, by tenant and reason.",
             &[("tenant", tenant), ("reason", reason)],
+        )
+        .inc();
+}
+
+/// Bumps `clapton_jobs_recovery_leased_defers_total{owner}` when the
+/// startup recovery scan finds a queue record whose artifact lease is
+/// held by a peer: the job re-registers under its original id, but
+/// dispatch defers until the lease is released or goes stale.
+fn count_recovery_leased_defer(owner: &str) {
+    clapton_telemetry::registry()
+        .counter_with(
+            "clapton_jobs_recovery_leased_defers_total",
+            "Queue records found peer-leased at recovery; dispatch deferred.",
+            &[("owner", owner)],
         )
         .inc();
 }
@@ -316,8 +368,9 @@ impl Server {
     /// binding failures.
     pub fn bind(config: ServerConfig) -> Result<Server, ClaptonError> {
         let pool = Arc::new(WorkerPool::with_workers(config.pool_workers.max(1)));
-        let service =
-            ClaptonService::with_pool(pool).with_artifacts(config.root.join("artifacts"))?;
+        let service = ClaptonService::with_pool(pool)
+            .with_lease_ttl(config.lease_ttl)
+            .with_artifacts(config.root.join("artifacts"))?;
         let queue_dir = config.root.join("queue");
         std::fs::create_dir_all(&queue_dir).map_err(ClaptonError::Io)?;
         let listener = TcpListener::bind(&config.addr).map_err(ClaptonError::Io)?;
@@ -484,6 +537,16 @@ impl ServerInner {
         for record in records {
             self.seq.fetch_max(record.seq, Ordering::SeqCst);
             let admitted = self.service.admit(record.spec.clone())?;
+            // A peer's lease on this job's artifacts (another server, a
+            // suite-runner shard worker, or a SIGKILL'd previous life whose
+            // claim has not yet gone stale) must not stop the job from
+            // re-registering under its original id — clients keep polling
+            // it. Execution still waits its turn: the dispatcher's `Leased`
+            // arm keeps the job queued until the lease is released or
+            // expires, so this life never races the peer's artifact writes.
+            if let Some(owner) = self.service.leased_by_peer(&admitted)? {
+                count_recovery_leased_defer(&owner);
+            }
             let state = match self.service.inspect(&admitted)? {
                 JobArtifactState::Done(report) => JobState::Done(report),
                 JobArtifactState::Cancelled { rounds } => JobState::Cancelled(rounds),
@@ -594,6 +657,16 @@ impl ServerInner {
                         self.queue.readmit(&tenant, id);
                     }
                 }
+                Err(ClaptonError::Leased { .. }) => {
+                    // A live peer beat this dispatcher to the job's lease.
+                    // The artifacts are untouched; put the job back in line
+                    // and let a later dispatch find the lease released (or
+                    // the job finished by the peer). The brief sleep keeps a
+                    // single-job queue from spinning against a held lease.
+                    *entry.state.lock().expect("job state") = JobState::Queued;
+                    self.queue.readmit(&tenant, id);
+                    std::thread::sleep(Duration::from_millis(50));
+                }
                 Err(other) => {
                     let detail = other.to_string();
                     let _ = self.service.mark_failed(&entry.admitted, &detail);
@@ -630,6 +703,19 @@ impl ServerInner {
         let stats = self.queue.stats();
         let running = self.running.load(Ordering::SeqCst);
         let dispatchers = self.config.dispatchers;
+        let mut jobs: Vec<JobQueueRow> = {
+            let registry = self.registry.lock().expect("job registry");
+            registry.jobs.values().cloned().collect::<Vec<_>>()
+        }
+        .into_iter()
+        .map(|entry| JobQueueRow {
+            id: entry.id.clone(),
+            name: entry.name.clone(),
+            state: entry.state_label().to_string(),
+            lease: self.service.lease_view(&entry.admitted).unwrap_or_default(),
+        })
+        .collect();
+        jobs.sort_by(|a, b| a.id.cmp(&b.id));
         QueueBody {
             depth: stats.depth,
             capacity: stats.capacity,
@@ -653,6 +739,7 @@ impl ServerInner {
                     completed: t.completed,
                 })
                 .collect(),
+            jobs,
         }
     }
 

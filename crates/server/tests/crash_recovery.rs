@@ -65,6 +65,11 @@ fn spawn_server(root: &Path, port_file: &Path) -> Child {
             "2",
             "--drain-timeout",
             "0",
+            // Short lease TTL: a SIGKILL'd life cannot release its claim,
+            // so the restarted server must wait out the TTL before taking
+            // the job over — keep that wait to seconds, not the default 30.
+            "--lease-ttl",
+            "2",
             "--port-file",
             port_file.to_str().unwrap(),
         ])

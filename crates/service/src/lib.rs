@@ -38,7 +38,8 @@ mod spec;
 pub use clapton_error::{ClaptonError, SpecError};
 pub use report::Report;
 pub use service::{
-    AdmittedJob, ClaptonService, JobArtifactState, JobHandle, TerminalState, TELEMETRY_ARTIFACT,
+    AdmittedJob, ClaptonService, JobArtifactState, JobHandle, JobLeaseView, TerminalState,
+    TELEMETRY_ARTIFACT,
 };
 pub use spec::{
     BackendSpec, EngineSpec, ExplicitNoise, JobSpec, MethodSpec, NamedBackend, NoiseSpec,

@@ -7,8 +7,8 @@ use clapton_error::{ClaptonError, SpecError};
 use clapton_ga::EngineState;
 use clapton_pauli::PauliSum;
 use clapton_runtime::{
-    artifact_slug, CancelToken, EventKind, Interrupt, JobContext, JobScheduler, RunDirectory,
-    RunEvent, RunManifest, RunRegistry, ScheduledJob, WorkerPool,
+    artifact_slug, CancelToken, ClaimOutcome, EventKind, Interrupt, JobContext, JobScheduler,
+    LeaseKeeper, RunDirectory, RunEvent, RunManifest, RunRegistry, ScheduledJob, WorkerPool,
 };
 use clapton_sim::{ground_energy, DeviceEvaluator};
 use clapton_vqe::{run_vqe, VqeConfig};
@@ -18,6 +18,7 @@ use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Artifact names inside a job's run directory.
 const SPEC_ARTIFACT: &str = "spec.json";
@@ -80,6 +81,16 @@ fn job_slug(job: &ResolvedJob) -> String {
 pub struct ClaptonService {
     pool: Arc<WorkerPool>,
     artifacts: Option<RunRegistry>,
+    worker_id: String,
+    lease_ttl: Duration,
+}
+
+/// The lease parameters an execution path claims job directories with —
+/// cloned out of the service so job closures can outlive `&self`.
+#[derive(Debug, Clone)]
+pub(crate) struct LeasePolicy {
+    owner: String,
+    ttl: Duration,
 }
 
 impl Default for ClaptonService {
@@ -100,6 +111,35 @@ impl ClaptonService {
         ClaptonService {
             pool,
             artifacts: None,
+            worker_id: clapton_runtime::default_worker_id().to_string(),
+            lease_ttl: clapton_runtime::DEFAULT_LEASE_TTL,
+        }
+    }
+
+    /// Overrides the worker identity this service claims job directories
+    /// under (default: a per-process id). All services in one process should
+    /// share an identity so their leases are re-entrant with each other.
+    pub fn with_worker_id(mut self, worker_id: impl Into<String>) -> ClaptonService {
+        self.worker_id = worker_id.into();
+        self
+    }
+
+    /// Overrides the lease TTL (default 30 s): how stale a peer's heartbeat
+    /// must be before this service takes its job over.
+    pub fn with_lease_ttl(mut self, ttl: Duration) -> ClaptonService {
+        self.lease_ttl = ttl;
+        self
+    }
+
+    /// The worker identity this service claims job directories under.
+    pub fn worker_id(&self) -> &str {
+        &self.worker_id
+    }
+
+    fn lease_policy(&self) -> LeasePolicy {
+        LeasePolicy {
+            owner: self.worker_id.clone(),
+            ttl: self.lease_ttl,
         }
     }
 
@@ -153,6 +193,7 @@ impl ClaptonService {
         let cancel = CancelToken::new();
         let job_cancel = cancel.clone();
         let pool = Arc::clone(&self.pool);
+        let lease = self.lease_policy();
         let (event_tx, event_rx) = mpsc::channel();
         let (result_tx, result_rx) = mpsc::channel();
         let thread = std::thread::spawn(move || {
@@ -160,7 +201,7 @@ impl ClaptonService {
             let jobs = vec![ScheduledJob::with_cancel(
                 job.name.clone(),
                 job_cancel,
-                |ctx: &JobContext| execute(&job, ctx, dir.as_ref()),
+                |ctx: &JobContext| execute(&job, ctx, dir.as_ref(), &lease),
             )];
             let (mut results, panic) = scheduler.try_run_all(jobs, Some(event_tx));
             let result = results.pop().flatten().unwrap_or_else(|| {
@@ -213,11 +254,12 @@ impl ClaptonService {
         cancel: CancelToken,
     ) -> Result<Report, ClaptonError> {
         let AdmittedJob { job, dir } = admitted;
+        let lease = self.lease_policy();
         let scheduler = JobScheduler::new(Arc::clone(&self.pool));
         let jobs = vec![ScheduledJob::with_cancel(
             job.name.clone(),
             cancel,
-            |ctx: &JobContext| execute(job, ctx, dir.as_ref()),
+            |ctx: &JobContext| execute(job, ctx, dir.as_ref(), &lease),
         )];
         let (mut results, panic) = scheduler.try_run_all(jobs, events);
         match results.pop().flatten() {
@@ -282,6 +324,50 @@ impl ClaptonService {
         Ok(())
     }
 
+    /// What the shared work queue knows about an admitted job: who (if
+    /// anyone) holds its lease, how fresh their heartbeat is, and how many
+    /// GA rounds are already banked — the operator-facing status surfaced
+    /// by `clapton-client queue` and `suite-runner --status`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaptonError::Io`] when the claim or checkpoint cannot be read.
+    pub fn lease_view(&self, admitted: &AdmittedJob) -> Result<JobLeaseView, ClaptonError> {
+        let Some(dir) = &admitted.dir else {
+            return Ok(JobLeaseView::default());
+        };
+        let lease = clapton_runtime::lease_state(dir.path(), self.lease_ttl)?;
+        let rounds = match dir.read_json::<EngineState>(CHECKPOINT_ARTIFACT)? {
+            Some(state) => Some(state.rounds()),
+            None => dir
+                .read_json::<Report>(REPORT_ARTIFACT)?
+                .and_then(|report| report.clapton.map(|c| c.rounds)),
+        };
+        Ok(JobLeaseView {
+            owner: lease.as_ref().map(|s| s.owner.clone()),
+            heartbeat_age_ms: lease.as_ref().map(|s| s.heartbeat_age.as_millis() as u64),
+            stale: lease.as_ref().map(|s| s.stale),
+            rounds,
+        })
+    }
+
+    /// The live peer (a *different* worker with a fresh heartbeat) currently
+    /// leasing the job's directory, if any — the check a crash-recovery scan
+    /// makes before re-admitting persisted work: a job leased by a live peer
+    /// is that peer's to finish.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaptonError::Io`] when the claim cannot be read.
+    pub fn leased_by_peer(&self, admitted: &AdmittedJob) -> Result<Option<String>, ClaptonError> {
+        let Some(dir) = &admitted.dir else {
+            return Ok(None);
+        };
+        Ok(clapton_runtime::lease_state(dir.path(), self.lease_ttl)?
+            .filter(|state| !state.stale && state.owner != self.worker_id)
+            .map(|state| state.owner))
+    }
+
     /// Validates and runs a batch of jobs concurrently on the shared pool
     /// with fair interleaving, streaming progress to `events`.
     ///
@@ -327,12 +413,14 @@ impl ClaptonService {
             .map(|job| self.prepare_dir(job))
             .collect::<Result<Vec<Option<RunDirectory>>, ClaptonError>>()?;
         let scheduler = JobScheduler::new(Arc::clone(&self.pool));
+        let lease = self.lease_policy();
         let scheduled: Vec<ScheduledJob<'_, Result<Report, ClaptonError>>> = jobs
             .iter()
             .zip(&dirs)
             .map(|(job, dir)| {
+                let lease = &lease;
                 ScheduledJob::new(job.name.clone(), move |ctx: &JobContext| {
-                    execute(job, ctx, dir.as_ref())
+                    execute(job, ctx, dir.as_ref(), lease)
                 })
             })
             .collect();
@@ -414,6 +502,20 @@ impl AdmittedJob {
     pub fn artifact_dir(&self) -> Option<&std::path::Path> {
         self.dir.as_ref().map(RunDirectory::path)
     }
+}
+
+/// Per-job lease status for operators (see [`ClaptonService::lease_view`]):
+/// all fields `None` for an unleased job without banked rounds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobLeaseView {
+    /// Worker currently holding the job's lease.
+    pub owner: Option<String>,
+    /// Milliseconds since the holder's last heartbeat.
+    pub heartbeat_age_ms: Option<u64>,
+    /// Whether the holder's heartbeat is older than the lease TTL.
+    pub stale: Option<bool>,
+    /// GA rounds banked in the job's checkpoint (or final report).
+    pub rounds: Option<usize>,
 }
 
 /// What a job's persisted artifacts say about it (see
@@ -523,12 +625,34 @@ pub(crate) fn execute(
     job: &ResolvedJob,
     ctx: &JobContext,
     dir: Option<&RunDirectory>,
+    lease: &LeasePolicy,
 ) -> Result<Report, ClaptonError> {
+    // The job directory is the unit of ownership in the shared work queue:
+    // claim it before reading or writing anything inside, so concurrent
+    // services (other processes, other hosts) on one registry can never
+    // interleave artifact writes. Single-process behavior is unchanged —
+    // the claim is always uncontended there.
+    let keeper = match dir {
+        Some(dir) => match clapton_runtime::acquire(dir.path(), &lease.owner, lease.ttl)? {
+            ClaimOutcome::Acquired(held) => Some(LeaseKeeper::spawn(held, lease.ttl / 4)),
+            ClaimOutcome::Held {
+                owner,
+                heartbeat_age,
+            } => {
+                return Err(ClaptonError::Leased {
+                    run: dir.path().display().to_string(),
+                    owner,
+                    heartbeat_age_ms: heartbeat_age.as_millis() as u64,
+                })
+            }
+        },
+        None => None,
+    };
     let trace = clapton_telemetry::Trace::begin();
     let result = {
         let _trace_ctx = clapton_telemetry::push_context(trace.context());
         let _job_span = clapton_telemetry::span("job");
-        execute_inner(job, ctx, dir)
+        execute_inner(job, ctx, dir, keeper.as_ref())
     };
     let records = trace.finish();
     if let Some(dir) = dir {
@@ -541,6 +665,9 @@ pub(crate) fn execute(
             let _ = dir.write_text(TELEMETRY_ARTIFACT, &clapton_telemetry::to_jsonl(&records));
         }
     }
+    if let Some(keeper) = keeper {
+        let _ = keeper.release();
+    }
     result
 }
 
@@ -550,6 +677,7 @@ fn execute_inner(
     job: &ResolvedJob,
     ctx: &JobContext,
     dir: Option<&RunDirectory>,
+    keeper: Option<&LeaseKeeper>,
 ) -> Result<Report, ClaptonError> {
     if let Some(dir) = dir {
         if let Some(report) = dir.read_json::<Report>(REPORT_ARTIFACT)? {
@@ -632,6 +760,13 @@ fn execute_inner(
                     }
                     Interrupt::Suspend => return false,
                     Interrupt::None => {}
+                }
+                // A peer judged us dead and stole the lease: stop writing
+                // into a directory we no longer own. The round checkpoint
+                // just written is byte-identical to what the thief resumes
+                // from, so standing down loses nothing.
+                if keeper.is_some_and(LeaseKeeper::lost) {
+                    return false;
                 }
                 match &mut remaining {
                     Some(r) => {
