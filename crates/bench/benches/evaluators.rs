@@ -318,6 +318,46 @@ fn emit_telemetry_overhead(_c: &mut Criterion) {
     }
 }
 
+/// Measures the cost of a *disarmed* failpoint on the exact evaluator
+/// kernel (the issue budgets <1%): the instrumented contender pays one
+/// `failpoint::check` — a single relaxed atomic load when no schedule is
+/// installed — per energy call. ABBA-interleaved, like every head-to-head
+/// row, so clock drift cannot manufacture an overhead.
+fn emit_failpoint_overhead(_c: &mut Criterion) {
+    use clapton_runtime::failpoint;
+    let n = 20;
+    let h = ising(n, 0.25);
+    let nc = noisy_zero_circuit(n);
+    let eval = ExactEvaluator::new(&nc);
+    assert!(
+        !failpoint::armed(),
+        "benches must run with no fault schedule"
+    );
+    const REPS: usize = 20;
+    let mut run_probed = || {
+        for _ in 0..REPS {
+            failpoint::check("bench.probe").expect("disarmed probe never fires");
+            black_box(eval.energy(black_box(&h)));
+        }
+    };
+    let mut run_plain = || {
+        for _ in 0..REPS {
+            black_box(eval.energy(black_box(&h)));
+        }
+    };
+    let (probed_samples, plain_samples) =
+        counterbalanced_samples(12, &mut run_probed, &mut run_plain);
+    let (probed, plain) = (median(probed_samples), median(plain_samples));
+    let overhead_pct = (probed as f64 - plain as f64) / plain.max(1) as f64 * 100.0;
+    println!(
+        "failpoint_overhead/ln_exact: {overhead_pct:+.2}% \
+         (probed {probed} ns / plain {plain} ns, budget <1%)"
+    );
+    criterion::append_line(&format!(
+        "{{\"group\":\"failpoint_overhead\",\"id\":\"ln_exact\",\"probed_ns\":{probed},\"plain_ns\":{plain},\"overhead_pct\":{overhead_pct:.2}}}"
+    ));
+}
+
 fn bench_dense_hamiltonian(c: &mut Criterion) {
     // Chemistry-scale term counts: the ten-qubit XXZ (27 terms) vs a
     // hundreds-of-terms surrogate workload via repeated evaluation.
@@ -435,6 +475,6 @@ criterion_group! {
     targets = bench_exact_energy, bench_exact_batched, emit_exact_speedup,
         bench_sampled_energy, bench_sampled_energy_scalar,
         emit_sampled_speedup, bench_dense_hamiltonian, bench_population_batch,
-        emit_telemetry_overhead
+        emit_telemetry_overhead, emit_failpoint_overhead
 }
 criterion_main!(benches);

@@ -58,7 +58,7 @@ fn run_fleet(specs: &[JobSpec], workers: usize, tag: &str) -> u128 {
                     worker_id: Some(format!("bench-{i}")),
                     lease_ttl: Duration::from_secs(30),
                     poll: Duration::from_millis(5),
-                    halt_after_rounds: None,
+                    ..ShardWorkerConfig::default()
                 };
                 run_shard_worker(&root, Arc::new(WorkerPool::with_workers(1)), None, &config)
                     .unwrap()

@@ -14,7 +14,7 @@
 //!              [--pool-workers N] [--quiet] [--list]
 //!              [--specs FILE] [--emit-specs FILE]
 //!              [--workers N] [--join DIR] [--status] [--merge]
-//!              [--lease-ttl SECS] [--worker-id ID]
+//!              [--lease-ttl SECS] [--worker-id ID] [--chaos-seed N]
 //! ```
 //!
 //! Three execution shapes:
@@ -38,12 +38,17 @@
 //!   per-job reports into `suite_manifest.json`, ordered by job id and
 //!   byte-identical to a single-worker run. `--status` prints who holds
 //!   what; `--merge` re-folds the manifest without running anything.
+//!   `--chaos-seed N` arms each worker child with a seeded fault schedule
+//!   (torn writes, failed renames, lost claims, dropped heartbeats, even a
+//!   process abort) via `CLAPTON_FAILPOINTS`; the merged manifest must
+//!   still come out byte-identical — that is the CI `chaos-smoke` check.
 //!
 //! See `docs/DISTRIBUTED.md` for the queue layout and lease protocol.
 
 use clapton_bench::{
-    merge_shards, read_queue, run_shard_worker, run_spec_suite, run_suite, shard_status,
-    write_queue, Options, ShardWorkerConfig, SuiteConfig, SuiteOutcome,
+    chaos_schedule, merge_shards, read_queue, run_shard_worker, run_spec_suite, run_suite,
+    schedule_spec, shard_status, write_queue, Options, ShardWorkerConfig, SuiteConfig,
+    SuiteOutcome,
 };
 use clapton_error::ClaptonError;
 use clapton_runtime::{EventKind, RunEvent, RunRegistry, WorkerPool};
@@ -95,6 +100,8 @@ struct Args {
     merge: bool,
     lease_ttl: Duration,
     worker_id: Option<String>,
+    /// Arm each shard worker child with the fault schedule for this seed.
+    chaos_seed: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -117,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
         merge: false,
         lease_ttl: clapton_runtime::DEFAULT_LEASE_TTL,
         worker_id: None,
+        chaos_seed: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -178,6 +186,13 @@ fn parse_args() -> Result<Args, String> {
                 args.lease_ttl = Duration::from_secs_f64(secs);
             }
             "--worker-id" => args.worker_id = Some(value(&mut i, "--worker-id")?),
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    value(&mut i, "--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?,
+                );
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other} (see the module docs for usage)"
@@ -188,6 +203,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.workers == Some(0) {
         return Err("--workers needs at least 1 worker process".to_string());
+    }
+    if args.chaos_seed.is_some() && args.workers.is_none() {
+        return Err(
+            "--chaos-seed needs --workers (faults are injected into worker children, \
+                    never this process)"
+                .to_string(),
+        );
     }
     Ok(args)
 }
@@ -240,6 +262,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Arms this process when a chaos parent handed us a schedule (worker
+    // children of `--chaos-seed` see it via CLAPTON_FAILPOINTS).
+    if let Err(e) = clapton_runtime::failpoint::configure_from_env() {
+        eprintln!("suite-runner: bad CLAPTON_FAILPOINTS: {e}");
+        return ExitCode::from(2);
+    }
     let config = SuiteConfig {
         options: args.options,
         qubits: args.qubits,
@@ -400,6 +428,17 @@ fn shard_parent_mode(dir: &Path, workers: usize, args: &Args, config: &SuiteConf
         if args.quiet {
             command.arg("--quiet");
         }
+        if let Some(seed) = args.chaos_seed {
+            // Each child gets its own schedule (seed + index), aborts
+            // allowed: a dead child's lease goes stale and a peer (or the
+            // parent's inline sweep) resumes from the checkpoint. This
+            // process stays unarmed — the merge must not be perturbed.
+            let rules = chaos_schedule(seed.wrapping_add(index as u64), true);
+            command.env(
+                clapton_runtime::failpoint::FAILPOINTS_ENV,
+                schedule_spec(&rules),
+            );
+        }
         match command.spawn() {
             Ok(child) => children.push((index, child)),
             Err(e) => {
@@ -485,6 +524,14 @@ fn join_mode(dir: &Path, args: &Args) -> ExitCode {
         worker_id: args.worker_id.clone(),
         lease_ttl: args.lease_ttl,
         halt_after_rounds: args.halt_after_rounds,
+        // Under an armed fault schedule a job may error far more than the
+        // usual attempt cap without being broken; injected faults are
+        // finite, so retrying forever still converges.
+        max_job_attempts: if clapton_runtime::failpoint::armed() {
+            usize::MAX
+        } else {
+            ShardWorkerConfig::default().max_job_attempts
+        },
         ..ShardWorkerConfig::default()
     };
     let pool = Arc::new(WorkerPool::with_workers(args.pool_workers));

@@ -14,9 +14,11 @@
 //! All binaries accept `--quick` (reduced hyper-parameters; the default is a
 //! middle ground) and `--full` (paper-scale settings), plus `--seed <u64>`.
 
+pub mod chaos;
 pub mod shard;
 pub mod suite_run;
 
+pub use chaos::{chaos_schedule, run_chaos_suite, schedule_spec, ChaosOutcome};
 pub use shard::{
     merge_shards, read_queue, run_shard_worker, shard_status, write_queue, MergedJob,
     MergedManifest, ShardJobOutcome, ShardOutcome, ShardStatusRow, ShardWorkerConfig,

@@ -15,10 +15,10 @@
 //! which worker ran what, how often workers died, or how many there were.
 
 use clapton_error::ClaptonError;
-use clapton_runtime::{CancelToken, RunDirectory, RunEvent, RunRegistry, WorkerPool};
+use clapton_runtime::{Artifact, CancelToken, RunDirectory, RunEvent, RunRegistry, WorkerPool};
 use clapton_service::{ClaptonService, JobArtifactState, JobSpec, Report};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
@@ -46,16 +46,26 @@ pub fn write_queue(root: &Path, specs: &[JobSpec]) -> Result<(), ClaptonError> {
 ///
 /// # Errors
 ///
-/// [`ClaptonError::Io`] when the file is missing or malformed.
+/// [`ClaptonError::Parse`] when the file is missing,
+/// [`ClaptonError::CorruptArtifact`] when it exists but fails integrity
+/// verification (the corrupt bytes are quarantined; rewrite the queue with
+/// [`write_queue`] to recover — per-job artifacts are untouched), and
+/// [`ClaptonError::Io`] for real I/O failures.
 pub fn read_queue(root: &Path) -> Result<Vec<JobSpec>, ClaptonError> {
     let dir = RunDirectory::create(root)?;
-    dir.read_json::<Vec<JobSpec>>(QUEUE_ARTIFACT)?
-        .ok_or_else(|| ClaptonError::Parse {
+    match dir.load::<Vec<JobSpec>>(QUEUE_ARTIFACT)? {
+        Artifact::Valid(specs) => Ok(specs),
+        Artifact::Missing => Err(ClaptonError::Parse {
             what: format!("{}/{QUEUE_ARTIFACT}", root.display()),
             detail: "no queue.json — this directory is not a shard run (create one with \
                          suite-runner --workers N, or write the spec list yourself)"
                 .to_string(),
-        })
+        }),
+        Artifact::Corrupt { quarantined_to, .. } => Err(ClaptonError::CorruptArtifact {
+            artifact: format!("{}/{QUEUE_ARTIFACT}", root.display()),
+            quarantined_to,
+        }),
+    }
 }
 
 /// How one shard worker behaves (see [`run_shard_worker`]).
@@ -74,6 +84,12 @@ pub struct ShardWorkerConfig {
     /// `--halt-after-rounds` semantics); suspended jobs are not re-entered
     /// within the same invocation.
     pub halt_after_rounds: Option<u64>,
+    /// How many times this worker re-attempts a job whose execution failed
+    /// before persisting a terminal `failed` state. Transient faults —
+    /// injected failpoint errors, a quarantined-then-recovered artifact, a
+    /// flaky shared filesystem — cost a retry from the last checkpoint, not
+    /// the job.
+    pub max_job_attempts: usize,
 }
 
 impl Default for ShardWorkerConfig {
@@ -83,6 +99,7 @@ impl Default for ShardWorkerConfig {
             lease_ttl: clapton_runtime::DEFAULT_LEASE_TTL,
             poll: Duration::from_millis(100),
             halt_after_rounds: None,
+            max_job_attempts: 3,
         }
     }
 }
@@ -151,6 +168,7 @@ pub fn run_shard_worker(
     }
     let queue = RunRegistry::open(root)?.work_queue(service.worker_id(), config.lease_ttl);
     let mut suspended_here: HashSet<String> = HashSet::new();
+    let mut attempts: HashMap<String, usize> = HashMap::new();
     loop {
         let mut pending = 0usize;
         let mut open = 0usize;
@@ -183,7 +201,14 @@ pub fn run_shard_worker(
                 // and acquisition — their job now.
                 Err(ClaptonError::Leased { .. }) => {}
                 Err(e) => {
-                    service.mark_failed(&admitted, &e.to_string())?;
+                    // Execution failures are presumed transient until the
+                    // attempt budget is spent: the next sweep resumes from
+                    // the job's last valid checkpoint.
+                    let tried = attempts.entry(name).or_insert(0);
+                    *tried += 1;
+                    if *tried >= config.max_job_attempts {
+                        service.mark_failed(&admitted, &e.to_string())?;
+                    }
                     progressed = true;
                 }
             }

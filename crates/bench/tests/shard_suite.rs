@@ -41,7 +41,7 @@ fn worker_config(id: &str, ttl: Duration) -> ShardWorkerConfig {
         worker_id: Some(id.to_string()),
         lease_ttl: ttl,
         poll: Duration::from_millis(20),
-        halt_after_rounds: None,
+        ..ShardWorkerConfig::default()
     }
 }
 

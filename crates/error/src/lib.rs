@@ -161,6 +161,16 @@ pub enum ClaptonError {
         /// The contested run directory.
         run: String,
     },
+    /// An artifact file failed integrity verification (torn write, bit
+    /// rot) and was quarantined — renamed to `<name>.corrupt-<ts>` so the
+    /// slot can be rewritten. Recovery normally falls back to the previous
+    /// round checkpoint; this error surfaces only when no fallback exists.
+    CorruptArtifact {
+        /// Name of the artifact that failed verification.
+        artifact: String,
+        /// File name the corrupt bytes were quarantined under.
+        quarantined_to: String,
+    },
     /// The job's artifact directory is leased by another live worker (a
     /// peer process sharing the run registry); retry after its lease is
     /// released or expires.
@@ -196,6 +206,14 @@ impl fmt::Display for ClaptonError {
                 f,
                 "run directory {run} was created from a different spec; refusing to mix \
                  artifacts (submit under a different name or seed)"
+            ),
+            ClaptonError::CorruptArtifact {
+                artifact,
+                quarantined_to,
+            } => write!(
+                f,
+                "artifact {artifact} failed integrity verification and was \
+                 quarantined as {quarantined_to}; no valid fallback was available"
             ),
             ClaptonError::Leased {
                 run,
@@ -302,5 +320,12 @@ mod tests {
         let msg = leased.to_string();
         assert!(msg.contains("w1234-abcd"), "{msg}");
         assert!(msg.contains("250 ms"), "{msg}");
+        let corrupt = ClaptonError::CorruptArtifact {
+            artifact: "queue.json".to_string(),
+            quarantined_to: "queue.json.corrupt-1720000000000".to_string(),
+        };
+        let msg = corrupt.to_string();
+        assert!(msg.contains("queue.json"), "{msg}");
+        assert!(msg.contains("quarantined"), "{msg}");
     }
 }

@@ -8,7 +8,30 @@
 //! tmp-file + rename, a run killed at any instant leaves only complete
 //! artifacts — resuming re-reads the manifest, skips finished jobs, and
 //! continues the rest from their latest round snapshot.
+//!
+//! # Integrity envelope
+//!
+//! Rename atomicity alone cannot rule out a *torn* artifact: on a crash the
+//! rename may commit while the freshly written data blocks never reach the
+//! disk, leaving a complete-looking file with truncated or garbled content.
+//! Every JSON artifact is therefore written inside an integrity envelope — a
+//! single header line carrying the payload length and FNV-1a 64 checksum,
+//! followed by the exact payload bytes:
+//!
+//! ```text
+//! {"clapton":"envelope","v":1,"len":123,"fnv64":"a1b2c3d4e5f60718"}
+//! { ...payload JSON, byte-exact... }
+//! ```
+//!
+//! Readers verify the envelope before parsing, so they can distinguish
+//! *missing* from *corrupt* ([`Artifact`]): corrupt files are quarantined in
+//! place (renamed to `<name>.corrupt-<unix-ms>`) and counted in
+//! `clapton_artifacts_corrupt_total`, and recovery-aware callers fall back
+//! to the previous round checkpoint instead of erroring the job. Bare
+//! legacy JSON (no header line) is still accepted on read, so registries
+//! written before the envelope existed keep resuming.
 
+use crate::failpoint;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -59,6 +82,113 @@ pub fn artifact_slug(name: &str) -> String {
     out.trim_matches('-').to_string()
 }
 
+/// FNV-1a 64-bit — the integrity checksum of the artifact envelope. Not
+/// cryptographic; it only needs to catch torn writes and bit rot.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The envelope header line prefix — also the discriminator between
+/// enveloped and legacy bare-JSON artifacts (a JSON document whose first
+/// bytes spell the header's fixed key order is, by construction, a header).
+const ENVELOPE_MAGIC: &[u8] = b"{\"clapton\":\"envelope\"";
+
+#[derive(Deserialize)]
+struct EnvelopeHeader {
+    #[allow(dead_code)]
+    clapton: String,
+    v: u64,
+    len: usize,
+    fnv64: String,
+}
+
+/// Wraps `payload` in the integrity envelope: header line, then the exact
+/// payload bytes.
+fn seal(payload: &[u8]) -> Vec<u8> {
+    let header = format!(
+        "{{\"clapton\":\"envelope\",\"v\":1,\"len\":{},\"fnv64\":\"{:016x}\"}}\n",
+        payload.len(),
+        fnv1a64(payload)
+    );
+    let mut sealed = header.into_bytes();
+    sealed.extend_from_slice(payload);
+    sealed
+}
+
+/// Verifies and strips the envelope, returning the payload bytes. Bytes
+/// without a header are legacy bare JSON and pass through unverified.
+fn unseal(bytes: &[u8]) -> Result<&[u8], String> {
+    if !bytes.starts_with(ENVELOPE_MAGIC) {
+        return Ok(bytes);
+    }
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("envelope header line is unterminated")?;
+    let header_text = std::str::from_utf8(&bytes[..newline])
+        .map_err(|e| format!("envelope header is not UTF-8: {e}"))?;
+    let header: EnvelopeHeader = serde_json::from_str(header_text)
+        .map_err(|e| format!("envelope header does not parse: {e}"))?;
+    if header.v != 1 {
+        return Err(format!("unsupported envelope version {}", header.v));
+    }
+    let payload = &bytes[newline + 1..];
+    if payload.len() != header.len {
+        return Err(format!(
+            "payload is {} bytes, envelope promised {} (torn write)",
+            payload.len(),
+            header.len
+        ));
+    }
+    let sum = format!("{:016x}", fnv1a64(payload));
+    if sum != header.fnv64 {
+        return Err(format!(
+            "payload checksum {sum} != enveloped {} (corrupt write)",
+            header.fnv64
+        ));
+    }
+    Ok(payload)
+}
+
+/// What reading an artifact found: nothing, a verified document, or a
+/// corrupt file (which has already been quarantined by the time the caller
+/// sees this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Artifact<T> {
+    /// The artifact does not exist.
+    Missing,
+    /// The artifact verified and parsed.
+    Valid(T),
+    /// The artifact existed but failed envelope verification or JSON
+    /// parsing; it has been renamed aside so the name can be rewritten.
+    Corrupt {
+        /// File name the corrupt bytes were quarantined under.
+        quarantined_to: String,
+        /// Why verification failed.
+        detail: String,
+    },
+}
+
+impl<T> Artifact<T> {
+    /// The document, when the artifact was present and intact.
+    pub fn valid(self) -> Option<T> {
+        match self {
+            Artifact::Valid(value) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether the artifact was present but corrupt.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, Artifact::Corrupt { .. })
+    }
+}
+
 /// One run's artifact directory with atomic JSON read/write.
 #[derive(Debug, Clone)]
 pub struct RunDirectory {
@@ -93,10 +223,39 @@ impl RunDirectory {
     pub fn write_json<T: Serialize + ?Sized>(&self, name: &str, value: &T) -> io::Result<()> {
         let json = serde_json::to_string_pretty(value)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut sealed = seal(json.as_bytes());
         let target = self.root.join(name);
         let tmp = self.root.join(tmp_name(name));
-        fs::write(&tmp, json.as_bytes())?;
+        // `torn` here writes a truncated file that still gets renamed into
+        // place — exactly the crash the envelope exists to catch.
+        failpoint::check_write("registry.write.flush", &mut sealed)?;
+        fs::write(&tmp, &sealed)?;
+        failpoint::check("registry.write.rename")?;
         fs::rename(&tmp, &target)
+    }
+
+    /// Atomically replaces `name` while keeping the outgoing generation as
+    /// `prev_name`: the current file (if any) is renamed to `prev_name`,
+    /// then the new document is written under `name`. A crash between the
+    /// two steps leaves `prev_name` valid — the reader loses at most the
+    /// one round being written, never the run.
+    pub fn write_json_rotating<T: Serialize + ?Sized>(
+        &self,
+        name: &str,
+        prev_name: &str,
+        value: &T,
+    ) -> io::Result<()> {
+        self.rotate(name, prev_name)?;
+        self.write_json(name, value)
+    }
+
+    /// Renames artifact `name` to `prev_name` if it exists (replacing any
+    /// previous `prev_name`); a no-op when `name` is absent.
+    pub fn rotate(&self, name: &str, prev_name: &str) -> io::Result<()> {
+        match fs::rename(self.root.join(name), self.root.join(prev_name)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 
     /// Writes raw text to `<root>/<name>` with the same atomic
@@ -120,17 +279,75 @@ impl RunDirectory {
     }
 
     /// Reads artifact `name`, returning `Ok(None)` when it does not exist
-    /// and an `InvalidData` error when it exists but does not parse.
+    /// and an `InvalidData` error when it exists but fails envelope
+    /// verification or parsing — in which case the corrupt file has been
+    /// quarantined (see [`RunDirectory::load`]) so a rewrite can replace it.
     pub fn read_json<T: DeserializeOwned>(&self, name: &str) -> io::Result<Option<T>> {
+        match self.load(name)? {
+            Artifact::Missing => Ok(None),
+            Artifact::Valid(value) => Ok(Some(value)),
+            Artifact::Corrupt {
+                quarantined_to,
+                detail,
+            } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{name}: {detail} (quarantined to {quarantined_to})"),
+            )),
+        }
+    }
+
+    /// Reads artifact `name`, distinguishing missing from corrupt. A file
+    /// that fails envelope verification or JSON parsing is quarantined —
+    /// renamed to `<name>.corrupt-<unix-ms>` so the slot is free to be
+    /// rewritten — counted in `clapton_artifacts_corrupt_total`, and
+    /// reported as [`Artifact::Corrupt`] rather than an error, so callers
+    /// with a fallback (the previous round checkpoint, a fresh start) can
+    /// take it.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures only (permissions, disk); corruption is a value.
+    pub fn load<T: DeserializeOwned>(&self, name: &str) -> io::Result<Artifact<T>> {
         let target = self.root.join(name);
-        let text = match fs::read_to_string(&target) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        let bytes = match fs::read(&target) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Artifact::Missing),
             Err(e) => return Err(e),
         };
-        serde_json::from_str(&text)
-            .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))
+        let detail = match unseal(&bytes) {
+            Ok(payload) => match std::str::from_utf8(payload)
+                .map_err(|e| format!("payload is not UTF-8: {e}"))
+                .and_then(|text| {
+                    serde_json::from_str::<T>(text)
+                        .map_err(|e| format!("payload does not parse: {e}"))
+                }) {
+                Ok(value) => return Ok(Artifact::Valid(value)),
+                Err(detail) => detail,
+            },
+            Err(detail) => detail,
+        };
+        let quarantined_to = self.quarantine(name)?;
+        count_corrupt(name);
+        Ok(Artifact::Corrupt {
+            quarantined_to,
+            detail,
+        })
+    }
+
+    /// Renames artifact `name` aside as `<name>.corrupt-<unix-ms>` and
+    /// returns the quarantine file name. If the file vanished in the
+    /// meantime (a racing writer already replaced it), the nominal
+    /// quarantine name is still returned.
+    fn quarantine(&self, name: &str) -> io::Result<String> {
+        let millis = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let quarantined = format!("{name}.corrupt-{millis}");
+        match fs::rename(self.root.join(name), self.root.join(&quarantined)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(quarantined),
+        }
     }
 
     /// Deletes artifact `name` if present.
@@ -150,6 +367,16 @@ impl RunDirectory {
     pub fn manifest(&self) -> io::Result<Option<RunManifest>> {
         self.read_json("manifest.json")
     }
+}
+
+fn count_corrupt(name: &str) {
+    clapton_telemetry::registry()
+        .counter_with(
+            "clapton_artifacts_corrupt_total",
+            "Artifacts that failed integrity verification and were quarantined.",
+            &[("artifact", name)],
+        )
+        .inc();
 }
 
 /// Completion summary of one registered run.
@@ -223,7 +450,9 @@ impl RunRegistry {
             }
             let name = entry.file_name().to_string_lossy().into_owned();
             let dir = RunDirectory::create(entry.path())?;
-            let Some(manifest) = dir.manifest()? else {
+            // A corrupt manifest quarantines and skips this run rather than
+            // failing the whole listing — the other runs are still fine.
+            let Artifact::Valid(manifest) = dir.load::<RunManifest>("manifest.json")? else {
                 continue;
             };
             let mut complete = 0;
@@ -287,6 +516,90 @@ mod tests {
         fs::write(dir.path().join("bad.json"), b"{not json").unwrap();
         let err = dir.read_json::<Vec<u64>>("bad.json").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The corrupt bytes were quarantined aside, freeing the slot.
+        assert!(!dir.exists("bad.json"));
+        let quarantined = fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("bad.json.corrupt-")
+            });
+        assert!(quarantined.is_some(), "corrupt file renamed aside");
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn envelope_catches_torn_and_garbled_writes() {
+        let dir = RunDirectory::create(scratch("envelope")).unwrap();
+        dir.write_json("doc.json", &vec![1u64, 2, 3]).unwrap();
+        // On disk: header line + payload.
+        let bytes = fs::read(dir.path().join("doc.json")).unwrap();
+        assert!(bytes.starts_with(ENVELOPE_MAGIC));
+        assert_eq!(
+            dir.load::<Vec<u64>>("doc.json").unwrap(),
+            Artifact::Valid(vec![1, 2, 3])
+        );
+        // Torn write: rename committed, tail of the payload lost.
+        fs::write(dir.path().join("doc.json"), &bytes[..bytes.len() - 4]).unwrap();
+        let loaded = dir.load::<Vec<u64>>("doc.json").unwrap();
+        assert!(loaded.is_corrupt(), "truncation detected: {loaded:?}");
+        assert!(!dir.exists("doc.json"), "torn file quarantined");
+        // Garbled payload of the *same* length: caught by the checksum.
+        dir.write_json("doc.json", &vec![1u64, 2, 3]).unwrap();
+        let mut garbled = fs::read(dir.path().join("doc.json")).unwrap();
+        let last = garbled.len() - 1;
+        garbled[last] ^= 0x01;
+        fs::write(dir.path().join("doc.json"), &garbled).unwrap();
+        assert!(dir.load::<Vec<u64>>("doc.json").unwrap().is_corrupt());
+        // Missing stays distinguishable from corrupt.
+        assert_eq!(dir.load::<Vec<u64>>("doc.json").unwrap(), Artifact::Missing);
+        // Legacy bare JSON (pre-envelope registries) still reads.
+        fs::write(dir.path().join("legacy.json"), b"[7, 8]").unwrap();
+        assert_eq!(
+            dir.read_json::<Vec<u64>>("legacy.json").unwrap(),
+            Some(vec![7, 8])
+        );
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn rotation_keeps_the_previous_generation() {
+        let dir = RunDirectory::create(scratch("rotate")).unwrap();
+        // First write: nothing to rotate.
+        dir.write_json_rotating("ck.json", "ck.prev.json", &1u64)
+            .unwrap();
+        assert!(!dir.exists("ck.prev.json"));
+        dir.write_json_rotating("ck.json", "ck.prev.json", &2u64)
+            .unwrap();
+        assert_eq!(dir.read_json::<u64>("ck.json").unwrap(), Some(2));
+        assert_eq!(dir.read_json::<u64>("ck.prev.json").unwrap(), Some(1));
+        // Corrupting the current generation falls back to the previous one.
+        fs::write(dir.path().join("ck.json"), b"torn").unwrap();
+        assert!(dir.load::<u64>("ck.json").unwrap().is_corrupt());
+        assert_eq!(dir.read_json::<u64>("ck.prev.json").unwrap(), Some(1));
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn write_failpoints_inject_real_corruption() {
+        let dir = RunDirectory::create(scratch("failpoint")).unwrap();
+        let _guard = failpoint::tests_exclusive();
+        failpoint::configure("registry.write.flush=torn:20@2").unwrap();
+        dir.write_json("a.json", &vec![1u64; 32]).unwrap(); // hit 1: clean
+        dir.write_json("b.json", &vec![2u64; 32]).unwrap(); // hit 2: torn
+        failpoint::clear();
+        assert_eq!(
+            dir.load::<Vec<u64>>("a.json").unwrap(),
+            Artifact::Valid(vec![1; 32])
+        );
+        assert!(dir.load::<Vec<u64>>("b.json").unwrap().is_corrupt());
+        failpoint::configure("registry.write.rename=err@1").unwrap();
+        let err = dir.write_json("c.json", &3u64).unwrap_err();
+        failpoint::clear();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(!dir.exists("c.json"), "failed rename leaves no target");
         fs::remove_dir_all(dir.path()).unwrap();
     }
 

@@ -1,0 +1,422 @@
+//! Deterministic fault injection for the persistence paths.
+//!
+//! A *failpoint* is a named site in production code (artifact writes, lease
+//! claims, heartbeats, queue-record persists) that can be armed to misbehave
+//! on specific hits: return an injected `io::Error`, truncate the bytes
+//! about to be written (a torn file), stall for a configured delay, or
+//! abort the process outright. Schedules are exact and deterministic — a
+//! rule names the 1-based hit indices it fires on — so a chaos run with the
+//! same schedule reproduces the same faults at the same points every time,
+//! and the seeded schedule *generator* (see `clapton-bench`'s chaos module)
+//! turns one integer into a whole reproducible failure scenario.
+//!
+//! Cost when disarmed: a single relaxed atomic load per site (the same
+//! pattern as `clapton_telemetry::set_enabled`), so the sites stay compiled
+//! into release builds permanently. The `failpoint_overhead` BENCH row holds
+//! this below 1% against the `ln_exact` evaluator kernel.
+//!
+//! Configuration is a spec string, programmatic ([`configure`]) or via the
+//! `CLAPTON_FAILPOINTS` environment variable ([`configure_from_env`],
+//! called by the `suite-runner` and `clapton-server` binaries):
+//!
+//! ```text
+//! registry.write.flush=torn@3;workqueue.heartbeat=delay:500@2,4;server.queue.persist=err@1
+//! ```
+//!
+//! `point=action@hits` clauses are `;`-separated; `hits` is a `,`-separated
+//! list of 1-based hit indices, or `*` for every hit. Actions: `err`,
+//! `torn` / `torn:<keep-bytes>`, `delay:<ms>`, `abort`.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return an injected `io::Error` (kind `Other`, message names the
+    /// point) from the site.
+    Err,
+    /// Truncate the bytes about to be written: keep only the first `n`
+    /// bytes (`None` → keep half). Models a torn write — a crash after the
+    /// rename committed but before the data blocks reached the platter —
+    /// and is only meaningful at write sites; elsewhere it is a no-op.
+    Torn(Option<usize>),
+    /// Sleep for the given duration before proceeding (stalled worker,
+    /// slow filesystem). The site then succeeds normally.
+    Delay(Duration),
+    /// `std::process::abort()` — the SIGKILL-grade crash the checkpoint
+    /// and lease protocols must survive.
+    Abort,
+}
+
+/// When a rule fires: on specific 1-based hit indices, or on every hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Hits {
+    Every,
+    At(Vec<u64>),
+}
+
+/// One armed rule on one named point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailRule {
+    /// The failpoint name the rule arms.
+    pub point: String,
+    /// What happens when it fires.
+    pub action: FailAction,
+    hits: Hits,
+}
+
+impl FailRule {
+    /// A rule firing `action` at the given 1-based hit indices of `point`.
+    pub fn at(point: impl Into<String>, action: FailAction, hits: &[u64]) -> FailRule {
+        FailRule {
+            point: point.into(),
+            action,
+            hits: Hits::At(hits.to_vec()),
+        }
+    }
+
+    /// A rule firing `action` on every hit of `point`.
+    pub fn every(point: impl Into<String>, action: FailAction) -> FailRule {
+        FailRule {
+            point: point.into(),
+            action,
+            hits: Hits::Every,
+        }
+    }
+
+    /// Renders the rule in [`configure`] spec syntax.
+    pub fn to_spec(&self) -> String {
+        let action = match &self.action {
+            FailAction::Err => "err".to_string(),
+            FailAction::Torn(None) => "torn".to_string(),
+            FailAction::Torn(Some(keep)) => format!("torn:{keep}"),
+            FailAction::Delay(d) => format!("delay:{}", d.as_millis()),
+            FailAction::Abort => "abort".to_string(),
+        };
+        let hits = match &self.hits {
+            Hits::Every => "*".to_string(),
+            Hits::At(at) => at.iter().map(u64::to_string).collect::<Vec<_>>().join(","),
+        };
+        format!("{}={action}@{hits}", self.point)
+    }
+}
+
+#[derive(Debug, Default)]
+struct PointState {
+    rules: Vec<FailRule>,
+    hits: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn table() -> &'static Mutex<HashMap<String, PointState>> {
+    static TABLE: std::sync::OnceLock<Mutex<HashMap<String, PointState>>> =
+        std::sync::OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Whether any failpoint is currently armed. The disarmed fast path every
+/// site takes is exactly this one relaxed load.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms the given rules (replacing any previous schedule) and resets every
+/// hit counter.
+pub fn install(rules: Vec<FailRule>) {
+    let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
+    table.clear();
+    for rule in rules {
+        table
+            .entry(rule.point.clone())
+            .or_default()
+            .rules
+            .push(rule);
+    }
+    let any = !table.is_empty();
+    drop(table);
+    ARMED.store(any, Ordering::Relaxed);
+}
+
+/// Disarms every failpoint and clears all hit counters.
+pub fn clear() {
+    install(Vec::new());
+}
+
+/// Parses a `point=action@hits;...` spec string (see the module docs) and
+/// arms it. A malformed spec disarms everything rather than arming a
+/// prefix — a chaos run with half a schedule would look like a pass.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed clause.
+pub fn configure(spec: &str) -> Result<(), String> {
+    parse_spec(spec).map(install).inspect_err(|_| clear())
+}
+
+fn parse_spec(spec: &str) -> Result<Vec<FailRule>, String> {
+    let mut rules = Vec::new();
+    for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+        let clause = clause.trim();
+        let (point, rest) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint clause {clause:?} has no '='"))?;
+        let (action_text, hits_text) = match rest.split_once('@') {
+            Some((a, h)) => (a, h),
+            None => (rest, "*"),
+        };
+        let action = parse_action(action_text).ok_or_else(|| {
+            format!("failpoint clause {clause:?}: unknown action {action_text:?}")
+        })?;
+        let hits = if hits_text == "*" {
+            Hits::Every
+        } else {
+            let mut at = Vec::new();
+            for part in hits_text.split(',') {
+                let n: u64 = part
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("failpoint clause {clause:?}: bad hit index {part:?}"))?;
+                if n == 0 {
+                    return Err(format!(
+                        "failpoint clause {clause:?}: hit indices are 1-based"
+                    ));
+                }
+                at.push(n);
+            }
+            Hits::At(at)
+        };
+        rules.push(FailRule {
+            point: point.trim().to_string(),
+            action,
+            hits,
+        });
+    }
+    Ok(rules)
+}
+
+fn parse_action(text: &str) -> Option<FailAction> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix("delay:") {
+        return rest
+            .parse()
+            .ok()
+            .map(|ms| FailAction::Delay(Duration::from_millis(ms)));
+    }
+    if let Some(rest) = text.strip_prefix("torn:") {
+        return rest.parse().ok().map(|keep| FailAction::Torn(Some(keep)));
+    }
+    match text {
+        "err" => Some(FailAction::Err),
+        "torn" => Some(FailAction::Torn(None)),
+        "abort" => Some(FailAction::Abort),
+        _ => None,
+    }
+}
+
+/// The environment variable [`configure_from_env`] reads.
+pub const FAILPOINTS_ENV: &str = "CLAPTON_FAILPOINTS";
+
+/// Arms the schedule in `CLAPTON_FAILPOINTS`, if set. Binaries call this
+/// once at startup; a malformed spec is reported rather than ignored.
+///
+/// # Errors
+///
+/// The parse error for a malformed spec.
+pub fn configure_from_env() -> Result<(), String> {
+    match std::env::var(FAILPOINTS_ENV) {
+        Ok(spec) if !spec.trim().is_empty() => configure(&spec),
+        _ => Ok(()),
+    }
+}
+
+/// Records a hit on `point` and returns the action to perform, if a rule
+/// fires on this hit. `Delay` is served (slept) internally and `Abort`
+/// aborts; only `Err` and `Torn` come back to the caller.
+fn fire(point: &str) -> Option<FailAction> {
+    let action = {
+        let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
+        let state = table.get_mut(point)?;
+        state.hits += 1;
+        let hit = state.hits;
+        state
+            .rules
+            .iter()
+            .find(|rule| match &rule.hits {
+                Hits::Every => true,
+                Hits::At(at) => at.contains(&hit),
+            })
+            .map(|rule| rule.action.clone())?
+    };
+    count_fired(point, &action);
+    match action {
+        FailAction::Delay(d) => {
+            std::thread::sleep(d);
+            None
+        }
+        FailAction::Abort => std::process::abort(),
+        other => Some(other),
+    }
+}
+
+fn count_fired(point: &str, action: &FailAction) {
+    let label = match action {
+        FailAction::Err => "err",
+        FailAction::Torn(_) => "torn",
+        FailAction::Delay(_) => "delay",
+        FailAction::Abort => "abort",
+    };
+    clapton_telemetry::registry()
+        .counter_with(
+            "clapton_failpoints_fired_total",
+            "Armed failpoints that fired, by point and action.",
+            &[("point", point), ("action", label)],
+        )
+        .inc();
+}
+
+/// The injected error every `err` action surfaces (kind `Other`, so it is
+/// distinguishable from real `NotFound`/`AlreadyExists` protocol signals).
+fn injected(point: &str) -> io::Error {
+    io::Error::other(format!("injected fault at failpoint {point}"))
+}
+
+/// Serializes tests that arm the process-wide failpoint table. Tests in the
+/// same binary run on parallel threads; any test calling [`install`] /
+/// [`configure`] must hold this guard for its duration, or two tests'
+/// schedules would interleave.
+pub fn tests_exclusive() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A plain (non-write) failpoint site: returns the injected error when an
+/// `err` rule fires on this hit, sleeps through `delay`, aborts on `abort`.
+///
+/// # Errors
+///
+/// The injected error, when armed to fire here.
+#[inline]
+pub fn check(point: &str) -> io::Result<()> {
+    if !armed() {
+        return Ok(());
+    }
+    match fire(point) {
+        Some(FailAction::Err) => Err(injected(point)),
+        _ => Ok(()),
+    }
+}
+
+/// A write-site failpoint: like [`check`], but a `torn` rule truncates
+/// `bytes` in place (keeping the configured prefix, default half) and lets
+/// the write proceed — producing exactly the torn-but-renamed artifact the
+/// integrity envelope exists to catch.
+///
+/// # Errors
+///
+/// The injected error, when armed to fire here with `err`.
+#[inline]
+pub fn check_write(point: &str, bytes: &mut Vec<u8>) -> io::Result<()> {
+    if !armed() {
+        return Ok(());
+    }
+    match fire(point) {
+        Some(FailAction::Err) => Err(injected(point)),
+        Some(FailAction::Torn(keep)) => {
+            let keep = keep.unwrap_or(bytes.len() / 2).min(bytes.len());
+            bytes.truncate(keep);
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use tests_exclusive as exclusive;
+
+    #[test]
+    fn disarmed_sites_are_transparent() {
+        let _gate = exclusive();
+        clear();
+        assert!(!armed());
+        assert!(check("nowhere").is_ok());
+        let mut bytes = b"intact".to_vec();
+        assert!(check_write("nowhere", &mut bytes).is_ok());
+        assert_eq!(bytes, b"intact");
+    }
+
+    #[test]
+    fn err_fires_on_exact_hits_only() {
+        let _gate = exclusive();
+        install(vec![FailRule::at("p", FailAction::Err, &[2, 4])]);
+        assert!(check("p").is_ok(), "hit 1");
+        assert!(check("p").is_err(), "hit 2");
+        assert!(check("p").is_ok(), "hit 3");
+        assert!(check("p").is_err(), "hit 4");
+        assert!(check("p").is_ok(), "hit 5");
+        assert!(check("unrelated").is_ok());
+        clear();
+    }
+
+    #[test]
+    fn torn_truncates_the_write() {
+        let _gate = exclusive();
+        install(vec![FailRule::at("w", FailAction::Torn(Some(3)), &[1])]);
+        let mut bytes = b"0123456789".to_vec();
+        assert!(check_write("w", &mut bytes).is_ok());
+        assert_eq!(bytes, b"012");
+        let mut bytes = b"0123456789".to_vec();
+        assert!(check_write("w", &mut bytes).is_ok(), "hit 2 does not fire");
+        assert_eq!(bytes.len(), 10);
+        clear();
+    }
+
+    #[test]
+    fn spec_round_trips_through_configure() {
+        let _gate = exclusive();
+        let spec = "a.b=err@1,3;c=torn:7@*;d=delay:50@2";
+        configure(spec).unwrap();
+        assert!(armed());
+        // a.b: hits 1 and 3 only.
+        assert!(check("a.b").is_err());
+        assert!(check("a.b").is_ok());
+        assert!(check("a.b").is_err());
+        // c: every hit truncates to 7 bytes.
+        let mut bytes = b"0123456789".to_vec();
+        assert!(check_write("c", &mut bytes).is_ok());
+        assert_eq!(bytes, b"0123456");
+        // Rules render back to the same spec shape.
+        let rule = FailRule::at("a.b", FailAction::Err, &[1, 3]);
+        assert_eq!(rule.to_spec(), "a.b=err@1,3");
+        assert_eq!(
+            FailRule::every("c", FailAction::Torn(Some(7))).to_spec(),
+            "c=torn:7@*"
+        );
+        clear();
+        assert!(!armed());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _gate = exclusive();
+        assert!(configure("no-equals").is_err());
+        assert!(configure("p=explode@1").is_err());
+        assert!(configure("p=err@zero").is_err());
+        assert!(configure("p=err@0").is_err(), "hit indices are 1-based");
+        assert!(!armed(), "a rejected spec must not leave points armed");
+        // A rejected configure after a good one leaves the table disarmed,
+        // never half-armed.
+        configure("p=err@1").unwrap();
+        assert!(configure("q=bogus").is_err());
+        assert!(!armed());
+        clear();
+    }
+}

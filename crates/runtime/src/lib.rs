@@ -31,12 +31,13 @@
 mod cancel;
 mod checkpoint;
 mod evaluator;
+pub mod failpoint;
 mod pool;
 mod scheduler;
 mod workqueue;
 
 pub use cancel::{CancelToken, Interrupt};
-pub use checkpoint::{artifact_slug, RunDirectory, RunInfo, RunManifest, RunRegistry};
+pub use checkpoint::{artifact_slug, Artifact, RunDirectory, RunInfo, RunManifest, RunRegistry};
 pub use evaluator::PooledEvaluator;
 pub use pool::{PoolScope, WorkerPool};
 pub use scheduler::{EventKind, JobContext, JobScheduler, RunEvent, ScheduledJob};

@@ -208,6 +208,9 @@ fn attempt_link(dir: &Path, claim_path: &Path, owner: &str) -> io::Result<Option
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let tmp = dir.join(format!("{CLAIM_ARTIFACT}.{}.tmp", artifact_slug(owner)));
     fs::write(&tmp, json.as_bytes())?;
+    crate::failpoint::check("workqueue.claim.hardlink").inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })?;
     let linked = fs::hard_link(&tmp, claim_path);
     let _ = fs::remove_file(&tmp);
     match linked {
@@ -333,6 +336,10 @@ impl Lease {
     /// been stolen (claim gone or owned by someone else): the caller no
     /// longer owns the directory and must stop writing checkpoints into it.
     pub fn heartbeat(&mut self) -> io::Result<bool> {
+        // An injected error here stands the owner down (`LeaseKeeper` maps
+        // heartbeat errors to a lost lease), modeling a stalled worker whose
+        // lease expires under it.
+        crate::failpoint::check("workqueue.heartbeat")?;
         let claim_path = self.dir.join(CLAIM_ARTIFACT);
         // Open without `create`: a stolen-and-removed claim surfaces as
         // NotFound instead of silently resurrecting under our ownership.

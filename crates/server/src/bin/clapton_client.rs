@@ -1,7 +1,8 @@
 //! The `clapton-client` binary: the server protocol from the command line.
 //!
 //! ```text
-//! clapton-client --addr HOST:PORT [--tenant NAME] COMMAND [ARGS]
+//! clapton-client --addr HOST:PORT [--tenant NAME] [--retries N]
+//!                [--retry-base-ms MS] COMMAND [ARGS]
 //!
 //!   submit SPEC.json            submit a job, print the response
 //!   status JOB_ID               one status snapshot
@@ -13,9 +14,16 @@
 //!   events JOB_ID               stream events until the job ends
 //!   metrics [--raw]             scrape /metrics (table, or raw text)
 //!   trace JOB_ID                print a finished job's span tree
+//!   health                      poll /healthz; exit 0 only when live
+//!                               AND ready (CI waits on this instead
+//!                               of sleeping)
 //!   verify SPEC.json [SECS]     submit + wait, then diff the served
 //!                               Report against an in-process run
 //! ```
+//!
+//! `--retries N` turns on capped exponential backoff with deterministic
+//! jitter for transient failures (connection refused/reset, 5xx, and 429
+//! honoring `Retry-After`); the default is no retries.
 //!
 //! `verify` is the CI smoke check: the report coming back over the wire
 //! must be byte-identical (as canonical JSON) to `ClaptonService::run` on
@@ -27,9 +35,11 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: clapton-client --addr HOST:PORT [--tenant NAME] \
+        "usage: clapton-client --addr HOST:PORT [--tenant NAME] [--retries N] \
+         [--retry-base-ms MS] \
          (submit SPEC.json | status ID | wait ID [SECS] | cancel ID | queue \
-          | events ID | metrics [--raw] | trace ID | verify SPEC.json [SECS])"
+          | events ID | metrics [--raw] | trace ID | health \
+          | verify SPEC.json [SECS])"
     );
     std::process::exit(2);
 }
@@ -101,12 +111,25 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = None;
     let mut tenant = None;
+    let mut retries = 0u32;
+    let mut retry_base_ms = 100u64;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
+    let parse_num = |flag: &str, value: Option<String>| -> u64 {
+        value
+            .as_deref()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("{flag} wants a number, got {value:?}");
+                usage()
+            })
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = it.next(),
             "--tenant" => tenant = it.next(),
+            "--retries" => retries = parse_num("--retries", it.next()) as u32,
+            "--retry-base-ms" => retry_base_ms = parse_num("--retry-base-ms", it.next()),
             "--help" | "-h" => usage(),
             _ => rest.push(arg),
         }
@@ -118,6 +141,9 @@ fn main() {
     let mut client = Client::new(addr);
     if let Some(tenant) = tenant {
         client = client.with_tenant(tenant);
+    }
+    if retries > 0 {
+        client = client.with_retries(retries, Duration::from_millis(retry_base_ms));
     }
     let command = rest.first().map(String::as_str).unwrap_or_else(|| usage());
     let outcome = match command {
@@ -170,6 +196,15 @@ fn main() {
                 print!("{text}");
             } else {
                 print_metrics_table(&text);
+            }
+        }),
+        "health" => client.health().map(|health| {
+            println!(
+                "{}",
+                serde_json::to_string(&health).expect("health serializes")
+            );
+            if !(health.ok && health.ready) {
+                std::process::exit(1);
             }
         }),
         "trace" => {

@@ -4,7 +4,7 @@
 //! clapton-server --root runs/server [--addr 127.0.0.1:8787] [--dispatchers 2]
 //!                [--pool-workers 2] [--queue-depth 256] [--rate 0] [--burst 64]
 //!                [--tenant-weight NAME=W]... [--drain-timeout 30]
-//!                [--lease-ttl 30] [--port-file PATH]
+//!                [--lease-ttl 30] [--request-timeout 10] [--port-file PATH]
 //! ```
 //!
 //! SIGINT/SIGTERM begin a graceful drain: admissions stop (503), in-flight
@@ -46,7 +46,7 @@ fn usage() -> ! {
         "usage: clapton-server --root DIR [--addr HOST:PORT] [--dispatchers N] \
          [--pool-workers N] [--queue-depth N] [--rate PER_SEC] [--burst N] \
          [--tenant-weight NAME=W]... [--drain-timeout SECS] [--lease-ttl SECS] \
-         [--port-file PATH]"
+         [--request-timeout SECS] [--port-file PATH]"
     );
     std::process::exit(2);
 }
@@ -59,6 +59,7 @@ fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
     let mut admission = AdmissionConfig::default();
     let mut drain_timeout = Duration::from_secs(30);
     let mut lease_ttl = clapton_runtime::DEFAULT_LEASE_TTL;
+    let mut request_timeout = Duration::from_secs(10);
     let mut port_file = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -95,6 +96,11 @@ fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
             "--lease-ttl" => {
                 lease_ttl = Duration::from_secs(parse(&value("--lease-ttl"), "--lease-ttl"))
             }
+            // 0 disables the per-connection socket deadline.
+            "--request-timeout" => {
+                request_timeout =
+                    Duration::from_secs(parse(&value("--request-timeout"), "--request-timeout"))
+            }
             "--port-file" => port_file = Some(std::path::PathBuf::from(value("--port-file"))),
             "--help" | "-h" => usage(),
             other => {
@@ -116,6 +122,7 @@ fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
             admission,
             drain_timeout,
             lease_ttl,
+            request_timeout,
         },
         port_file,
     )
@@ -130,6 +137,10 @@ fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
 
 fn main() {
     let (config, port_file) = parse_args();
+    clapton_runtime::failpoint::configure_from_env().unwrap_or_else(|e| {
+        eprintln!("clapton-server: bad CLAPTON_FAILPOINTS: {e}");
+        std::process::exit(2);
+    });
     install_signal_handlers();
     let server = match Server::bind(config) {
         Ok(server) => server,
@@ -157,7 +168,11 @@ fn main() {
         .name("clapton-signal-watch".to_string())
         .spawn(move || loop {
             if SIGNAL_FLAG.load(Ordering::SeqCst) {
-                watcher_handle.begin_shutdown();
+                // The drain stops admissions immediately (healthz flips to
+                // not-ready) but keeps the accept loop answering until
+                // in-flight jobs finish or suspend; serve() below returns
+                // when it completes.
+                watcher_handle.drain();
                 return;
             }
             std::thread::sleep(Duration::from_millis(25));
@@ -167,6 +182,8 @@ fn main() {
         eprintln!("clapton-server: accept loop failed: {e}");
         std::process::exit(1);
     }
+    // Idempotent second drain: everything already settled, this just
+    // recounts the registry for the exit summary.
     let summary = handle.drain();
     println!(
         "clapton-server drained: {} completed, {} suspended at checkpoints, {} left queued",

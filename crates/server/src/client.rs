@@ -4,8 +4,14 @@
 //! One request per connection, mirroring the server's `Connection: close`
 //! policy; responses are read to EOF and chunked bodies are decoded, so the
 //! event stream arrives as plain `data:` frames.
+//!
+//! Retries are off by default ([`Client::with_retries`] opts in): transient
+//! transport failures and 5xx responses back off exponentially with
+//! deterministic jitter — a hash of `(addr, path, attempt)`, so a retrying
+//! client is reproducible run to run yet two clients hammering one server
+//! do not retry in lockstep — and a 429 honors the server's `Retry-After`.
 
-use crate::server::{ErrorBody, JobStatusBody, QueueBody};
+use crate::server::{ErrorBody, HealthBody, JobStatusBody, QueueBody};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -49,19 +55,27 @@ impl Response {
     }
 }
 
+/// Ceiling on any single retry backoff sleep.
+const MAX_BACKOFF: Duration = Duration::from_secs(5);
+
 /// A client bound to one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
     tenant: Option<String>,
+    retries: u32,
+    retry_base: Duration,
 }
 
 impl Client {
-    /// A client for `addr` (`host:port`) with no tenant header.
+    /// A client for `addr` (`host:port`) with no tenant header and no
+    /// retries.
     pub fn new(addr: impl Into<String>) -> Client {
         Client {
             addr: addr.into(),
             tenant: None,
+            retries: 0,
+            retry_base: Duration::from_millis(100),
         }
     }
 
@@ -71,12 +85,66 @@ impl Client {
         self
     }
 
-    /// Sends one request and reads the full response.
+    /// Enables up to `retries` retries of transient failures (connection
+    /// refused/reset, 5xx, 429), backing off exponentially from `base`.
+    pub fn with_retries(mut self, retries: u32, base: Duration) -> Client {
+        self.retries = retries;
+        self.retry_base = base;
+        self
+    }
+
+    /// Sends one request and reads the full response, retrying transient
+    /// failures when [`Client::with_retries`] enabled it.
     ///
     /// # Errors
     ///
-    /// Transport failures or an unparseable response.
+    /// Transport failures or an unparseable response, after retries (if
+    /// any) are exhausted.
     pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request_once(method, path, body);
+            if attempt >= self.retries {
+                return outcome;
+            }
+            let wait = match &outcome {
+                Err(e) if transient(e.kind()) => self.backoff(path, attempt),
+                // 429 carries the server's own schedule; 5xx means the
+                // server (or something between) hiccuped.
+                Ok(response) if response.status == 429 => response
+                    .header("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map_or_else(|| self.backoff(path, attempt), Duration::from_secs)
+                    .min(MAX_BACKOFF),
+                Ok(response) if response.status >= 500 => self.backoff(path, attempt),
+                _ => return outcome,
+            };
+            std::thread::sleep(wait);
+            attempt += 1;
+        }
+    }
+
+    /// The exponential-backoff sleep before retry number `attempt`:
+    /// `base * 2^attempt`, capped, plus up to 50% deterministic jitter.
+    fn backoff(&self, path: &str, attempt: u32) -> Duration {
+        let base = self
+            .retry_base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(MAX_BACKOFF);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self
+            .addr
+            .bytes()
+            .chain(path.bytes())
+            .chain(attempt.to_le_bytes())
+        {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        base + base.mul_f64((hash % 1024) as f64 / 2048.0)
+    }
+
+    fn request_once(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
         let mut stream = TcpStream::connect(&self.addr)?;
         let body = body.unwrap_or("");
         let mut head = format!(
@@ -160,6 +228,19 @@ impl Client {
             .collect())
     }
 
+    /// `GET /healthz`, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-health response body. A draining server
+    /// answers 503 with `ready: false` — that is a successful call here;
+    /// callers decide what readiness means to them.
+    pub fn health(&self) -> io::Result<HealthBody> {
+        let response = self.request("GET", "/healthz", None)?;
+        serde_json::from_str(&response.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
     /// `GET /metrics`: the raw Prometheus text exposition.
     ///
     /// # Errors
@@ -224,6 +305,21 @@ impl Client {
             std::thread::sleep(Duration::from_millis(25));
         }
     }
+}
+
+/// Transport failures worth retrying: the server is not there *yet* (still
+/// binding, restarting) or dropped the connection mid-flight. Anything else
+/// (refused DNS, permission, protocol) is permanent.
+fn transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
 }
 
 fn parse_response(raw: &[u8]) -> io::Result<Response> {
@@ -291,6 +387,18 @@ mod tests {
         assert_eq!(decode_chunked(raw).unwrap(), b"hello, world");
         assert_eq!(decode_chunked(b"0\r\n\r\n").unwrap(), b"");
         assert!(decode_chunked(b"5\r\nhel").is_none(), "truncated chunk");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let client = Client::new("127.0.0.1:1").with_retries(8, Duration::from_millis(50));
+        let a = client.backoff("/v1/jobs", 0);
+        assert_eq!(a, client.backoff("/v1/jobs", 0), "same inputs, same sleep");
+        assert_ne!(a, client.backoff("/v1/queue", 0), "jitter keys on the path");
+        assert!(client.backoff("/v1/jobs", 3) > a, "backoff grows");
+        for attempt in 0..40 {
+            assert!(client.backoff("/v1/jobs", attempt) <= MAX_BACKOFF + MAX_BACKOFF / 2);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::admission::{AdmissionConfig, AdmissionQueue, AdmitError, Shed};
 use crate::events::EventLog;
 use crate::http::{self, EventStream, ReadOutcome};
 use clapton_error::ClaptonError;
-use clapton_runtime::{CancelToken, WorkerPool};
+use clapton_runtime::{failpoint, Artifact, CancelToken, RunDirectory, WorkerPool};
 use clapton_service::{
     AdmittedJob, ClaptonService, JobArtifactState, JobLeaseView, JobSpec, Report, TerminalState,
     TELEMETRY_ARTIFACT,
@@ -54,6 +54,11 @@ pub struct ServerConfig {
     /// next server life) may take the job over. Every process sharing the
     /// artifact root should agree on this value.
     pub lease_ttl: Duration,
+    /// Per-connection socket read/write timeout. A client that stalls
+    /// mid-request (slow-loris) or stops reading a response is cut off
+    /// after this long instead of pinning a connection thread forever;
+    /// read timeouts answer 408. Zero disables the timeouts.
+    pub request_timeout: Duration,
 }
 
 impl ServerConfig {
@@ -67,6 +72,7 @@ impl ServerConfig {
             admission: AdmissionConfig::default(),
             drain_timeout: Duration::from_secs(5),
             lease_ttl: clapton_runtime::DEFAULT_LEASE_TTL,
+            request_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -113,6 +119,15 @@ pub struct JobStatusBody {
 pub struct ErrorBody {
     /// Human-readable cause.
     pub error: String,
+}
+
+/// The JSON body of `GET /healthz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// Liveness: the process answered at all.
+    pub ok: bool,
+    /// Readiness: accepting new submissions (false once a drain begins).
+    pub ready: bool,
 }
 
 /// The JSON body of `GET /v1/jobs/{id}/trace`: the job's reassembled
@@ -213,6 +228,8 @@ struct JobEntry {
     events: Arc<EventLog>,
     state: Mutex<JobState>,
     dispatched: Mutex<Option<u64>>,
+    /// Failed execution attempts so far (see [`MAX_JOB_ATTEMPTS`]).
+    attempts: AtomicUsize,
 }
 
 impl JobEntry {
@@ -258,6 +275,13 @@ impl JobEntry {
         )
     }
 }
+
+/// How many times a dispatcher re-attempts a job whose execution failed
+/// before recording a terminal `failed` state. Transient faults — a
+/// quarantined-then-recovered artifact, an injected failpoint error, a
+/// flaky shared filesystem — cost a retry from the last round checkpoint,
+/// not the job.
+const MAX_JOB_ATTEMPTS: usize = 3;
 
 /// The registry key claiming an artifact directory for a live job.
 fn dir_key(admitted: &AdmittedJob) -> String {
@@ -307,6 +331,17 @@ fn count_recovery_leased_defer(owner: &str) {
         .inc();
 }
 
+/// Bumps `clapton_http_request_timeouts_total` when a connection's read
+/// timeout fires before a complete request arrives.
+fn count_request_timeout() {
+    clapton_telemetry::registry()
+        .counter(
+            "clapton_http_request_timeouts_total",
+            "Connections cut off by the per-request socket read timeout.",
+        )
+        .inc();
+}
+
 /// Bumps `clapton_jobs_finished_total{tenant,outcome}` when a dispatched
 /// job reaches a terminal (or drain-suspended) state.
 fn count_finished(tenant: &str, outcome: &str) {
@@ -337,6 +372,7 @@ struct ServerInner {
     dispatch_counter: AtomicU64,
     running: AtomicUsize,
     shutting_down: AtomicBool,
+    stopped: AtomicBool,
     queue_dir: PathBuf,
     dispatchers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -382,6 +418,7 @@ impl Server {
             dispatch_counter: AtomicU64::new(0),
             running: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
             queue_dir,
             dispatchers: Mutex::new(Vec::new()),
             service,
@@ -428,7 +465,10 @@ impl Server {
     /// Fatal listener failures only; per-connection errors are contained.
     pub fn serve(self) -> io::Result<()> {
         for conn in self.listener.incoming() {
-            if self.inner.shutting_down.load(Ordering::SeqCst) {
+            // The acceptor outlives `begin_shutdown` so `/healthz` (and
+            // status queries) keep answering — with `ready: false` — for
+            // the whole drain window; only a finished drain stops it.
+            if self.inner.stopped.load(Ordering::SeqCst) {
                 // The wake connection (or any racer) is dropped unanswered.
                 return Ok(());
             }
@@ -436,6 +476,13 @@ impl Server {
                 Ok(stream) => stream,
                 Err(_) => continue,
             };
+            let timeout = self.inner.config.request_timeout;
+            if !timeout.is_zero() {
+                // A stalled or slow-loris peer times out instead of pinning
+                // this connection's thread; read timeouts answer 408.
+                let _ = stream.set_read_timeout(Some(timeout));
+                let _ = stream.set_write_timeout(Some(timeout));
+            }
             let inner = Arc::clone(&self.inner);
             let _ = std::thread::Builder::new()
                 .name("clapton-conn".to_string())
@@ -453,22 +500,24 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops admissions and unblocks the accept loop. Idempotent; does not
-    /// wait for in-flight jobs — see [`ServerHandle::drain`].
+    /// Stops admissions and flips `/healthz` readiness to `false`.
+    /// Idempotent; does not wait for in-flight jobs, and the accept loop
+    /// keeps answering (status, health, metrics) until a [`drain`] ends —
+    /// see [`ServerHandle::drain`].
+    ///
+    /// [`drain`]: ServerHandle::drain
     pub fn begin_shutdown(&self) {
         if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
         self.inner.queue.close();
-        // Self-connect so a blocking accept() observes the flag now rather
-        // than at the next real client.
-        let _ = TcpStream::connect(self.addr);
     }
 
-    /// Graceful drain: stop accepting, let in-flight jobs run for up to
+    /// Graceful drain: stop admissions, let in-flight jobs run for up to
     /// `drain_timeout`, then suspend the stragglers at their next round
     /// boundary (their checkpoints make the next server life resume them
-    /// bit-identically), and join the dispatchers.
+    /// bit-identically), join the dispatchers, and finally stop the accept
+    /// loop.
     pub fn drain(&self) -> DrainSummary {
         self.begin_shutdown();
         let deadline = Instant::now() + self.inner.config.drain_timeout;
@@ -507,6 +556,11 @@ impl ServerHandle {
                 _ => {}
             }
         }
+        drop(registry);
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        // Self-connect so a blocking accept() observes the stop now rather
+        // than at the next real client.
+        let _ = TcpStream::connect(self.addr);
         summary
     }
 
@@ -519,19 +573,26 @@ impl ServerHandle {
 impl ServerInner {
     /// Re-admits every durable queue record from a previous server life.
     fn recover(self: &Arc<ServerInner>) -> Result<(), ClaptonError> {
+        let queue_records = RunDirectory::create(&self.queue_dir)?;
         let mut records: Vec<QueueRecord> = Vec::new();
         for dirent in std::fs::read_dir(&self.queue_dir).map_err(ClaptonError::Io)? {
             let path = dirent.map_err(ClaptonError::Io)?.path();
+            // Skips leftover `.tmp` writes and `.corrupt-<ts>` quarantines.
             if path.extension().and_then(|e| e.to_str()) != Some("json") {
                 continue;
             }
-            let text = std::fs::read_to_string(&path).map_err(ClaptonError::Io)?;
-            let record: QueueRecord =
-                serde_json::from_str(&text).map_err(|e| ClaptonError::Parse {
-                    what: format!("queue record {}", path.display()),
-                    detail: e.to_string(),
-                })?;
-            records.push(record);
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            // A torn or garbled record is quarantined and skipped rather
+            // than refusing to start the server: the job's artifacts (spec,
+            // checkpoints, report) are intact, so resubmitting the same
+            // spec re-admits or answers it — one queue entry is the blast
+            // radius, never the server or the job's banked rounds.
+            match queue_records.load::<QueueRecord>(name)? {
+                Artifact::Valid(record) => records.push(record),
+                Artifact::Missing | Artifact::Corrupt { .. } => continue,
+            }
         }
         records.sort_by_key(|r| r.seq);
         for record in records {
@@ -565,6 +626,7 @@ impl ServerInner {
                 cancel: CancelToken::new(),
                 dispatched: Mutex::new(None),
                 state: Mutex::new(state),
+                attempts: AtomicUsize::new(0),
                 admitted,
                 events,
             });
@@ -668,12 +730,23 @@ impl ServerInner {
                     std::thread::sleep(Duration::from_millis(50));
                 }
                 Err(other) => {
-                    let detail = other.to_string();
-                    let _ = self.service.mark_failed(&entry.admitted, &detail);
-                    *entry.state.lock().expect("job state") = JobState::Failed(detail);
-                    entry.events.close();
-                    self.retire_active(&entry);
-                    count_finished(&tenant, "failed");
+                    let tried = entry.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+                    if tried < MAX_JOB_ATTEMPTS {
+                        // Presumed transient: back in line, resuming from
+                        // the last valid round checkpoint. The sleep keeps
+                        // a single-job queue from hot-spinning on a fault
+                        // that needs a moment (or a peer) to clear.
+                        *entry.state.lock().expect("job state") = JobState::Queued;
+                        self.queue.readmit(&tenant, id);
+                        std::thread::sleep(Duration::from_millis(50));
+                    } else {
+                        let detail = other.to_string();
+                        let _ = self.service.mark_failed(&entry.admitted, &detail);
+                        *entry.state.lock().expect("job state") = JobState::Failed(detail);
+                        entry.events.close();
+                        self.retire_active(&entry);
+                        count_finished(&tenant, "failed");
+                    }
                 }
             }
             self.queue.note_finished(&tenant);
@@ -689,8 +762,8 @@ impl ServerInner {
                 rounds,
                 detail: String::new(),
             };
-            if let Ok(json) = serde_json::to_string_pretty(&state) {
-                let _ = std::fs::write(dir.join("state.json"), json);
+            if let Ok(dir) = RunDirectory::create(dir) {
+                let _ = dir.write_json("state.json", &state);
             }
         }
         *entry.state.lock().expect("job state") = JobState::Cancelled(rounds);
@@ -744,12 +817,24 @@ impl ServerInner {
     }
 
     fn handle_connection(self: &Arc<ServerInner>, stream: &mut TcpStream) -> io::Result<()> {
-        let request = match http::read_request(stream)? {
-            ReadOutcome::Request(request) => request,
-            ReadOutcome::Closed => return Ok(()),
-            ReadOutcome::Malformed(e) => {
+        let request = match http::read_request(stream) {
+            Ok(ReadOutcome::Request(request)) => request,
+            Ok(ReadOutcome::Closed) => return Ok(()),
+            Ok(ReadOutcome::Malformed(e)) => {
                 return self.respond_error(stream, 400, &[], &e.to_string());
             }
+            // The socket read timeout fired mid-request: tell the client
+            // (best-effort — it may be gone) and free the thread.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                count_request_timeout();
+                return self.respond_error(stream, 408, &[], "request read timed out");
+            }
+            Err(e) => return Err(e),
         };
         let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         match (request.method.as_str(), segments.as_slice()) {
@@ -764,7 +849,15 @@ impl ServerInner {
                     serde_json::to_string(&self.queue_body()).expect("queue body serializes");
                 http::write_json_response(stream, 200, &[], &body)
             }
-            ("GET", ["healthz"]) => http::write_json_response(stream, 200, &[], "{\"ok\":true}"),
+            // Liveness is answering at all; readiness flips false the
+            // moment a drain begins (load balancers stop routing new
+            // submissions while in-flight jobs finish).
+            ("GET", ["healthz"]) => {
+                let ready = !self.shutting_down.load(Ordering::SeqCst);
+                let body = serde_json::to_string(&HealthBody { ok: true, ready })
+                    .expect("health body serializes");
+                http::write_json_response(stream, if ready { 200 } else { 503 }, &[], &body)
+            }
             (
                 _,
                 ["v1", "jobs"]
@@ -961,11 +1054,12 @@ impl ServerInner {
             tenant: tenant.clone(),
             spec,
         };
-        let record_path = self.queue_dir.join(format!("{id}.json"));
+        let record_name = format!("{id}.json");
         let admit = self.queue.admit(&tenant, id.clone(), || {
-            let json = serde_json::to_string_pretty(&record)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            std::fs::write(&record_path, json)
+            failpoint::check("server.queue.persist")?;
+            // Enveloped + atomic like every other artifact: a crash during
+            // the persist leaves either no record or a verifiable one.
+            RunDirectory::create(&self.queue_dir)?.write_json(&record_name, &record)
         });
         match admit {
             Ok(_) => {
@@ -1028,6 +1122,7 @@ impl ServerInner {
             cancel: CancelToken::new(),
             dispatched: Mutex::new(None),
             state: Mutex::new(state),
+            attempts: AtomicUsize::new(0),
             tenant,
             admitted,
             events,
@@ -1064,6 +1159,7 @@ impl ServerInner {
             dispatched: Mutex::new(None),
             state: Mutex::new(JobState::Queued),
             events: Arc::new(EventLog::new()),
+            attempts: AtomicUsize::new(0),
             tenant,
             admitted,
         });

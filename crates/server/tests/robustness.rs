@@ -1,0 +1,190 @@
+//! Robustness surface of the HTTP layer: socket timeouts (408), liveness /
+//! readiness over a drain, client retry with backoff, and recovery from a
+//! corrupted durable queue record.
+
+use clapton_server::client::Client;
+use clapton_server::{Server, ServerConfig, ServerHandle};
+use clapton_service::{EngineSpec, JobSpec, NoiseSpec, ProblemSpec, SuiteProblem, UniformNoise};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("clapton-robust-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_spec(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(ProblemSpec::Suite(SuiteProblem {
+        name: "ising(J=0.50)".to_string(),
+        qubits: 4,
+    }));
+    spec.engine = EngineSpec::Quick;
+    spec.noise = NoiseSpec::Uniform(UniformNoise {
+        p1: 1e-3,
+        p2: 1e-2,
+        readout: 2e-2,
+        t1: None,
+    });
+    spec.seed = seed;
+    spec
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind server");
+    let handle = server.handle();
+    let serve = std::thread::spawn(move || server.serve().expect("serve"));
+    (handle, serve)
+}
+
+fn stop(handle: ServerHandle, serve: std::thread::JoinHandle<()>) {
+    handle.drain();
+    serve.join().expect("serve thread");
+}
+
+#[test]
+fn stalled_connections_time_out_with_408() {
+    let root = scratch("stall");
+    let mut config = ServerConfig::new(&root);
+    config.request_timeout = Duration::from_millis(200);
+    let (handle, serve) = start(config);
+
+    // A slow-loris peer: opens the connection, sends half a request line,
+    // and stalls. The server must answer 408 instead of pinning the
+    // connection thread forever.
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.write_all(b"GET /healthz HTT").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "expected a request timeout, got {response:?}"
+    );
+
+    // The same server still answers a well-formed request afterwards.
+    let health = Client::new(handle.local_addr().to_string())
+        .health()
+        .unwrap();
+    assert!(health.ok && health.ready);
+    stop(handle, serve);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn healthz_reports_ready_until_a_drain_begins() {
+    let root = scratch("healthz");
+    let (handle, serve) = start(ServerConfig::new(&root));
+    let client = Client::new(handle.local_addr().to_string());
+
+    let health = client.health().unwrap();
+    assert!(health.ok && health.ready, "fresh server is live and ready");
+    let response = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(response.status, 200);
+
+    // Readiness flips the moment shutdown begins, while the socket keeps
+    // answering — a load balancer sees 503 and stops routing, but nothing
+    // in flight is cut off.
+    handle.begin_shutdown();
+    let health = client.health().unwrap();
+    assert!(health.ok, "still live during the drain");
+    assert!(!health.ready, "not ready during the drain");
+    let response = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(response.status, 503);
+
+    stop(handle, serve);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn client_retries_ride_out_a_late_binding_server() {
+    let root = scratch("retry");
+    // Reserve a port, release it, and bind the real server there shortly
+    // after the client has started retrying into the refused connection.
+    let port = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+
+    let eager = Client::new(&addr);
+    assert!(
+        eager.health().is_err(),
+        "without retries a refused connection fails immediately"
+    );
+
+    let root_clone = root.clone();
+    let addr_clone = addr.clone();
+    let server = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(250));
+        let mut config = ServerConfig::new(&root_clone);
+        config.addr = addr_clone;
+        start(config)
+    });
+
+    let patient = Client::new(&addr).with_retries(8, Duration::from_millis(50));
+    let health = patient
+        .health()
+        .expect("retries outlast the refused window");
+    assert!(health.ok && health.ready);
+
+    let (handle, serve) = server.join().unwrap();
+    stop(handle, serve);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_queue_record_is_quarantined_and_the_job_survives_in_artifacts() {
+    let root = scratch("queue-corrupt");
+    let (handle, serve) = start(ServerConfig::new(&root));
+    let client = Client::new(handle.local_addr().to_string());
+    let spec_json = serde_json::to_string(&quick_spec(41)).unwrap();
+    let submitted = client.submit(&spec_json).unwrap();
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let id = submitted.job().unwrap().id;
+    let first = client.wait(&id, Duration::from_secs(120)).unwrap();
+    let first_report = serde_json::to_string(&first.report.expect("report")).unwrap();
+    stop(handle, serve);
+
+    // Garble the durable queue record in place (length preserved — only
+    // the envelope checksum can catch it).
+    let record = root.join("queue").join(format!("{id}.json"));
+    let mut bytes = std::fs::read(&record).unwrap();
+    let mid = bytes.len() / 2;
+    let end = (mid + 8).min(bytes.len());
+    for byte in &mut bytes[mid..end] {
+        *byte ^= 0x5a;
+    }
+    std::fs::write(&record, bytes).unwrap();
+
+    // The next life starts cleanly: the bad record is quarantined, not
+    // parsed, and the job's artifacts still answer a resubmission with the
+    // identical report.
+    let (handle, serve) = start(ServerConfig::new(&root));
+    let quarantines = std::fs::read_dir(root.join("queue"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.contains(".corrupt-"))
+        })
+        .count();
+    assert_eq!(quarantines, 1, "corrupt record quarantined on recovery");
+
+    let client = Client::new(handle.local_addr().to_string());
+    let resubmitted = client.submit(&spec_json).unwrap();
+    // 200, not 202: the persisted report answers the resubmission
+    // synchronously — the corrupt queue record cost nothing but itself.
+    assert_eq!(resubmitted.status, 200, "{}", resubmitted.body);
+    let again = resubmitted.job().unwrap();
+    assert_eq!(
+        serde_json::to_string(&again.report.expect("report")).unwrap(),
+        first_report,
+        "artifacts answered the resubmission byte-identically"
+    );
+    stop(handle, serve);
+    let _ = std::fs::remove_dir_all(&root);
+}

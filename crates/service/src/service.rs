@@ -7,8 +7,9 @@ use clapton_error::{ClaptonError, SpecError};
 use clapton_ga::EngineState;
 use clapton_pauli::PauliSum;
 use clapton_runtime::{
-    artifact_slug, CancelToken, ClaimOutcome, EventKind, Interrupt, JobContext, JobScheduler,
-    LeaseKeeper, RunDirectory, RunEvent, RunManifest, RunRegistry, ScheduledJob, WorkerPool,
+    artifact_slug, Artifact, CancelToken, ClaimOutcome, EventKind, Interrupt, JobContext,
+    JobScheduler, LeaseKeeper, RunDirectory, RunEvent, RunManifest, RunRegistry, ScheduledJob,
+    WorkerPool,
 };
 use clapton_sim::{ground_energy, DeviceEvaluator};
 use clapton_vqe::{run_vqe, VqeConfig};
@@ -23,6 +24,14 @@ use std::time::Duration;
 /// Artifact names inside a job's run directory.
 const SPEC_ARTIFACT: &str = "spec.json";
 const CHECKPOINT_ARTIFACT: &str = "checkpoint.json";
+/// The previous round's checkpoint, kept one generation behind
+/// [`CHECKPOINT_ARTIFACT`]: if the current checkpoint is torn by a crash
+/// mid-write, recovery falls back here and loses at most that one round.
+/// On completion the final checkpoint rotates into this slot (instead of
+/// being deleted), so even a corrupted `report.json` recovers by replaying
+/// from the final round state — bit-identically, since rounds are
+/// deterministic.
+const CHECKPOINT_PREV_ARTIFACT: &str = "checkpoint.prev.json";
 const REPORT_ARTIFACT: &str = "report.json";
 const STATE_ARTIFACT: &str = "state.json";
 
@@ -283,7 +292,10 @@ impl ClaptonService {
         let Some(dir) = &admitted.dir else {
             return Ok(JobArtifactState::Fresh);
         };
-        if let Some(state) = dir.read_json::<TerminalState>(STATE_ARTIFACT)? {
+        // Corrupt artifacts are quarantined by `load` and treated as absent
+        // here: the scan falls through to the next recovery source instead
+        // of failing the whole startup sweep over one torn file.
+        if let Artifact::Valid(state) = dir.load::<TerminalState>(STATE_ARTIFACT)? {
             return Ok(match state.state.as_str() {
                 "cancelled" => JobArtifactState::Cancelled {
                     rounds: state.rounds,
@@ -293,10 +305,10 @@ impl ClaptonService {
                 },
             });
         }
-        if let Some(report) = dir.read_json::<Report>(REPORT_ARTIFACT)? {
+        if let Artifact::Valid(report) = dir.load::<Report>(REPORT_ARTIFACT)? {
             return Ok(JobArtifactState::Done(Box::new(report)));
         }
-        if dir.exists(CHECKPOINT_ARTIFACT) {
+        if dir.exists(CHECKPOINT_ARTIFACT) || dir.exists(CHECKPOINT_PREV_ARTIFACT) {
             return Ok(JobArtifactState::InFlight);
         }
         Ok(JobArtifactState::Fresh)
@@ -337,10 +349,11 @@ impl ClaptonService {
             return Ok(JobLeaseView::default());
         };
         let lease = clapton_runtime::lease_state(dir.path(), self.lease_ttl)?;
-        let rounds = match dir.read_json::<EngineState>(CHECKPOINT_ARTIFACT)? {
+        let rounds = match load_checkpoint(dir)? {
             Some(state) => Some(state.rounds()),
             None => dir
-                .read_json::<Report>(REPORT_ARTIFACT)?
+                .load::<Report>(REPORT_ARTIFACT)?
+                .valid()
                 .and_then(|report| report.clapton.map(|c| c.rounds)),
         };
         Ok(JobLeaseView {
@@ -461,14 +474,18 @@ impl ClaptonService {
             spec.budget = None;
             spec
         };
-        match dir.read_json::<JobSpec>(SPEC_ARTIFACT)? {
-            Some(existing) if identity(&existing) != identity(&job.spec) => {
+        // A corrupt persisted spec is quarantined and rewritten from the
+        // submission: the conflict check cannot be made against garbage,
+        // and the round checkpoints (which carry the actual search state)
+        // remain authoritative either way.
+        match dir.load::<JobSpec>(SPEC_ARTIFACT)? {
+            Artifact::Valid(existing) if identity(&existing) != identity(&job.spec) => {
                 return Err(ClaptonError::Conflict {
                     run: dir.path().display().to_string(),
                 });
             }
-            Some(_) => {}
-            None => {
+            Artifact::Valid(_) => {}
+            Artifact::Missing | Artifact::Corrupt { .. } => {
                 dir.write_json(SPEC_ARTIFACT, &job.spec)?;
                 dir.write_manifest(&RunManifest {
                     jobs: vec![job.name.clone()],
@@ -671,6 +688,17 @@ pub(crate) fn execute(
     result
 }
 
+/// Loads the newest valid round checkpoint: the current generation when it
+/// verifies, else the previous one (current is quarantined by the failed
+/// load), else `None` — corruption costs at most one round, and a job with
+/// neither checkpoint simply starts from round 0.
+fn load_checkpoint(dir: &RunDirectory) -> io::Result<Option<EngineState>> {
+    if let Some(state) = dir.load::<EngineState>(CHECKPOINT_ARTIFACT)?.valid() {
+        return Ok(Some(state));
+    }
+    Ok(dir.load::<EngineState>(CHECKPOINT_PREV_ARTIFACT)?.valid())
+}
+
 /// The actual job body behind [`execute`], which wraps it in a telemetry
 /// trace and persists the span log.
 fn execute_inner(
@@ -680,7 +708,11 @@ fn execute_inner(
     keeper: Option<&LeaseKeeper>,
 ) -> Result<Report, ClaptonError> {
     if let Some(dir) = dir {
-        if let Some(report) = dir.read_json::<Report>(REPORT_ARTIFACT)? {
+        // A corrupt report is quarantined and the job falls through to the
+        // resume path below: completion rotated the final checkpoint into
+        // the `prev` slot, so replaying from it reproduces the report
+        // bit-identically.
+        if let Artifact::Valid(report) = dir.load::<Report>(REPORT_ARTIFACT)? {
             ctx.emit(EventKind::Finished(
                 "already complete (answered from persisted report)".to_string(),
             ));
@@ -689,7 +721,7 @@ fn execute_inner(
         // Cancellation is terminal and sticky: a resubmission of a cancelled
         // spec reports the cancellation instead of silently restarting the
         // search (remove the run directory to truly start over).
-        if let Some(state) = dir.read_json::<TerminalState>(STATE_ARTIFACT)? {
+        if let Artifact::Valid(state) = dir.load::<TerminalState>(STATE_ARTIFACT)? {
             if state.state == "cancelled" {
                 ctx.emit(EventKind::Cancelled(state.rounds));
                 return Err(ClaptonError::Cancelled {
@@ -712,7 +744,7 @@ fn execute_inner(
     });
     let clapton = if job.runs(&MethodSpec::Clapton) {
         let resume = match dir {
-            Some(dir) => dir.read_json::<EngineState>(CHECKPOINT_ARTIFACT)?,
+            Some(dir) => load_checkpoint(dir)?,
             None => None,
         };
         // The budget counts rounds per submission (matching the suite
@@ -729,7 +761,14 @@ fn execute_inner(
                 clapton_telemetry::record_complete("round", round_started, round_ended);
                 round_started = round_ended;
                 if let Some(dir) = dir {
-                    if let Err(e) = dir.write_json(CHECKPOINT_ARTIFACT, state) {
+                    // Rotating keeps the previous round's checkpoint valid
+                    // while this one is in flight: a torn write costs one
+                    // round, never the run.
+                    if let Err(e) = dir.write_json_rotating(
+                        CHECKPOINT_ARTIFACT,
+                        CHECKPOINT_PREV_ARTIFACT,
+                        state,
+                    ) {
                         checkpoint_error = Some(e);
                         return false;
                     }
@@ -846,7 +885,10 @@ fn execute_inner(
     };
     if let Some(dir) = dir {
         dir.write_json(REPORT_ARTIFACT, &report)?;
-        dir.remove(CHECKPOINT_ARTIFACT)?;
+        // The final checkpoint rotates into the `prev` slot instead of being
+        // deleted: if the report is ever torn or garbled, recovery replays
+        // from the final round state and reproduces it bit-identically.
+        dir.rotate(CHECKPOINT_ARTIFACT, CHECKPOINT_PREV_ARTIFACT)?;
     }
     ctx.emit(EventKind::Finished(match &report.clapton {
         Some(c) => format!("clapton loss {:.6} in {} rounds", c.loss, c.rounds),

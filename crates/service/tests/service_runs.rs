@@ -119,9 +119,13 @@ fn artifacts_persist_spec_and_report_and_answer_resubmissions() {
         !dir.join("checkpoint.json").exists(),
         "checkpoint cleaned up"
     );
-    // The persisted spec is the submitted spec, byte-reproducibly.
-    let persisted: JobSpec =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("spec.json")).unwrap()).unwrap();
+    // The persisted spec is the submitted spec (read back through the
+    // integrity envelope every artifact is wrapped in).
+    let persisted: JobSpec = clapton_runtime::RunDirectory::create(&dir)
+        .unwrap()
+        .read_json("spec.json")
+        .unwrap()
+        .unwrap();
     assert_eq!(persisted, spec);
     // Resubmitting the same spec answers from the persisted report.
     let cached = service.run(spec.clone()).unwrap();
