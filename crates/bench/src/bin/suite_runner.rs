@@ -15,6 +15,7 @@
 //!              [--specs FILE] [--emit-specs FILE]
 //!              [--workers N] [--join DIR] [--status] [--merge]
 //!              [--lease-ttl SECS] [--worker-id ID] [--chaos-seed N]
+//!              [--cache-dir DIR] [--no-persistent-cache]
 //! ```
 //!
 //! Three execution shapes:
@@ -43,16 +44,25 @@
 //!   process abort) via `CLAPTON_FAILPOINTS`; the merged manifest must
 //!   still come out byte-identical — that is the CI `chaos-smoke` check.
 //!
+//! Spec-file and sharded runs answer repeat work from the persistent
+//! content-addressed store at `--cache-dir` (default: `.cache` inside the
+//! run directory) — already-solved specs skip the pool entirely, and
+//! already-scored genomes are read back instead of recomputed, without
+//! changing a byte of any artifact. `--no-persistent-cache` pins the cold
+//! path (the chaos and determinism suites run cold by default). Each worker
+//! prints a `clapton_cache_hits_total=…` line on exit; see
+//! `docs/CACHING.md`.
+//!
 //! See `docs/DISTRIBUTED.md` for the queue layout and lease protocol.
 
 use clapton_bench::{
-    chaos_schedule, merge_shards, read_queue, run_shard_worker, run_spec_suite, run_suite,
-    schedule_spec, shard_status, write_queue, Options, ShardWorkerConfig, SuiteConfig,
+    chaos_schedule, merge_shards, read_queue, run_shard_worker, run_spec_suite_with_cache,
+    run_suite, schedule_spec, shard_status, write_queue, Options, ShardWorkerConfig, SuiteConfig,
     SuiteOutcome,
 };
 use clapton_error::ClaptonError;
 use clapton_runtime::{EventKind, RunEvent, RunRegistry, WorkerPool};
-use clapton_service::JobSpec;
+use clapton_service::{CacheConfig, CacheStore, JobSpec, CACHE_DIR_NAME};
 use serde::Serialize;
 use std::path::Path;
 use std::process::ExitCode;
@@ -102,6 +112,11 @@ struct Args {
     worker_id: Option<String>,
     /// Arm each shard worker child with the fault schedule for this seed.
     chaos_seed: Option<u64>,
+    /// Persistent-store location override (`None` → `.cache` inside the run
+    /// directory).
+    cache_dir: Option<String>,
+    /// Run every job cold: no persistent store is opened or written.
+    no_cache: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -125,6 +140,8 @@ fn parse_args() -> Result<Args, String> {
         lease_ttl: clapton_runtime::DEFAULT_LEASE_TTL,
         worker_id: None,
         chaos_seed: None,
+        cache_dir: None,
+        no_cache: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -193,6 +210,8 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--chaos-seed: {e}"))?,
                 );
             }
+            "--cache-dir" => args.cache_dir = Some(value(&mut i, "--cache-dir")?),
+            "--no-persistent-cache" => args.no_cache = true,
             other => {
                 return Err(format!(
                     "unknown argument {other} (see the module docs for usage)"
@@ -211,7 +230,43 @@ fn parse_args() -> Result<Args, String> {
                 .to_string(),
         );
     }
+    if args.no_cache && args.cache_dir.is_some() {
+        return Err("--no-persistent-cache and --cache-dir are mutually exclusive".to_string());
+    }
     Ok(args)
+}
+
+/// Opens the run's persistent result store (unless `--no-persistent-cache`):
+/// `--cache-dir` when given, else `.cache` inside the run directory.
+fn open_cache(dir: &Path, args: &Args) -> Result<Option<Arc<CacheStore>>, String> {
+    if args.no_cache {
+        return Ok(None);
+    }
+    let path = args
+        .cache_dir
+        .as_ref()
+        .map_or_else(|| dir.join(CACHE_DIR_NAME), std::path::PathBuf::from);
+    CacheStore::open(&path, CacheConfig::default())
+        .map(|store| Some(Arc::new(store)))
+        .map_err(|e| format!("cannot open persistent cache at {}: {e}", path.display()))
+}
+
+/// The end-of-invocation store summary workers print (CI greps the
+/// `clapton_cache_hits_total=` key to assert warm runs actually hit disk).
+fn print_cache_summary(cache: Option<&Arc<CacheStore>>) {
+    let Some(cache) = cache else { return };
+    let stats = cache.stats();
+    println!(
+        "suite-runner: persistent cache at {}: clapton_cache_hits_total={} \
+         clapton_cache_misses_total={} clapton_cache_inserts_total={} \
+         entries={} bytes={}",
+        cache.path().display(),
+        stats.hits,
+        stats.misses,
+        stats.inserts,
+        stats.entries,
+        stats.bytes
+    );
 }
 
 fn list_runs(registry: &RunRegistry) -> std::io::Result<()> {
@@ -428,6 +483,12 @@ fn shard_parent_mode(dir: &Path, workers: usize, args: &Args, config: &SuiteConf
         if args.quiet {
             command.arg("--quiet");
         }
+        if args.no_cache {
+            command.arg("--no-persistent-cache");
+        }
+        if let Some(cache_dir) = &args.cache_dir {
+            command.arg("--cache-dir").arg(cache_dir);
+        }
         if let Some(seed) = args.chaos_seed {
             // Each child gets its own schedule (seed + index), aborts
             // allowed: a dead child's lease goes stale and a peer (or the
@@ -478,10 +539,18 @@ fn shard_parent_mode(dir: &Path, workers: usize, args: &Args, config: &SuiteConf
             merged.jobs.len() - merged.completed(),
             merged.jobs.len()
         );
+        let cache = match open_cache(dir, args) {
+            Ok(cache) => cache,
+            Err(message) => {
+                eprintln!("suite-runner: {message}");
+                return ExitCode::from(2);
+            }
+        };
         let shard_config = ShardWorkerConfig {
             worker_id: args.worker_id.clone(),
             lease_ttl: args.lease_ttl,
             halt_after_rounds: args.halt_after_rounds,
+            cache,
             ..ShardWorkerConfig::default()
         };
         let pool = Arc::new(WorkerPool::with_workers(args.pool_workers));
@@ -520,10 +589,18 @@ fn shard_parent_mode(dir: &Path, workers: usize, args: &Args, config: &SuiteConf
 /// The `--join DIR` worker: sweep an existing shard queue until nothing is
 /// left to do.
 fn join_mode(dir: &Path, args: &Args) -> ExitCode {
+    let cache = match open_cache(dir, args) {
+        Ok(cache) => cache,
+        Err(message) => {
+            eprintln!("suite-runner: {message}");
+            return ExitCode::from(2);
+        }
+    };
     let shard_config = ShardWorkerConfig {
         worker_id: args.worker_id.clone(),
         lease_ttl: args.lease_ttl,
         halt_after_rounds: args.halt_after_rounds,
+        cache: cache.clone(),
         // Under an armed fault schedule a job may error far more than the
         // usual attempt cap without being broken; injected faults are
         // finite, so retrying forever still converges.
@@ -547,6 +624,7 @@ fn join_mode(dir: &Path, args: &Args) -> ExitCode {
                 outcome.completed(),
                 outcome.jobs.len()
             );
+            print_cache_summary(cache.as_ref());
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -573,8 +651,8 @@ fn status_mode(dir: &Path, args: &Args, config: &SuiteConfig) -> ExitCode {
         }
     };
     println!(
-        "{:<34} {:<10} {:<20} {:>12} {:>8}",
-        "job", "state", "lease owner", "heartbeat", "rounds"
+        "{:<34} {:<10} {:<20} {:>12} {:>8} {:>12}",
+        "job", "state", "lease owner", "heartbeat", "rounds", "cache hits"
     );
     for row in rows {
         let owner = match (&row.owner, row.stale) {
@@ -588,9 +666,12 @@ fn status_mode(dir: &Path, args: &Args, config: &SuiteConfig) -> ExitCode {
         let rounds = row
             .rounds
             .map_or_else(|| "-".to_string(), |r| r.to_string());
+        let cache_hits = row
+            .cache_hits
+            .map_or_else(|| "-".to_string(), |h| h.to_string());
         println!(
-            "{:<34} {:<10} {:<20} {:>12} {:>8}",
-            row.job, row.state, owner, heartbeat, rounds
+            "{:<34} {:<10} {:<20} {:>12} {:>8} {:>12}",
+            row.job, row.state, owner, heartbeat, rounds, cache_hits
         );
     }
     ExitCode::SUCCESS
@@ -676,9 +757,23 @@ fn run_specs_mode(
         }
     };
     println!("suite-runner: {} job specs from {path}", specs.len());
+    let cache = match open_cache(dir.path(), args) {
+        Ok(cache) => cache,
+        Err(message) => {
+            eprintln!("suite-runner: {message}");
+            return ExitCode::from(2);
+        }
+    };
     let (tx, printer) = spawn_printer(args.quiet);
     let started = std::time::Instant::now();
-    let outcome = run_spec_suite(dir.path(), specs, pool, Some(tx), args.halt_after_rounds);
+    let outcome = run_spec_suite_with_cache(
+        dir.path(),
+        specs,
+        pool,
+        Some(tx),
+        args.halt_after_rounds,
+        cache.clone(),
+    );
     printer.join().expect("printer thread");
     let outcomes = match outcome {
         Ok(outcomes) => outcomes,
@@ -713,6 +808,7 @@ fn run_specs_mode(
             String::new()
         }
     );
+    print_cache_summary(cache.as_ref());
     if failed > 0 {
         ExitCode::from(2)
     } else {

@@ -25,7 +25,8 @@ pub use shard::{
     MERGED_MANIFEST_ARTIFACT, QUEUE_ARTIFACT,
 };
 pub use suite_run::{
-    run_spec_suite, run_suite, JobOutcome, SuiteConfig, SuiteOutcome, SuiteRecord,
+    run_spec_suite, run_spec_suite_with_cache, run_suite, JobOutcome, SuiteConfig, SuiteOutcome,
+    SuiteRecord,
 };
 
 use clapton_core::{

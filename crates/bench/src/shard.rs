@@ -16,7 +16,7 @@
 
 use clapton_error::ClaptonError;
 use clapton_runtime::{Artifact, CancelToken, RunDirectory, RunEvent, RunRegistry, WorkerPool};
-use clapton_service::{ClaptonService, JobArtifactState, JobSpec, Report};
+use clapton_service::{CacheStore, ClaptonService, JobArtifactState, JobSpec, Report};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
@@ -90,6 +90,11 @@ pub struct ShardWorkerConfig {
     /// flaky shared filesystem — cost a retry from the last checkpoint, not
     /// the job.
     pub max_job_attempts: usize,
+    /// Persistent content-addressed result store this worker answers repeat
+    /// work from (and writes back to). `None` keeps the cold path — the
+    /// default, so chaos and determinism suites pin cold-path behavior
+    /// unless a caller opts in.
+    pub cache: Option<Arc<CacheStore>>,
 }
 
 impl Default for ShardWorkerConfig {
@@ -100,6 +105,7 @@ impl Default for ShardWorkerConfig {
             poll: Duration::from_millis(100),
             halt_after_rounds: None,
             max_job_attempts: 3,
+            cache: None,
         }
     }
 }
@@ -165,6 +171,9 @@ pub fn run_shard_worker(
         .with_lease_ttl(config.lease_ttl);
     if let Some(worker_id) = &config.worker_id {
         service = service.with_worker_id(worker_id.clone());
+    }
+    if let Some(cache) = &config.cache {
+        service = service.with_cache(Arc::clone(cache));
     }
     let queue = RunRegistry::open(root)?.work_queue(service.worker_id(), config.lease_ttl);
     let mut suspended_here: HashSet<String> = HashSet::new();
@@ -344,6 +353,9 @@ pub struct ShardStatusRow {
     pub stale: bool,
     /// GA rounds banked in the job's checkpoint (or final report).
     pub rounds: Option<usize>,
+    /// Memo-answered fitness requests so far (checkpoint while running,
+    /// final report once done).
+    pub cache_hits: Option<u64>,
 }
 
 /// Snapshots per-job lease state for `suite-runner --status`, ordered by
@@ -384,6 +396,7 @@ pub fn shard_status(
             heartbeat_age_ms: lease.heartbeat_age_ms,
             stale: lease.stale.unwrap_or(false),
             rounds: lease.rounds,
+            cache_hits: lease.cache_hits,
         });
     }
     rows.sort_by(|a, b| a.job.cmp(&b.job));

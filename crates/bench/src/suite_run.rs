@@ -27,8 +27,8 @@ use clapton_runtime::{
     ScheduledJob, WorkerPool,
 };
 use clapton_service::{
-    ClaptonService, EngineSpec, JobSpec, MethodSpec, NoiseSpec, ProblemSpec, Report, SuiteProblem,
-    UniformNoise,
+    CacheStore, ClaptonService, EngineSpec, JobSpec, MethodSpec, NoiseSpec, ProblemSpec, Report,
+    SuiteProblem, UniformNoise,
 };
 use clapton_sim::ground_energy;
 use serde::{Deserialize, Serialize};
@@ -382,10 +382,31 @@ pub type SpecJobOutcome = (String, Result<Report, ClaptonError>);
 /// conflict.
 pub fn run_spec_suite(
     root: impl Into<PathBuf>,
+    specs: Vec<JobSpec>,
+    pool: Arc<WorkerPool>,
+    events: Option<Sender<RunEvent>>,
+    halt_after_rounds: Option<u64>,
+) -> Result<Vec<SpecJobOutcome>, ClaptonError> {
+    run_spec_suite_with_cache(root, specs, pool, events, halt_after_rounds, None)
+}
+
+/// [`run_spec_suite`] with an optional persistent result store attached:
+/// the service answers already-solved specs and already-scored genomes from
+/// `cache` and writes fresh results back to it. Results stay byte-identical
+/// to the cache-less path — a disk hit enters the in-memory memo exactly
+/// like a fresh computation, so every counter in the reports matches.
+///
+/// # Errors
+///
+/// The first invalid spec (nothing runs), or an artifact-directory
+/// conflict.
+pub fn run_spec_suite_with_cache(
+    root: impl Into<PathBuf>,
     mut specs: Vec<JobSpec>,
     pool: Arc<WorkerPool>,
     events: Option<Sender<RunEvent>>,
     halt_after_rounds: Option<u64>,
+    cache: Option<Arc<CacheStore>>,
 ) -> Result<Vec<SpecJobOutcome>, ClaptonError> {
     if let Some(budget) = halt_after_rounds {
         for spec in &mut specs {
@@ -393,7 +414,10 @@ pub fn run_spec_suite(
         }
     }
     let names: Vec<String> = specs.iter().map(JobSpec::display_name).collect();
-    let service = ClaptonService::with_pool(pool).with_artifacts(root)?;
+    let mut service = ClaptonService::with_pool(pool).with_artifacts(root)?;
+    if let Some(cache) = cache {
+        service = service.with_cache(cache);
+    }
     let results = service.run_all(specs, events)?;
     Ok(names.into_iter().zip(results).collect())
 }

@@ -2,7 +2,9 @@
 
 use crate::{EvaluatorKind, ExecutableAnsatz, TransformLoss, Transformation};
 use clapton_circuits::TransformationAnsatz;
+use clapton_eval::LossStore;
 use clapton_ga::{EngineState, MultiGa, MultiGaConfig};
+use clapton_noise::NoisyCircuit;
 use clapton_pauli::PauliSum;
 use clapton_runtime::WorkerPool;
 use serde::{Deserialize, Serialize};
@@ -140,6 +142,27 @@ pub fn run_clapton_resumable(
     resume: Option<EngineState>,
     on_round: &mut dyn FnMut(&EngineState) -> bool,
 ) -> (EngineState, Option<ClaptonResult>) {
+    run_clapton_resumable_with_store(h, exec, config, pool, None, resume, on_round)
+}
+
+/// [`run_clapton_resumable`] with an optional persistent loss store: memo
+/// misses consult the store before computing, and computed losses are written
+/// back, so a repeated search (same Hamiltonian, device, evaluator, ablation)
+/// answers its loss queries from disk. The store namespace is
+/// [`loss_namespace`] — deliberately independent of the engine
+/// hyper-parameters and seed, so differently-configured searches over the
+/// same objective share entries. Results and all reported statistics are
+/// bit-identical with or without the store (disk hits are recorded as fresh
+/// memo inserts).
+pub fn run_clapton_resumable_with_store(
+    h: &PauliSum,
+    exec: &ExecutableAnsatz,
+    config: &ClaptonConfig,
+    pool: Option<&Arc<WorkerPool>>,
+    store: Option<Arc<dyn LossStore>>,
+    resume: Option<EngineState>,
+    on_round: &mut dyn FnMut(&EngineState) -> bool,
+) -> (EngineState, Option<ClaptonResult>) {
     let n = exec.num_logical();
     assert_eq!(h.num_qubits(), n, "Hamiltonian/ansatz register mismatch");
     let t_ansatz = TransformationAnsatz::new(n);
@@ -148,7 +171,10 @@ pub fn run_clapton_resumable(
         // Ablation: freeze the two-qubit slot genes to identity.
         objective = objective.freeze_two_qubit_slots();
     }
-    let engine = MultiGa::new(t_ansatz.num_genes(), 4, config.engine);
+    let mut engine = MultiGa::new(t_ansatz.num_genes(), 4, config.engine);
+    if let Some(store) = store {
+        engine = engine.with_loss_store(store, loss_namespace(h, exec, config));
+    }
     let tag = problem_fingerprint(h, config);
     let mut state = match resume {
         Some(state) => {
@@ -197,6 +223,48 @@ pub fn run_clapton_resumable(
         cache_hits: result.cache_hits,
     };
     (state, Some(clapton))
+}
+
+/// The persistent-store namespace for loss entries of this objective: a
+/// deterministic FNV-style fingerprint of everything a genome's loss depends
+/// on — the Hamiltonian's terms, the noisy transpiled ansatz (via
+/// [`NoisyCircuit::fingerprint`], which covers layout, coupling, and the
+/// per-qubit noise model), the evaluator backend, and the ablation switch.
+///
+/// Deliberately excluded: the engine hyper-parameters and seed. The loss of
+/// a transformation is a property of the objective alone, so searches with
+/// different GA settings over the same problem share one namespace (unlike
+/// the resume tag, which must pin the full engine configuration).
+pub fn loss_namespace(h: &PauliSum, exec: &ExecutableAnsatz, config: &ClaptonConfig) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        acc ^= v;
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(h.num_qubits() as u64);
+    for (c, p) in h.iter() {
+        mix(c.to_bits());
+        for &w in p.x_words() {
+            mix(w);
+        }
+        for &w in p.z_words() {
+            mix(w);
+        }
+    }
+    let noisy = NoisyCircuit::from_circuit(&exec.circuit_at_zero(), exec.noise_model())
+        .expect("the transpiled ansatz at θ=0 is Clifford");
+    mix(noisy.fingerprint());
+    match config.evaluator {
+        EvaluatorKind::Exact => mix(1),
+        EvaluatorKind::Sampled { shots, seed } => {
+            mix(2);
+            mix(shots as u64);
+            mix(seed);
+        }
+        EvaluatorKind::Dense => mix(3),
+    }
+    mix(u64::from(config.two_qubit_slots));
+    acc
 }
 
 /// A deterministic FNV-style fingerprint of everything that shapes the

@@ -33,9 +33,12 @@ mod metrics;
 mod transform;
 
 pub use baselines::{run_cafqa, run_ncafqa, CafqaResult};
-pub use clapton::{run_clapton, run_clapton_resumable, ClaptonConfig, ClaptonResult};
+pub use clapton::{
+    loss_namespace, run_clapton, run_clapton_resumable, run_clapton_resumable_with_store,
+    ClaptonConfig, ClaptonResult,
+};
 pub use clapton_eval::{
-    CacheStats, CachedEvaluator, FnEvaluator, LossEvaluator, ParallelEvaluator,
+    CacheStats, CachedEvaluator, FnEvaluator, LossEvaluator, LossStore, ParallelEvaluator,
 };
 pub use clapton_ga::EngineState;
 pub use clapton_runtime::{PooledEvaluator, WorkerPool};

@@ -83,6 +83,28 @@ pub trait LossEvaluator: Sync {
     }
 }
 
+/// A persistent genome → loss tier behind the in-memory memo: disk caches,
+/// shared stores, anything that can answer a canonical key with a
+/// previously computed loss.
+///
+/// Lookups are namespaced: `ns` fingerprints everything that shapes the
+/// loss besides the genome (Hamiltonian, noise model, evaluator backend),
+/// so one store safely serves many problems. Implementations must be
+/// **pure and lossless**: a `load` hit must return the exact bits a prior
+/// `save` stored — the caller counts a disk hit as a fresh evaluation, so
+/// any drift would silently corrupt deterministic resume.
+///
+/// `save` is fire-and-forget: persistence failures must be swallowed (the
+/// loss is already known; losing the write costs a future recompute, never
+/// correctness).
+pub trait LossStore: Send + Sync + std::fmt::Debug {
+    /// The stored loss for `key` in namespace `ns`, if any.
+    fn load(&self, ns: u64, key: &[u8]) -> Option<f64>;
+
+    /// Records `loss` for `key` in namespace `ns` (best-effort).
+    fn save(&self, ns: u64, key: &[u8], loss: f64);
+}
+
 impl<E: LossEvaluator + ?Sized> LossEvaluator for &E {
     fn evaluate(&self, genome: &[u8]) -> f64 {
         (**self).evaluate(genome)
@@ -242,6 +264,13 @@ pub struct CachedEvaluator<E> {
     table: Mutex<HashMap<Vec<u8>, f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional persistent tier behind the memo, with the namespace this
+    /// evaluator's lookups live in: memo miss → disk lookup → compute.
+    /// A disk hit is recorded exactly like a fresh computation (it inserts
+    /// a new memo entry and counts as a miss), so [`CacheStats`] — and
+    /// everything serialized from it — is bit-identical whether a loss came
+    /// from disk or from the evaluator.
+    store: Option<(Arc<dyn LossStore>, u64)>,
 }
 
 impl<E: LossEvaluator> CachedEvaluator<E> {
@@ -252,7 +281,16 @@ impl<E: LossEvaluator> CachedEvaluator<E> {
             table: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store: None,
         }
+    }
+
+    /// Attaches a persistent tier behind the memo: lookups that miss the
+    /// in-memory table consult `store` (under namespace `ns`) before the
+    /// wrapped evaluator runs, and freshly computed losses are written back.
+    pub fn with_store(mut self, store: Arc<dyn LossStore>, ns: u64) -> CachedEvaluator<E> {
+        self.store = Some((store, ns));
+        self
     }
 
     /// Rebuilds a cache from a [`CachedEvaluator::export`] snapshot,
@@ -268,6 +306,7 @@ impl<E: LossEvaluator> CachedEvaluator<E> {
             table: Mutex::new(entries.into_iter().collect()),
             hits: AtomicU64::new(stats.hits),
             misses: AtomicU64::new(stats.misses),
+            store: None,
         }
     }
 
@@ -326,7 +365,17 @@ impl<E: LossEvaluator> LossEvaluator for CachedEvaluator<E> {
         // The lock is NOT held while the loss runs: concurrent threads may
         // race to evaluate the same genome, but purity makes the duplicate
         // work harmless and the stored value identical.
+        if let Some((store, ns)) = &self.store {
+            if let Some(loss) = store.load(*ns, &key) {
+                let mut table = self.table.lock().expect("cache lock");
+                self.record(&mut table, key, loss);
+                return loss;
+            }
+        }
         let loss = self.inner.evaluate(genome);
+        if let Some((store, ns)) = &self.store {
+            store.save(*ns, &key, loss);
+        }
         let mut table = self.table.lock().expect("cache lock");
         self.record(&mut table, key, loss);
         loss
@@ -362,9 +411,37 @@ impl<E: LossEvaluator> LossEvaluator for CachedEvaluator<E> {
         if pending.is_empty() {
             return out;
         }
+        // Second tier: the persistent store. Disk hits are recorded like
+        // computed losses (fresh memo inserts), so [`CacheStats`] and every
+        // downstream round-stats artifact stay bit-identical cold vs warm.
+        let mut disk_hits: Vec<(Vec<u8>, f64)> = Vec::new();
+        if let Some((store, ns)) = &self.store {
+            pending.retain(|(key, _)| match store.load(*ns, key) {
+                Some(loss) => {
+                    disk_hits.push((key.clone(), loss));
+                    false
+                }
+                None => true,
+            });
+        }
         let representatives: Vec<Vec<u8>> = pending.iter().map(|(_, g)| g.clone()).collect();
-        let losses = self.inner.evaluate_population(&representatives);
+        let losses = if representatives.is_empty() {
+            Vec::new()
+        } else {
+            self.inner.evaluate_population(&representatives)
+        };
+        if let Some((store, ns)) = &self.store {
+            for ((key, _), loss) in pending.iter().zip(&losses) {
+                store.save(*ns, key, *loss);
+            }
+        }
         let mut table = self.table.lock().expect("cache lock");
+        for (key, loss) in disk_hits {
+            for &slot in &pending_slots[&key] {
+                out[slot] = loss;
+            }
+            self.record(&mut table, key, loss);
+        }
         for ((key, _), loss) in pending.into_iter().zip(&losses) {
             for &slot in &pending_slots[&key] {
                 out[slot] = *loss;

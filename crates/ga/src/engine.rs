@@ -2,7 +2,7 @@
 //! state machine.
 
 use crate::{GaConfig, GaInstance, Individual};
-use clapton_eval::{CacheStats, CachedEvaluator, LossEvaluator, ParallelEvaluator};
+use clapton_eval::{CacheStats, CachedEvaluator, LossEvaluator, LossStore, ParallelEvaluator};
 use clapton_runtime::{PooledEvaluator, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -202,6 +202,7 @@ pub struct MultiGa {
     num_genes: usize,
     cardinality: u8,
     config: MultiGaConfig,
+    store: Option<(Arc<dyn LossStore>, u64)>,
 }
 
 impl MultiGa {
@@ -212,12 +213,39 @@ impl MultiGa {
             num_genes,
             cardinality,
             config,
+            store: None,
         }
+    }
+
+    /// Attaches a persistent loss store consulted on memo misses under
+    /// namespace `ns` (see [`CachedEvaluator::with_store`] for the
+    /// determinism contract — disk hits count as cache misses).
+    pub fn with_loss_store(mut self, store: Arc<dyn LossStore>, ns: u64) -> MultiGa {
+        self.store = Some((store, ns));
+        self
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &MultiGaConfig {
         &self.config
+    }
+
+    /// Wraps `batched` in the per-run memo cache, attaching the persistent
+    /// store tier when one is configured.
+    fn cached_for<E2: LossEvaluator>(
+        &self,
+        batched: E2,
+        state: &mut EngineState,
+    ) -> CachedEvaluator<E2> {
+        let cached = CachedEvaluator::from_snapshot(
+            batched,
+            std::mem::take(&mut state.cache_entries),
+            state.cache_stats,
+        );
+        match &self.store {
+            Some((store, ns)) => cached.with_store(Arc::clone(store), *ns),
+            None => cached,
+        }
     }
 
     /// Runs the engine to convergence, minimizing `evaluator`'s loss.
@@ -255,11 +283,7 @@ impl MultiGa {
         batched: E2,
         exec: RoundExec<'_>,
     ) -> MultiGaResult {
-        let cached = CachedEvaluator::from_snapshot(
-            batched,
-            std::mem::take(&mut state.cache_entries),
-            state.cache_stats,
-        );
+        let cached = self.cached_for(batched, state);
         while !self.step_core(state, &cached, exec) {}
         state.cache_entries = cached.export();
         state.cache_stats = cached.stats();
@@ -360,11 +384,7 @@ impl MultiGa {
     ) -> bool {
         // Evaluation stack: cache → batch path → user loss, exactly as in a
         // monolithic run.
-        let cached = CachedEvaluator::from_snapshot(
-            batched,
-            std::mem::take(&mut state.cache_entries),
-            state.cache_stats,
-        );
+        let cached = self.cached_for(batched, state);
         let finished = self.step_core(state, &cached, exec);
         state.cache_entries = cached.export();
         state.cache_stats = cached.stats();

@@ -108,6 +108,64 @@ struct EnvelopeHeader {
 }
 
 /// Wraps `payload` in the integrity envelope: header line, then the exact
+/// payload bytes. Public so other durable formats (e.g. the persistent
+/// result cache's segment files) share the exact artifact envelope and its
+/// corruption semantics.
+pub fn seal_envelope(payload: &[u8]) -> Vec<u8> {
+    seal(payload)
+}
+
+/// Parses one enveloped record at the *start* of `bytes` and returns the
+/// verified payload plus the total number of bytes the record occupies
+/// (header line + payload) — the scanning primitive for multi-record files
+/// such as cache segments, where [`seal_envelope`] outputs are simply
+/// concatenated.
+///
+/// Unlike the whole-file read path, bytes without an envelope header are an
+/// error here: a concatenated record stream has no legacy bare-JSON form.
+///
+/// # Errors
+///
+/// A human-readable description of the corruption (missing header,
+/// truncated payload, checksum mismatch).
+pub fn open_envelope_record(bytes: &[u8]) -> Result<(&[u8], usize), String> {
+    if !bytes.starts_with(ENVELOPE_MAGIC) {
+        return Err("record does not start with an envelope header".to_string());
+    }
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("envelope header line is unterminated")?;
+    let header_text = std::str::from_utf8(&bytes[..newline])
+        .map_err(|e| format!("envelope header is not UTF-8: {e}"))?;
+    let header: EnvelopeHeader = serde_json::from_str(header_text)
+        .map_err(|e| format!("envelope header does not parse: {e}"))?;
+    if header.v != 1 {
+        return Err(format!("unsupported envelope version {}", header.v));
+    }
+    let payload_start = newline + 1;
+    let payload_end = payload_start
+        .checked_add(header.len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| {
+            format!(
+                "payload is {} bytes, envelope promised {} (torn write)",
+                bytes.len() - payload_start,
+                header.len
+            )
+        })?;
+    let payload = &bytes[payload_start..payload_end];
+    let sum = format!("{:016x}", fnv1a64(payload));
+    if sum != header.fnv64 {
+        return Err(format!(
+            "payload checksum {sum} != enveloped {} (corrupt write)",
+            header.fnv64
+        ));
+    }
+    Ok((payload, payload_end))
+}
+
+/// Wraps `payload` in the integrity envelope: header line, then the exact
 /// payload bytes.
 fn seal(payload: &[u8]) -> Vec<u8> {
     let header = format!(
@@ -428,12 +486,16 @@ impl RunRegistry {
     /// by name — the raw listing queue-style consumers (e.g. a job server
     /// re-admitting persisted work after a restart) scan, without requiring
     /// a suite manifest the way [`RunRegistry::list`] does.
+    ///
+    /// Dot-prefixed directories are reserved for registry-internal state
+    /// (e.g. the `.cache` persistent result store) and never listed as runs.
     pub fn run_names(&self) -> io::Result<Vec<String>> {
         let mut names = Vec::new();
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;
-            if entry.file_type()?.is_dir() {
-                names.push(entry.file_name().to_string_lossy().into_owned());
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if entry.file_type()?.is_dir() && !name.starts_with('.') {
+                names.push(name);
             }
         }
         names.sort();

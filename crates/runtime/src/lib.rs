@@ -37,7 +37,10 @@ mod scheduler;
 mod workqueue;
 
 pub use cancel::{CancelToken, Interrupt};
-pub use checkpoint::{artifact_slug, Artifact, RunDirectory, RunInfo, RunManifest, RunRegistry};
+pub use checkpoint::{
+    artifact_slug, open_envelope_record, seal_envelope, Artifact, RunDirectory, RunInfo,
+    RunManifest, RunRegistry,
+};
 pub use evaluator::PooledEvaluator;
 pub use pool::{PoolScope, WorkerPool};
 pub use scheduler::{EventKind, JobContext, JobScheduler, RunEvent, ScheduledJob};

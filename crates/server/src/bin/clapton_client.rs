@@ -13,6 +13,8 @@
 //!                               age, rounds done)
 //!   events JOB_ID               stream events until the job ends
 //!   metrics [--raw]             scrape /metrics (table, or raw text)
+//!   cache [--flush]             persistent-store stats table, or drop
+//!                               every cached entry with --flush
 //!   trace JOB_ID                print a finished job's span tree
 //!   health                      poll /healthz; exit 0 only when live
 //!                               AND ready (CI waits on this instead
@@ -38,7 +40,7 @@ fn usage() -> ! {
         "usage: clapton-client --addr HOST:PORT [--tenant NAME] [--retries N] \
          [--retry-base-ms MS] \
          (submit SPEC.json | status ID | wait ID [SECS] | cancel ID | queue \
-          | events ID | metrics [--raw] | trace ID | health \
+          | events ID | metrics [--raw] | cache [--flush] | trace ID | health \
           | verify SPEC.json [SECS])"
     );
     std::process::exit(2);
@@ -198,6 +200,30 @@ fn main() {
                 print_metrics_table(&text);
             }
         }),
+        "cache" => {
+            if rest.get(1).map(String::as_str) == Some("--flush") {
+                client.cache_flush().map(|cleared| {
+                    println!("flushed {cleared} cached entries");
+                })
+            } else {
+                client.cache_stats().map(|stats| {
+                    let rows = [
+                        ("entries", stats.entries),
+                        ("bytes", stats.bytes),
+                        ("segments", stats.segments),
+                        ("hits", stats.hits),
+                        ("misses", stats.misses),
+                        ("inserts", stats.inserts),
+                        ("evictions", stats.evictions),
+                        ("corrupt_segments", stats.corrupt_segments),
+                    ];
+                    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+                    for (name, value) in rows {
+                        println!("{name:width$}  {value}");
+                    }
+                })
+            }
+        }
         "health" => client.health().map(|health| {
             println!(
                 "{}",

@@ -257,6 +257,44 @@ impl Client {
         Ok(response.body)
     }
 
+    /// `GET /v1/cache`: the persistent result store's census, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a 404 (no store attached), or a non-stats body.
+    pub fn cache_stats(&self) -> io::Result<clapton_service::CacheStoreStats> {
+        let response = self.request("GET", "/v1/cache", None)?;
+        if response.status != 200 {
+            return Err(io::Error::other(
+                response
+                    .error()
+                    .unwrap_or_else(|| format!("status {}", response.status)),
+            ));
+        }
+        serde_json::from_str(&response.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// `DELETE /v1/cache`: drops every cached entry, returning how many
+    /// entries were cleared.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a 404 (no store attached), or a non-flush body.
+    pub fn cache_flush(&self) -> io::Result<u64> {
+        let response = self.request("DELETE", "/v1/cache", None)?;
+        if response.status != 200 {
+            return Err(io::Error::other(
+                response
+                    .error()
+                    .unwrap_or_else(|| format!("status {}", response.status)),
+            ));
+        }
+        let body: crate::server::CacheFlushBody = serde_json::from_str(&response.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(body.cleared)
+    }
+
     /// `GET /v1/jobs/{id}/trace`: the job's span tree, parsed.
     ///
     /// # Errors

@@ -49,6 +49,6 @@ mod server;
 pub use admission::{AdmissionConfig, AdmissionQueue, AdmitError, QueueStats, Shed, TenantUsage};
 pub use events::EventLog;
 pub use server::{
-    DrainSummary, ErrorBody, HealthBody, JobQueueRow, JobStatusBody, QueueBody, QueueRecord,
-    Server, ServerConfig, ServerHandle, TenantBody,
+    CacheFlushBody, DrainSummary, ErrorBody, HealthBody, JobQueueRow, JobStatusBody, QueueBody,
+    QueueRecord, Server, ServerConfig, ServerHandle, TenantBody,
 };

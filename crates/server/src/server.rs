@@ -121,6 +121,13 @@ pub struct ErrorBody {
     pub error: String,
 }
 
+/// The JSON body of `DELETE /v1/cache`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheFlushBody {
+    /// Entries dropped by the flush.
+    pub cleared: u64,
+}
+
 /// The JSON body of `GET /healthz`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HealthBody {
@@ -406,7 +413,8 @@ impl Server {
         let pool = Arc::new(WorkerPool::with_workers(config.pool_workers.max(1)));
         let service = ClaptonService::with_pool(pool)
             .with_lease_ttl(config.lease_ttl)
-            .with_artifacts(config.root.join("artifacts"))?;
+            .with_artifacts(config.root.join("artifacts"))?
+            .with_cache_under(config.root.join("artifacts"))?;
         let queue_dir = config.root.join("queue");
         std::fs::create_dir_all(&queue_dir).map_err(ClaptonError::Io)?;
         let listener = TcpListener::bind(&config.addr).map_err(ClaptonError::Io)?;
@@ -612,7 +620,14 @@ impl ServerInner {
                 JobArtifactState::Done(report) => JobState::Done(report),
                 JobArtifactState::Cancelled { rounds } => JobState::Cancelled(rounds),
                 JobArtifactState::Failed { detail } => JobState::Failed(detail),
-                JobArtifactState::Fresh | JobArtifactState::InFlight => JobState::Queued,
+                // A fresh job the persistent store has already solved (the
+                // artifacts may be gone, but the cache survives lives)
+                // recovers straight to done — no requeue, no pool time.
+                JobArtifactState::Fresh => match self.service.answer_from_cache(&admitted)? {
+                    Some(report) => JobState::Done(Box::new(report)),
+                    None => JobState::Queued,
+                },
+                JobArtifactState::InFlight => JobState::Queued,
             };
             let requeue = matches!(state, JobState::Queued);
             let events = Arc::new(EventLog::new());
@@ -844,6 +859,8 @@ impl ServerInner {
             ("GET", ["v1", "jobs", id, "events"]) => self.handle_events(stream, id),
             ("GET", ["v1", "jobs", id, "trace"]) => self.handle_trace(stream, id),
             ("GET", ["metrics"]) => self.handle_metrics(stream),
+            ("GET", ["v1", "cache"]) => self.handle_cache_stats(stream),
+            ("DELETE", ["v1", "cache"]) => self.handle_cache_flush(stream),
             ("GET", ["v1", "queue"]) => {
                 let body =
                     serde_json::to_string(&self.queue_body()).expect("queue body serializes");
@@ -864,6 +881,7 @@ impl ServerInner {
                 | ["v1", "jobs", _]
                 | ["v1", "jobs", _, "events" | "trace"]
                 | ["v1", "queue"]
+                | ["v1", "cache"]
                 | ["metrics"],
             ) => self.respond_error(stream, 405, &[], "method not allowed on this path"),
             _ => self.respond_error(stream, 404, &[], "no such endpoint"),
@@ -931,6 +949,12 @@ impl ServerInner {
                 )
                 .set((stats.vclock - t.vtime).max(0.0));
         }
+        // `stats()` refreshes the `clapton_cache_size_bytes` /
+        // `clapton_cache_entries` gauges as a side effect, so the scrape
+        // reflects the store as it is now.
+        if let Some(cache) = self.service.cache() {
+            let _ = cache.stats();
+        }
         http::write_response(
             stream,
             200,
@@ -938,6 +962,33 @@ impl ServerInner {
             &[],
             &registry.render(),
         )
+    }
+
+    /// `GET /v1/cache`: a point-in-time census of the persistent result
+    /// store ([`clapton_service::CacheStoreStats`] as JSON).
+    fn handle_cache_stats(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let Some(cache) = self.service.cache() else {
+            return self.respond_error(stream, 404, &[], "no persistent cache attached");
+        };
+        let body = serde_json::to_string(&cache.stats()).expect("cache stats serialize");
+        http::write_json_response(stream, 200, &[], &body)
+    }
+
+    /// `DELETE /v1/cache`: drops every cached entry and segment (the
+    /// operator's invalidation hammer — e.g. after an engine change that
+    /// should obsolete stored results), reporting how many entries went.
+    fn handle_cache_flush(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let Some(cache) = self.service.cache() else {
+            return self.respond_error(stream, 404, &[], "no persistent cache attached");
+        };
+        match cache.clear() {
+            Ok(cleared) => {
+                let body = serde_json::to_string(&CacheFlushBody { cleared })
+                    .expect("flush body serializes");
+                http::write_json_response(stream, 200, &[], &body)
+            }
+            Err(e) => self.respond_error(stream, 500, &[], &format!("cache flush failed: {e}")),
+        }
     }
 
     /// `GET /v1/jobs/{id}/trace`: the span tree recorded while the job
@@ -1007,7 +1058,37 @@ impl ServerInner {
             Err(e) => return self.respond_error(stream, 500, &[], &e.to_string()),
         };
         match self.service.inspect(&admitted) {
-            Ok(JobArtifactState::Fresh | JobArtifactState::InFlight) => {}
+            Ok(JobArtifactState::Fresh) => {
+                // Warm admission: a spec the persistent store has already
+                // solved (in any process sharing this registry) is answered
+                // here — no admission tokens, no queue slot, no pool time.
+                // The active-job guard matches the answered-from-artifacts
+                // branch below: a live entry owns the directory.
+                let active = self
+                    .registry
+                    .lock()
+                    .expect("job registry")
+                    .active_by_dir
+                    .get(&dir_key(&admitted))
+                    .cloned();
+                if active.is_none() {
+                    match self.service.answer_from_cache(&admitted) {
+                        Ok(Some(report)) => {
+                            let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+                            let entry = self.insert_entry(
+                                format!("job-{seq:06}"),
+                                tenant,
+                                admitted,
+                                JobState::Done(Box::new(report)),
+                            );
+                            return self.respond_entry(stream, 200, &entry);
+                        }
+                        Ok(None) => {}
+                        Err(e) => return self.respond_error(stream, 500, &[], &e.to_string()),
+                    }
+                }
+            }
+            Ok(JobArtifactState::InFlight) => {}
             Ok(terminal) => {
                 // Answered from artifacts: no admission, no dispatch — but
                 // only if no live job owns the directory (the running job

@@ -124,7 +124,13 @@ fn metrics_scrape_covers_every_layer_and_trace_matches_the_artifact() {
     let artifact_dir = std::fs::read_dir(root.join("artifacts"))
         .expect("artifacts dir")
         .map(|e| e.expect("dirent").path())
-        .find(|p| p.is_dir())
+        .find(|p| {
+            // Skip registry-internal state such as the `.cache` store.
+            p.is_dir()
+                && !p
+                    .file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with('.'))
+        })
         .expect("one artifact dir");
     let jsonl =
         std::fs::read_to_string(artifact_dir.join(TELEMETRY_ARTIFACT)).expect("telemetry.jsonl");

@@ -35,6 +35,7 @@ mod report;
 mod service;
 mod spec;
 
+pub use clapton_cache::{CacheConfig, CacheStore, CacheStoreStats, CACHE_DIR_NAME};
 pub use clapton_error::{ClaptonError, SpecError};
 pub use report::Report;
 pub use service::{

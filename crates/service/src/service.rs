@@ -2,7 +2,8 @@
 //! runtime substrate.
 
 use crate::{JobSpec, MethodSpec, Report, ResolvedJob};
-use clapton_core::{run_cafqa, run_clapton_resumable, run_ncafqa};
+use clapton_cache::{CacheConfig, CacheStore};
+use clapton_core::{run_cafqa, run_clapton_resumable_with_store, run_ncafqa, LossStore};
 use clapton_error::{ClaptonError, SpecError};
 use clapton_ga::EngineState;
 use clapton_pauli::PauliSum;
@@ -60,6 +61,31 @@ fn job_slug(job: &ResolvedJob) -> String {
     artifact_slug(&format!("{}-seed{}", job.name, job.config.seed))
 }
 
+/// The persistent-cache namespace terminal reports are stored under:
+/// FNV-1a 64 of a versioned tag, bumped whenever the report schema or the
+/// spec-identity serialization changes incompatibly.
+fn report_namespace() -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in b"clapton-report-v1" {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The report-tier cache key: the job's spec identity — the canonical spec
+/// JSON with the budget cleared, exactly the identity [`prepare_dir`]'s
+/// resubmission conflict check compares. Everything that shapes the report
+/// (problem, backend, noise, methods, engine, evaluator, seed, VQE refine)
+/// is in here; execution policy is not.
+fn report_key(job: &ResolvedJob) -> Vec<u8> {
+    let mut spec = job.spec.clone();
+    spec.budget = None;
+    serde_json::to_string(&spec)
+        .expect("spec serializes")
+        .into_bytes()
+}
+
 /// The service front door: one `submit` for every caller.
 ///
 /// A service owns (or shares) a persistent [`WorkerPool`]; every submitted
@@ -90,6 +116,7 @@ fn job_slug(job: &ResolvedJob) -> String {
 pub struct ClaptonService {
     pool: Arc<WorkerPool>,
     artifacts: Option<RunRegistry>,
+    cache: Option<Arc<CacheStore>>,
     worker_id: String,
     lease_ttl: Duration,
 }
@@ -120,6 +147,7 @@ impl ClaptonService {
         ClaptonService {
             pool,
             artifacts: None,
+            cache: None,
             worker_id: clapton_runtime::default_worker_id().to_string(),
             lease_ttl: clapton_runtime::DEFAULT_LEASE_TTL,
         }
@@ -166,6 +194,37 @@ impl ClaptonService {
         Ok(self)
     }
 
+    /// Attaches a shared persistent result store ([`CacheStore`]): memo
+    /// misses in every job's loss evaluation consult it before computing,
+    /// computed losses are written back, and completed reports are stored
+    /// so an identical spec — resubmitted, or submitted in a later process
+    /// — answers without running the search. Results and all reported
+    /// statistics are bit-identical with or without the store.
+    pub fn with_cache(mut self, cache: Arc<CacheStore>) -> ClaptonService {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// [`ClaptonService::with_cache`] opening the store at the conventional
+    /// location under `registry_root` (`<registry_root>/.cache`, which run
+    /// listings skip) with default sizing.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store directory cannot be created or scanned.
+    pub fn with_cache_under(
+        self,
+        registry_root: impl AsRef<std::path::Path>,
+    ) -> Result<ClaptonService, ClaptonError> {
+        let store = CacheStore::open_under_registry(registry_root, CacheConfig::default())?;
+        Ok(self.with_cache(Arc::new(store)))
+    }
+
+    /// The attached persistent result store, if any.
+    pub fn cache(&self) -> Option<&Arc<CacheStore>> {
+        self.cache.as_ref()
+    }
+
     /// The shared worker pool.
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
@@ -203,6 +262,7 @@ impl ClaptonService {
         let job_cancel = cancel.clone();
         let pool = Arc::clone(&self.pool);
         let lease = self.lease_policy();
+        let cache = self.cache.clone();
         let (event_tx, event_rx) = mpsc::channel();
         let (result_tx, result_rx) = mpsc::channel();
         let thread = std::thread::spawn(move || {
@@ -210,7 +270,7 @@ impl ClaptonService {
             let jobs = vec![ScheduledJob::with_cancel(
                 job.name.clone(),
                 job_cancel,
-                |ctx: &JobContext| execute(&job, ctx, dir.as_ref(), &lease),
+                |ctx: &JobContext| execute(&job, ctx, dir.as_ref(), &lease, cache.as_ref()),
             )];
             let (mut results, panic) = scheduler.try_run_all(jobs, Some(event_tx));
             let result = results.pop().flatten().unwrap_or_else(|| {
@@ -268,7 +328,7 @@ impl ClaptonService {
         let jobs = vec![ScheduledJob::with_cancel(
             job.name.clone(),
             cancel,
-            |ctx: &JobContext| execute(job, ctx, dir.as_ref(), &lease),
+            |ctx: &JobContext| execute(job, ctx, dir.as_ref(), &lease, self.cache.as_ref()),
         )];
         let (mut results, panic) = scheduler.try_run_all(jobs, events);
         match results.pop().flatten() {
@@ -336,6 +396,38 @@ impl ClaptonService {
         Ok(())
     }
 
+    /// Answers an admitted job from the persistent result store without
+    /// executing anything: a report cached under the job's spec identity
+    /// (by this process or any earlier one sharing the store) is
+    /// materialized into the job's artifact directory — so `inspect` and
+    /// resubmissions see a completed job — and returned. `None` on a cache
+    /// miss or without an attached store.
+    ///
+    /// This is the warm-admission fast path front ends take before
+    /// dispatching to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaptonError::Io`] when the cached report cannot be persisted.
+    pub fn answer_from_cache(
+        &self,
+        admitted: &AdmittedJob,
+    ) -> Result<Option<Report>, ClaptonError> {
+        let Some(cache) = &self.cache else {
+            return Ok(None);
+        };
+        let Some(report) = cache.get_json::<Report>(report_namespace(), &report_key(&admitted.job))
+        else {
+            return Ok(None);
+        };
+        if let Some(dir) = &admitted.dir {
+            // Atomic and value-identical to what any racing worker would
+            // write, so no lease is needed for this single artifact.
+            dir.write_json(REPORT_ARTIFACT, &report)?;
+        }
+        Ok(Some(report))
+    }
+
     /// What the shared work queue knows about an admitted job: who (if
     /// anyone) holds its lease, how fresh their heartbeat is, and how many
     /// GA rounds are already banked — the operator-facing status surfaced
@@ -349,18 +441,22 @@ impl ClaptonService {
             return Ok(JobLeaseView::default());
         };
         let lease = clapton_runtime::lease_state(dir.path(), self.lease_ttl)?;
-        let rounds = match load_checkpoint(dir)? {
-            Some(state) => Some(state.rounds()),
-            None => dir
-                .load::<Report>(REPORT_ARTIFACT)?
-                .valid()
-                .and_then(|report| report.clapton.map(|c| c.rounds)),
+        let (rounds, cache_hits) = match load_checkpoint(dir)? {
+            Some(state) => (Some(state.rounds()), Some(state.cache_stats.hits)),
+            None => match dir.load::<Report>(REPORT_ARTIFACT)?.valid() {
+                Some(report) => (
+                    report.clapton.as_ref().map(|c| c.rounds),
+                    report.clapton.as_ref().map(|c| c.cache_hits),
+                ),
+                None => (None, None),
+            },
         };
         Ok(JobLeaseView {
             owner: lease.as_ref().map(|s| s.owner.clone()),
             heartbeat_age_ms: lease.as_ref().map(|s| s.heartbeat_age.as_millis() as u64),
             stale: lease.as_ref().map(|s| s.stale),
             rounds,
+            cache_hits,
         })
     }
 
@@ -432,8 +528,9 @@ impl ClaptonService {
             .zip(&dirs)
             .map(|(job, dir)| {
                 let lease = &lease;
+                let cache = self.cache.as_ref();
                 ScheduledJob::new(job.name.clone(), move |ctx: &JobContext| {
-                    execute(job, ctx, dir.as_ref(), lease)
+                    execute(job, ctx, dir.as_ref(), lease, cache)
                 })
             })
             .collect();
@@ -533,6 +630,9 @@ pub struct JobLeaseView {
     pub stale: Option<bool>,
     /// GA rounds banked in the job's checkpoint (or final report).
     pub rounds: Option<usize>,
+    /// Fitness requests the genome → loss memo answered so far (from the
+    /// checkpoint while running, the final report once done).
+    pub cache_hits: Option<u64>,
 }
 
 /// What a job's persisted artifacts say about it (see
@@ -643,6 +743,7 @@ pub(crate) fn execute(
     ctx: &JobContext,
     dir: Option<&RunDirectory>,
     lease: &LeasePolicy,
+    cache: Option<&Arc<CacheStore>>,
 ) -> Result<Report, ClaptonError> {
     // The job directory is the unit of ownership in the shared work queue:
     // claim it before reading or writing anything inside, so concurrent
@@ -669,7 +770,7 @@ pub(crate) fn execute(
     let result = {
         let _trace_ctx = clapton_telemetry::push_context(trace.context());
         let _job_span = clapton_telemetry::span("job");
-        execute_inner(job, ctx, dir, keeper.as_ref())
+        execute_inner(job, ctx, dir, keeper.as_ref(), cache)
     };
     let records = trace.finish();
     if let Some(dir) = dir {
@@ -706,6 +807,7 @@ fn execute_inner(
     ctx: &JobContext,
     dir: Option<&RunDirectory>,
     keeper: Option<&LeaseKeeper>,
+    cache: Option<&Arc<CacheStore>>,
 ) -> Result<Report, ClaptonError> {
     if let Some(dir) = dir {
         // A corrupt report is quarantined and the job falls through to the
@@ -728,6 +830,21 @@ fn execute_inner(
                     rounds: state.rounds,
                 });
             }
+        }
+    }
+    // The report tier of the persistent store: a spec already solved — by
+    // this process or any earlier one sharing the store — answers without
+    // running anything. Persisting the report into the job's directory
+    // keeps artifacts consistent with a computed run.
+    if let Some(cache) = cache {
+        if let Some(report) = cache.get_json::<Report>(report_namespace(), &report_key(job)) {
+            if let Some(dir) = dir {
+                dir.write_json(REPORT_ARTIFACT, &report)?;
+            }
+            ctx.emit(EventKind::Finished(
+                "already solved (answered from persistent cache)".to_string(),
+            ));
+            return Ok(report);
         }
     }
     let h = &job.hamiltonian;
@@ -755,8 +872,19 @@ fn execute_inner(
         let mut cancelled = false;
         let _clapton_span = clapton_telemetry::span("clapton");
         let mut round_started = clapton_telemetry::mono_ns();
-        let (state, result) =
-            run_clapton_resumable(h, exec, config, Some(ctx.pool()), resume, &mut |state| {
+        // The loss tier of the persistent store: memo misses inside the GA
+        // consult it before computing, and computed losses are written back
+        // — so even a *partially* overlapping search (different seed or
+        // engine effort over the same objective) answers from disk.
+        let store = cache.map(|c| Arc::clone(c) as Arc<dyn LossStore>);
+        let (state, result) = run_clapton_resumable_with_store(
+            h,
+            exec,
+            config,
+            Some(ctx.pool()),
+            store,
+            resume,
+            &mut |state| {
                 let round_ended = clapton_telemetry::mono_ns();
                 clapton_telemetry::record_complete("round", round_started, round_ended);
                 round_started = round_ended;
@@ -814,7 +942,8 @@ fn execute_inner(
                     }
                     None => true,
                 }
-            });
+            },
+        );
         if let Some(e) = checkpoint_error {
             return Err(e.into());
         }
@@ -889,6 +1018,12 @@ fn execute_inner(
         // deleted: if the report is ever torn or garbled, recovery replays
         // from the final round state and reproduces it bit-identically.
         dir.rotate(CHECKPOINT_ARTIFACT, CHECKPOINT_PREV_ARTIFACT)?;
+    }
+    if let Some(cache) = cache {
+        // Terminal reports enter the store, and everything buffered (this
+        // report plus the job's computed losses) goes durable in one flush.
+        cache.put_json(report_namespace(), &report_key(job), &report);
+        cache.flush().map_err(ClaptonError::from)?;
     }
     ctx.emit(EventKind::Finished(match &report.clapton {
         Some(c) => format!("clapton loss {:.6} in {} rounds", c.loss, c.rounds),

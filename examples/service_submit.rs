@@ -76,4 +76,54 @@ fn main() {
             clapton.loss, clapton.rounds, clapton.unique_evaluations, clapton.cache_hits
         );
     }
+
+    // 5. Warm resubmission: attach an artifact registry plus the persistent
+    //    content-addressed store, solve the spec once, then throw the
+    //    artifacts away. A fresh service on the same root still answers the
+    //    identical spec from disk — byte-for-byte the cold report — without
+    //    the search ever reaching the pool.
+    let root = std::env::temp_dir().join(format!("clapton-service-submit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cold_service = ClaptonService::new()
+        .with_artifacts(&root)
+        .expect("registry opens")
+        .with_cache_under(&root)
+        .expect("store opens");
+    let spec: JobSpec = serde_json::from_str(&text).expect("spec parses");
+    let cold = cold_service.run(spec).expect("cold run converges");
+    drop(cold_service); // like a process exit: the store flushes to disk
+    let job_dir = std::fs::read_dir(&root)
+        .expect("registry exists")
+        .map(|e| e.expect("dirent").path())
+        .find(|p| {
+            // The store lives in the dot-prefixed `.cache`; keep only the
+            // job's artifact directory.
+            p.is_dir()
+                && !p
+                    .file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with('.'))
+        })
+        .expect("the cold run left one job directory");
+    std::fs::remove_dir_all(&job_dir).expect("forget the artifacts");
+
+    let warm_service = ClaptonService::new()
+        .with_artifacts(&root)
+        .expect("registry opens")
+        .with_cache_under(&root)
+        .expect("store opens");
+    let spec: JobSpec = serde_json::from_str(&text).expect("spec parses");
+    let warm = warm_service.run(spec).expect("warm run answers");
+    let cold_bytes = serde_json::to_string(&cold).expect("report serializes");
+    let warm_bytes = serde_json::to_string(&warm).expect("report serializes");
+    assert_eq!(
+        cold_bytes, warm_bytes,
+        "the disk-served report must be byte-identical to the cold one"
+    );
+    let stats = warm_service.cache().expect("store attached").stats();
+    println!(
+        "\nwarm resubmission answered from the persistent store \
+         ({} hits, {} entries) — report byte-identical to the cold run",
+        stats.hits, stats.entries
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }
